@@ -1,0 +1,248 @@
+//! Playback-continuity theory (paper §5.1, equations 11–15).
+//!
+//! During each scheduling period `τ` a node must receive at least `p·τ`
+//! segments to keep playing. With arrivals `N(τ) ~ Poisson(λτ)`:
+//!
+//! * trigger probability (eq. 11):  `P{N(τ) ≤ pτ}`
+//! * expected misses (eq. 12):      `N_miss = Σ_{n<pτ} (pτ − n)·P{N(τ)=n}`
+//! * old continuity (eq. 13):       `PC_old = 1 − P{N(τ) ≤ pτ}`
+//! * new continuity (eq. 14):       `PC_new = 1 − P{N(τ) ≤ pτ}·(1 − (1 − ½^k)^{N_miss})`
+//! * improvement (eq. 15):          `Δ = P{N(τ) ≤ pτ}·(1 − ½^k)^{N_miss}`
+//!
+//! The paper's §5.1 table evaluates these at `p = 10`, `τ = 1 s`, `k = 4`,
+//! `λ ∈ {14, 15}` giving `PC_old = 0.8815/0.8243`, `PC_new = 0.9989/0.9975`.
+//! Those exact rows are regression-tested below.
+
+use crate::poisson::Poisson;
+
+/// Inputs of the §5.1 model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ContinuityModel {
+    /// Arrival rate λ in segments per second (the node's effective inbound
+    /// rate; eq. 10 identifies λ with `I`).
+    pub lambda: f64,
+    /// Playback rate `p` in segments per second (paper default 10).
+    pub playback_rate: f64,
+    /// Scheduling period `τ` in seconds (paper default 1.0).
+    pub period: f64,
+    /// Backup replicas per segment `k` (paper default 4).
+    pub replicas: u32,
+}
+
+/// Everything the model predicts, bundled so experiment binaries can print
+/// a table row directly.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ContinuityPrediction {
+    /// `P{N(τ) ≤ pτ}` — probability the pre-fetch path is triggered in a
+    /// period (eq. 11).
+    pub trigger_probability: f64,
+    /// Expected number of missed segments per triggered period (eq. 12).
+    pub expected_misses: f64,
+    /// Continuity without pre-fetching (eq. 13).
+    pub pc_old: f64,
+    /// Continuity with DHT pre-fetching (eq. 14).
+    pub pc_new: f64,
+    /// `PC_new − PC_old` (eq. 15).
+    pub delta: f64,
+}
+
+impl ContinuityModel {
+    /// The paper's default configuration at a given λ: `p = 10`, `τ = 1 s`,
+    /// `k = 4`.
+    pub fn paper_defaults(lambda: f64) -> Self {
+        ContinuityModel {
+            lambda,
+            playback_rate: 10.0,
+            period: 1.0,
+            replicas: 4,
+        }
+    }
+
+    fn validate(&self) {
+        assert!(
+            self.lambda.is_finite() && self.lambda >= 0.0,
+            "λ must be finite and non-negative"
+        );
+        assert!(
+            self.playback_rate > 0.0 && self.period > 0.0,
+            "playback rate and period must be positive"
+        );
+    }
+
+    /// `pτ` rounded down — the integer segment demand per period.
+    pub fn demand(&self) -> u64 {
+        (self.playback_rate * self.period).floor() as u64
+    }
+
+    /// Equation (11): probability the on-demand retrieval is triggered.
+    pub fn trigger_probability(&self) -> f64 {
+        self.validate();
+        Poisson::new(self.lambda * self.period).cdf(self.demand())
+    }
+
+    /// Equation (12): expected number of missed segments,
+    /// `Σ_{n=0}^{pτ−1} (pτ − n)·P{N(τ) = n}`.
+    pub fn expected_misses(&self) -> f64 {
+        self.validate();
+        let ptau = self.demand();
+        if ptau == 0 {
+            return 0.0;
+        }
+        let pois = Poisson::new(self.lambda * self.period);
+        let cdf_below = pois.cdf(ptau - 1);
+        let partial = pois.partial_mean(ptau - 1);
+        (ptau as f64) * cdf_below - partial
+    }
+
+    /// Probability that *all* `N_miss` predicted-missed segments are
+    /// successfully pre-fetched: `(1 − ½^k)^{N_miss}` (§5.1, using the
+    /// `P_fail = ½` per-replica model of §4.3).
+    pub fn prefetch_all_success(&self) -> f64 {
+        let per_segment = 1.0 - 0.5f64.powi(self.replicas as i32);
+        per_segment.powf(self.expected_misses())
+    }
+
+    /// Equation (13).
+    pub fn pc_old(&self) -> f64 {
+        1.0 - self.trigger_probability()
+    }
+
+    /// Equation (14).
+    pub fn pc_new(&self) -> f64 {
+        1.0 - self.trigger_probability() * (1.0 - self.prefetch_all_success())
+    }
+
+    /// Equation (15).
+    pub fn delta(&self) -> f64 {
+        self.trigger_probability() * self.prefetch_all_success()
+    }
+
+    /// Evaluate the full prediction bundle.
+    pub fn predict(&self) -> ContinuityPrediction {
+        ContinuityPrediction {
+            trigger_probability: self.trigger_probability(),
+            expected_misses: self.expected_misses(),
+            pc_old: self.pc_old(),
+            pc_new: self.pc_new(),
+            delta: self.delta(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64, tol: f64) -> bool {
+        (a - b).abs() <= tol
+    }
+
+    /// Paper §5.1 table, row "Theoretical result with λ=15":
+    /// PC_old = 0.8815, PC_new = 0.9989, Δ = 0.1174.
+    #[test]
+    fn paper_row_lambda_15() {
+        let m = ContinuityModel::paper_defaults(15.0);
+        let p = m.predict();
+        assert!(close(p.pc_old, 0.8815, 5e-4), "PC_old = {}", p.pc_old);
+        assert!(close(p.pc_new, 0.9989, 5e-4), "PC_new = {}", p.pc_new);
+        assert!(close(p.delta, 0.1174, 5e-4), "Δ = {}", p.delta);
+    }
+
+    /// Paper §5.1 table, row "Theoretical result with λ=14":
+    /// PC_old = 0.8243, PC_new = 0.9975, Δ = 0.1732.
+    #[test]
+    fn paper_row_lambda_14() {
+        let m = ContinuityModel::paper_defaults(14.0);
+        let p = m.predict();
+        assert!(close(p.pc_old, 0.8243, 5e-4), "PC_old = {}", p.pc_old);
+        assert!(close(p.pc_new, 0.9975, 5e-4), "PC_new = {}", p.pc_new);
+        assert!(close(p.delta, 0.1732, 5e-4), "Δ = {}", p.delta);
+    }
+
+    #[test]
+    fn identities_hold() {
+        for lambda in [11.0, 13.5, 15.0, 20.0] {
+            let m = ContinuityModel::paper_defaults(lambda);
+            let p = m.predict();
+            assert!(close(p.pc_new - p.pc_old, p.delta, 1e-12));
+            assert!(close(p.pc_old, 1.0 - p.trigger_probability, 1e-12));
+            assert!(p.pc_new >= p.pc_old);
+            assert!((0.0..=1.0).contains(&p.pc_new));
+            assert!((0.0..=1.0).contains(&p.pc_old));
+        }
+    }
+
+    #[test]
+    fn continuity_increases_with_lambda() {
+        let mut prev_old = 0.0;
+        for lambda in [10.0, 12.0, 14.0, 16.0, 20.0] {
+            let p = ContinuityModel::paper_defaults(lambda).predict();
+            assert!(p.pc_old >= prev_old, "PC_old not monotone at λ={lambda}");
+            prev_old = p.pc_old;
+        }
+    }
+
+    #[test]
+    fn more_replicas_help() {
+        let mut prev_new = 0.0;
+        for k in 1..=6 {
+            let m = ContinuityModel {
+                replicas: k,
+                ..ContinuityModel::paper_defaults(14.0)
+            };
+            let pc = m.pc_new();
+            assert!(pc >= prev_new, "PC_new not monotone in k at k={k}");
+            prev_new = pc;
+        }
+        // k = 0 replicas means pre-fetch never succeeds: PC_new = PC_old.
+        let m0 = ContinuityModel {
+            replicas: 0,
+            ..ContinuityModel::paper_defaults(14.0)
+        };
+        assert!(close(m0.pc_new(), m0.pc_old(), 1e-12));
+    }
+
+    #[test]
+    fn expected_misses_decreases_with_lambda() {
+        let hi = ContinuityModel::paper_defaults(20.0).expected_misses();
+        let lo = ContinuityModel::paper_defaults(11.0).expected_misses();
+        assert!(lo > hi);
+        assert!(hi >= 0.0);
+    }
+
+    #[test]
+    fn expected_misses_matches_direct_sum() {
+        let m = ContinuityModel::paper_defaults(15.0);
+        let pois = Poisson::new(15.0);
+        let ptau = 10u64;
+        let direct: f64 = (0..ptau)
+            .map(|n| (ptau - n) as f64 * pois.pmf(n))
+            .sum();
+        assert!(close(m.expected_misses(), direct, 1e-12));
+    }
+
+    #[test]
+    fn starved_node_has_zero_continuity() {
+        // λ = 0: no gossip arrivals at all. Trigger probability 1,
+        // PC_old = 0, and with k = 4 replicas PC_new is small but positive
+        // only through pre-fetch of the whole demand.
+        let m = ContinuityModel::paper_defaults(0.0);
+        assert!(close(m.pc_old(), 0.0, 1e-12));
+        assert!(close(m.trigger_probability(), 1.0, 1e-12));
+        assert!(close(m.expected_misses(), 10.0, 1e-12));
+        let pc_new = m.pc_new();
+        let expect = (1.0 - 0.5f64.powi(4)).powf(10.0);
+        assert!(close(pc_new, expect, 1e-12));
+    }
+
+    #[test]
+    fn fractional_demand_floors() {
+        let m = ContinuityModel {
+            lambda: 15.0,
+            playback_rate: 10.0,
+            period: 0.55, // pτ = 5.5 → demand 5
+            replicas: 4,
+        };
+        assert_eq!(m.demand(), 5);
+    }
+}

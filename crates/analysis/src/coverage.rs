@@ -1,0 +1,124 @@
+//! Gossip coverage formulas quoted in the paper (§2 and §4.1).
+//!
+//! * Kermarrec et al.: with `n` nodes each gossiping to `log n + k` others
+//!   on average, the probability that everyone receives a message
+//!   converges to `e^(−e^(−k))`.
+//! * CoolStreaming's analysis: in a gossip streaming system with `M`
+//!   connected neighbours, the coverage ratio at overlay distance `d` is
+//!   `1 − e^(−M·(M−1)^(d−2) / ((M−2)·n))`.
+//!
+//! The paper's argument for ContinuStreaming is precisely that these are
+//! *ideal* numbers — bandwidth, latency and buffer eviction keep the real
+//! coverage below them — so the harness prints them as upper baselines.
+
+/// Kermarrec reliability: `e^(−e^(−k))` — the limiting probability that a
+/// gossip with fanout `log n + k` reaches every node.
+pub fn kermarrec_reliability(k: f64) -> f64 {
+    (-(-k).exp()).exp()
+}
+
+/// CoolStreaming coverage ratio at distance `d` from the source
+/// (`1 − e^(−M(M−1)^(d−2)/((M−2)n)`), for `M > 2`, `d ≥ 2`.
+///
+/// # Panics
+/// If `M ≤ 2` (the formula divides by `M − 2`) or `d < 2`.
+pub fn gossip_coverage_at_distance(m: u32, d: u32, n: u64) -> f64 {
+    assert!(m > 2, "coverage formula requires M > 2, got {m}");
+    assert!(d >= 2, "coverage formula requires d ≥ 2, got {d}");
+    assert!(n > 0, "need at least one node");
+    let m = m as f64;
+    let exponent = -(m * (m - 1.0).powi(d as i32 - 2)) / ((m - 2.0) * n as f64);
+    1.0 - exponent.exp()
+}
+
+/// The smallest distance at which the ideal coverage ratio reaches
+/// `target` (e.g. 0.99) for a given `M` and `n`; a proxy for how many
+/// gossip rounds full dissemination needs.
+pub fn distance_for_coverage(m: u32, n: u64, target: f64) -> u32 {
+    assert!((0.0..1.0).contains(&target), "target must be in [0, 1)");
+    let mut d = 2;
+    while gossip_coverage_at_distance(m, d, n) < target {
+        d += 1;
+        if d > 256 {
+            // (M−1)^(d−2) has long overflowed any realistic n by here.
+            return d;
+        }
+    }
+    d
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64, tol: f64) -> bool {
+        (a - b).abs() <= tol
+    }
+
+    #[test]
+    fn kermarrec_known_points() {
+        // k → ∞ gives certainty; k = 0 gives e^{-1} ≈ 0.3679.
+        assert!(close(kermarrec_reliability(0.0), (-1.0f64).exp(), 1e-12));
+        assert!(kermarrec_reliability(10.0) > 0.9999);
+        assert!(kermarrec_reliability(-3.0) < 1e-8);
+    }
+
+    #[test]
+    fn kermarrec_monotone_in_k() {
+        let mut prev = 0.0;
+        for i in -5..=10 {
+            let r = kermarrec_reliability(i as f64);
+            assert!(r >= prev);
+            prev = r;
+        }
+    }
+
+    #[test]
+    fn coverage_increases_with_distance() {
+        let n = 1000;
+        let mut prev = 0.0;
+        for d in 2..12 {
+            let c = gossip_coverage_at_distance(5, d, n);
+            assert!(c >= prev, "coverage must grow with distance, d={d}");
+            assert!((0.0..=1.0).contains(&c));
+            prev = c;
+        }
+        assert!(prev > 0.999, "by distance 11 coverage should be ≈ 1");
+    }
+
+    #[test]
+    fn coverage_decreases_with_network_size() {
+        let d = 6;
+        let small = gossip_coverage_at_distance(5, d, 100);
+        let large = gossip_coverage_at_distance(5, d, 10_000);
+        assert!(small > large);
+    }
+
+    #[test]
+    fn coverage_increases_with_fanout() {
+        let c4 = gossip_coverage_at_distance(4, 6, 1000);
+        let c6 = gossip_coverage_at_distance(6, 6, 1000);
+        assert!(c6 > c4);
+    }
+
+    #[test]
+    fn paper_configuration_sanity() {
+        // M = 5, n = 1000: near-full ideal coverage within ~9 hops. The
+        // paper's point is reality is worse; theory must at least be high.
+        let d = distance_for_coverage(5, 1000, 0.99);
+        assert!(d <= 10, "d = {d}");
+    }
+
+    #[test]
+    fn distance_for_coverage_monotone_in_n() {
+        let d_small = distance_for_coverage(5, 100, 0.99);
+        let d_large = distance_for_coverage(5, 100_000, 0.99);
+        assert!(d_large >= d_small);
+    }
+
+    #[test]
+    #[should_panic(expected = "M > 2")]
+    fn fanout_two_panics() {
+        let _ = gossip_coverage_at_distance(2, 3, 100);
+    }
+}

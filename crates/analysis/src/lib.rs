@@ -1,0 +1,27 @@
+//! # cs-analysis — the paper's theoretical models
+//!
+//! Section 5.1 of the ContinuStreaming paper models segment arrival at a
+//! node as a Poisson process and derives closed forms for the playback
+//! continuity with and without DHT-assisted pre-fetching (equations
+//! 10–15). Section 2 quotes the gossip-coverage results it builds on
+//! (Kermarrec et al. and the CoolStreaming coverage formula), and the
+//! appendix proves the `log N / log(4/3)` routing-hop bound of the loose
+//! DHT. This crate implements all of those formulas so the experiment
+//! harness can print theory next to simulation — exactly what the paper's
+//! §5.1 comparison table does.
+//!
+//! Everything here is pure `f64` math with no dependencies; numerical care
+//! (log-space Poisson terms) keeps the formulas stable for the λτ ranges a
+//! parameter sweep can reach.
+
+pub mod continuity;
+pub mod coverage;
+pub mod dht_bounds;
+pub mod poisson;
+pub mod prefetch;
+
+pub use continuity::{ContinuityModel, ContinuityPrediction};
+pub use coverage::{gossip_coverage_at_distance, kermarrec_reliability};
+pub use dht_bounds::{expected_routing_hops, routing_hop_upper_bound};
+pub use poisson::Poisson;
+pub use prefetch::{alpha_initial, alpha_lower_bound, prefetch_success_probability, t_fetch};

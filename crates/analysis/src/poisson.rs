@@ -1,0 +1,249 @@
+//! Poisson distribution, evaluated in log space.
+//!
+//! Equation (10) of the paper models the number of segments arriving at a
+//! node during time `t` as `N(t) ~ Poisson(λt)` and identifies λ with the
+//! node's inbound rate `I` (segments per second). Everything in
+//! [`crate::continuity`] is a sum over this pmf, so accuracy here is what
+//! makes the theory table trustworthy. Terms are computed as
+//! `exp(k·lnλ − λ − lnΓ(k+1))` to avoid overflow of `λ^k` and `k!`.
+
+/// A Poisson distribution with mean `lambda`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Poisson {
+    lambda: f64,
+}
+
+impl Poisson {
+    /// A Poisson distribution with the given mean.
+    ///
+    /// # Panics
+    /// If `lambda` is negative, NaN or infinite.
+    pub fn new(lambda: f64) -> Self {
+        assert!(
+            lambda.is_finite() && lambda >= 0.0,
+            "Poisson λ must be finite and non-negative, got {lambda}"
+        );
+        Poisson { lambda }
+    }
+
+    /// The mean λ (equation 10: `E[N(t)] = λt` with t folded into λ).
+    pub fn mean(&self) -> f64 {
+        self.lambda
+    }
+
+    /// The variance (equal to λ for a Poisson distribution).
+    pub fn variance(&self) -> f64 {
+        self.lambda
+    }
+
+    /// `P{N = k}`.
+    pub fn pmf(&self, k: u64) -> f64 {
+        if self.lambda == 0.0 {
+            return if k == 0 { 1.0 } else { 0.0 };
+        }
+        self.ln_pmf(k).exp()
+    }
+
+    /// `ln P{N = k}`; stable for large λ and k.
+    pub fn ln_pmf(&self, k: u64) -> f64 {
+        if self.lambda == 0.0 {
+            return if k == 0 { 0.0 } else { f64::NEG_INFINITY };
+        }
+        let kf = k as f64;
+        kf * self.lambda.ln() - self.lambda - ln_factorial(k)
+    }
+
+    /// `P{N ≤ k}` — the cdf, summed term by term from the mode outward in
+    /// log space. For the λ values the paper uses (≈ 14–15) a direct sum
+    /// is exact to machine precision.
+    pub fn cdf(&self, k: u64) -> f64 {
+        let mut sum = 0.0;
+        for i in 0..=k {
+            sum += self.pmf(i);
+        }
+        sum.min(1.0)
+    }
+
+    /// `P{N > k}` = 1 − cdf(k), computed so the tail does not lose
+    /// precision when cdf(k) ≈ 1: for k well above λ the complement is
+    /// summed directly.
+    pub fn sf(&self, k: u64) -> f64 {
+        if (k as f64) > self.lambda + 12.0 * self.lambda.sqrt() + 12.0 {
+            // Sum the upper tail directly until the terms vanish.
+            let mut sum = 0.0;
+            let mut i = k + 1;
+            loop {
+                let p = self.pmf(i);
+                sum += p;
+                if p < 1e-300 || p < sum * 1e-17 {
+                    break;
+                }
+                i += 1;
+            }
+            sum
+        } else {
+            (1.0 - self.cdf(k)).max(0.0)
+        }
+    }
+
+    /// `E[N · 1{N ≤ k}] = Σ_{n=0}^{k} n·P{N = n}` — the partial first
+    /// moment, used by equation (12) for the expected number of misses.
+    pub fn partial_mean(&self, k: u64) -> f64 {
+        let mut sum = 0.0;
+        for n in 1..=k {
+            sum += n as f64 * self.pmf(n);
+        }
+        sum
+    }
+}
+
+/// `ln k!` via `ln Γ(k+1)`: exact summation below 257, Stirling series above.
+pub fn ln_factorial(k: u64) -> f64 {
+    if k < 2 {
+        return 0.0;
+    }
+    if k < 257 {
+        // Exact enough and cheap: direct log-sum.
+        (2..=k).map(|i| (i as f64).ln()).sum()
+    } else {
+        ln_gamma(k as f64 + 1.0)
+    }
+}
+
+/// Lanczos approximation of `ln Γ(x)` for x > 0. Error < 2·10⁻¹⁰ over the
+/// domain used here.
+pub fn ln_gamma(x: f64) -> f64 {
+    assert!(x > 0.0, "ln_gamma requires x > 0, got {x}");
+    // Lanczos g = 7, n = 9 coefficients.
+    const COEFFS: [f64; 8] = [
+        676.520_368_121_885_1,
+        -1_259.139_216_722_402_8,
+        771.323_428_777_653_1,
+        -176.615_029_162_140_6,
+        12.507_343_278_686_905,
+        -0.138_571_095_265_720_12,
+        9.984_369_578_019_572e-6,
+        1.505_632_735_149_311_6e-7,
+    ];
+    if x < 0.5 {
+        // Reflection formula.
+        let pi = std::f64::consts::PI;
+        return (pi / (pi * x).sin()).ln() - ln_gamma(1.0 - x);
+    }
+    let x = x - 1.0;
+    let mut a = 0.999_999_999_999_809_93_f64;
+    for (i, &c) in COEFFS.iter().enumerate() {
+        a += c / (x + i as f64 + 1.0);
+    }
+    let t = x + 7.5;
+    0.5 * (2.0 * std::f64::consts::PI).ln() + (x + 0.5) * t.ln() - t + a.ln()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64, tol: f64) -> bool {
+        (a - b).abs() <= tol
+    }
+
+    #[test]
+    fn pmf_sums_to_one() {
+        for &lambda in &[0.5, 5.0, 15.0, 40.0] {
+            let p = Poisson::new(lambda);
+            let total: f64 = (0..400).map(|k| p.pmf(k)).sum();
+            assert!(close(total, 1.0, 1e-12), "λ={lambda}: Σpmf = {total}");
+        }
+    }
+
+    #[test]
+    fn pmf_known_values() {
+        // P{N=0} for λ=1 is e^{-1}; P{N=2} for λ=2 is 2e^{-2}.
+        assert!(close(Poisson::new(1.0).pmf(0), (-1.0f64).exp(), 1e-15));
+        assert!(close(Poisson::new(2.0).pmf(2), 2.0 * (-2.0f64).exp(), 1e-14));
+    }
+
+    #[test]
+    fn zero_lambda_is_degenerate() {
+        let p = Poisson::new(0.0);
+        assert_eq!(p.pmf(0), 1.0);
+        assert_eq!(p.pmf(3), 0.0);
+        assert_eq!(p.cdf(0), 1.0);
+        assert_eq!(p.sf(0), 0.0);
+    }
+
+    #[test]
+    fn cdf_monotone_and_bounded() {
+        let p = Poisson::new(15.0);
+        let mut prev = 0.0;
+        for k in 0..80 {
+            let c = p.cdf(k);
+            assert!(c >= prev && c <= 1.0, "cdf not monotone at k={k}");
+            prev = c;
+        }
+        assert!(close(prev, 1.0, 1e-12));
+    }
+
+    #[test]
+    fn sf_complements_cdf() {
+        let p = Poisson::new(14.0);
+        for k in [0, 5, 10, 14, 20, 40] {
+            assert!(close(p.cdf(k) + p.sf(k), 1.0, 1e-12), "k={k}");
+        }
+    }
+
+    #[test]
+    fn sf_deep_tail_is_positive() {
+        // Far into the tail the naive 1-cdf would round to 0; the direct
+        // tail sum must still produce a positive value.
+        let p = Poisson::new(5.0);
+        let tail = p.sf(60);
+        assert!(tail > 0.0 && tail < 1e-30, "tail = {tail}");
+    }
+
+    #[test]
+    fn partial_mean_converges_to_mean() {
+        let p = Poisson::new(15.0);
+        assert!(close(p.partial_mean(200), 15.0, 1e-9));
+        // Partial mean is increasing in k and bounded by λ.
+        assert!(p.partial_mean(10) < p.partial_mean(20));
+        assert!(p.partial_mean(20) <= 15.0);
+    }
+
+    #[test]
+    fn ln_factorial_matches_direct() {
+        let direct: f64 = (2..=20u64).map(|i| (i as f64).ln()).sum();
+        assert!(close(ln_factorial(20), direct, 1e-12));
+        assert_eq!(ln_factorial(0), 0.0);
+        assert_eq!(ln_factorial(1), 0.0);
+    }
+
+    #[test]
+    fn ln_gamma_known_values() {
+        // Γ(1) = Γ(2) = 1, Γ(5) = 24, Γ(0.5) = √π.
+        assert!(close(ln_gamma(1.0), 0.0, 1e-10));
+        assert!(close(ln_gamma(2.0), 0.0, 1e-10));
+        assert!(close(ln_gamma(5.0), 24.0f64.ln(), 1e-10));
+        assert!(close(
+            ln_gamma(0.5),
+            std::f64::consts::PI.sqrt().ln(),
+            1e-10
+        ));
+    }
+
+    #[test]
+    fn large_lambda_stability() {
+        // λ^k / k! would overflow f64 far below this; log-space must not.
+        let p = Poisson::new(500.0);
+        let m = p.pmf(500);
+        assert!(m > 0.0 && m < 0.02);
+        let total: f64 = (300..700).map(|k| p.pmf(k)).sum();
+        assert!(close(total, 1.0, 1e-9));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_lambda_panics() {
+        let _ = Poisson::new(-1.0);
+    }
+}

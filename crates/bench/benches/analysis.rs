@@ -1,0 +1,38 @@
+//! Micro-benchmarks of the theory module: Poisson evaluation and the
+//! §5.1 continuity predictions.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use cs_analysis::{ContinuityModel, Poisson};
+
+fn bench_analysis(c: &mut Criterion) {
+    let mut group = c.benchmark_group("analysis");
+
+    group.bench_function("poisson_cdf_lambda15_k10", |b| {
+        let p = Poisson::new(15.0);
+        b.iter(|| black_box(p.cdf(black_box(10))))
+    });
+
+    group.bench_function("continuity_predict_paper", |b| {
+        b.iter(|| {
+            let m = ContinuityModel::paper_defaults(black_box(14.0));
+            black_box(m.predict())
+        })
+    });
+
+    group.bench_function("hop_bound_sweep", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for bits in 7..=20 {
+                acc += cs_analysis::routing_hop_upper_bound(black_box(bits));
+            }
+            black_box(acc)
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_analysis);
+criterion_main!(benches);

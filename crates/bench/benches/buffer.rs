@@ -1,0 +1,59 @@
+//! Micro-benchmarks of the 600-segment stream buffer: insertion, window
+//! slides, map snapshots and the fresh-candidate scan — the inner loop of
+//! every scheduling round.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use cs_core::StreamBuffer;
+
+fn bench_buffer(c: &mut Criterion) {
+    let mut group = c.benchmark_group("buffer");
+
+    group.bench_function("insert_sequential_600", |b| {
+        b.iter(|| {
+            let mut buf = StreamBuffer::new(600);
+            for id in 1..=600u64 {
+                buf.insert(black_box(id));
+            }
+            black_box(buf.len())
+        })
+    });
+
+    group.bench_function("insert_sliding_2400", |b| {
+        b.iter(|| {
+            let mut buf = StreamBuffer::new(600);
+            for id in 1..=2400u64 {
+                buf.insert(black_box(id));
+            }
+            black_box(buf.len())
+        })
+    });
+
+    let mut full = StreamBuffer::new(600);
+    for id in (1..=600u64).filter(|i| i % 3 != 0) {
+        full.insert(id);
+    }
+    group.bench_function("to_map", |b| b.iter(|| black_box(full.to_map())));
+
+    let map = full.to_map();
+    let mut local = StreamBuffer::new(600);
+    for id in (1..=600u64).filter(|i| i % 2 == 0) {
+        local.insert(id);
+    }
+    group.bench_function("fresh_for_scan", |b| {
+        b.iter(|| {
+            let fresh: Vec<u64> = map.fresh_for(black_box(&local), 1, 601).collect();
+            black_box(fresh)
+        })
+    });
+
+    group.bench_function("has_range_p10", |b| {
+        b.iter(|| black_box(full.has_range(black_box(101), 10)))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_buffer);
+criterion_main!(benches);

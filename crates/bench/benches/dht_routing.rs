@@ -1,0 +1,54 @@
+//! Micro-benchmarks of loose-DHT operations: network construction, greedy
+//! routing, and backup-target computation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use cs_dht::{backup_targets, route, DhtNetwork, IdSpace};
+use cs_sim::RngTree;
+use rand::Rng;
+
+fn build_net(n: usize, bits: u32, seed: u64) -> DhtNetwork {
+    let mut rng = RngTree::new(seed).child("net");
+    let space = IdSpace::new(bits);
+    let mut used = std::collections::HashSet::new();
+    let mut ids = Vec::with_capacity(n);
+    while ids.len() < n {
+        let id = rng.gen_range(0..space.size());
+        if used.insert(id) {
+            ids.push(id);
+        }
+    }
+    DhtNetwork::build(space, &ids, &|_, _| 50.0, &mut rng)
+}
+
+fn bench_dht(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dht");
+    group.sample_size(20);
+    for &n in &[500usize, 2000] {
+        group.bench_with_input(BenchmarkId::new("build", n), &n, |b, &n| {
+            b.iter(|| black_box(build_net(n, 13, 3)))
+        });
+        let mut net = build_net(n, 13, 3);
+        let mut rng = RngTree::new(4).child("lookups");
+        group.bench_with_input(BenchmarkId::new("route", n), &n, |b, _| {
+            b.iter(|| {
+                let src = net.random_id(&mut rng).expect("non-empty");
+                let key = rng.gen_range(0..net.space().size());
+                black_box(route(&mut net, src, key, &|_, _| 50.0, false))
+            })
+        });
+    }
+    group.bench_function("backup_targets_k4", |b| {
+        let space = IdSpace::new(13);
+        let mut seg = 1u64;
+        b.iter(|| {
+            seg += 1;
+            black_box(backup_targets(space, seg, 4))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_dht);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! Micro-benchmarks of the data-scheduling algorithms: Algorithm 1
+//! (greedy) vs the CoolStreaming rarest-first and random baselines, at
+//! realistic candidate-set sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use cs_core::scheduler::{
+    schedule_coolstreaming, schedule_greedy, schedule_random, sort_candidates, ScheduleContext,
+    SegmentCandidate,
+};
+use cs_sim::RngTree;
+use rand::Rng;
+
+fn make_inputs(m: usize, seed: u64) -> (Vec<SegmentCandidate>, ScheduleContext) {
+    let mut rng = RngTree::new(seed).child("bench");
+    let suppliers: Vec<u64> = (0..5).collect();
+    let mut candidates: Vec<SegmentCandidate> = (0..m as u64)
+        .map(|i| SegmentCandidate {
+            id: 100 + i,
+            priority: rng.gen::<f64>(),
+            suppliers: suppliers
+                .iter()
+                .copied()
+                .filter(|_| rng.gen_bool(0.6))
+                .collect(),
+        })
+        .collect();
+    sort_candidates(&mut candidates);
+    let ctx = ScheduleContext {
+        inbound_budget: 15,
+        period_secs: 1.0,
+        supplier_rates: suppliers.iter().map(|&s| (s, 3.0 + s as f64)).collect(),
+        deadline_cutoff: Some(105),
+    };
+    (candidates, ctx)
+}
+
+fn bench_schedulers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scheduler");
+    for m in [10usize, 50, 200] {
+        let (cands, ctx) = make_inputs(m, 7);
+        group.bench_with_input(BenchmarkId::new("algorithm1_greedy", m), &m, |b, _| {
+            b.iter(|| black_box(schedule_greedy(black_box(&cands), black_box(&ctx))))
+        });
+        group.bench_with_input(BenchmarkId::new("coolstreaming", m), &m, |b, _| {
+            b.iter(|| black_box(schedule_coolstreaming(black_box(&cands), black_box(&ctx))))
+        });
+        group.bench_with_input(BenchmarkId::new("random", m), &m, |b, _| {
+            let mut rng = RngTree::new(9).child("rand");
+            b.iter(|| black_box(schedule_random(black_box(&cands), black_box(&ctx), &mut rng)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_schedulers);
+criterion_main!(benches);

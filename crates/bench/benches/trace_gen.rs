@@ -1,0 +1,35 @@
+//! Micro-benchmarks of trace generation and augmentation — the setup cost
+//! of every experiment.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use cs_sim::RngTree;
+use cs_trace::{augment_to_min_degree, TraceGenConfig, TraceGenerator};
+
+fn bench_trace(c: &mut Criterion) {
+    let mut group = c.benchmark_group("trace");
+    group.sample_size(20);
+    for &n in &[1000usize, 4000] {
+        group.bench_with_input(BenchmarkId::new("generate", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut rng = RngTree::new(1).child("gen");
+                black_box(TraceGenerator::new(TraceGenConfig::with_nodes(n)).generate(&mut rng))
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("generate+augment", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut rng = RngTree::new(1).child("gen");
+                let mut topo =
+                    TraceGenerator::new(TraceGenConfig::with_nodes(n)).generate(&mut rng);
+                let mut arng = RngTree::new(1).child("aug");
+                augment_to_min_degree(&mut topo, 5, &mut arng);
+                black_box(topo)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_trace);
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! Ablation A2: the adaptive urgent ratio α.
+//!
+//! The paper argues α must adapt (§4.3): too small and pre-fetch "cannot
+//! catch the speed of playback", too large and pre-fetch wastes traffic
+//! on repeated data. This bench compares the adaptive α against pinned
+//! values by reporting continuity, pre-fetch overhead and the two
+//! adaptation signals (overdue / repeated counts).
+//!
+//! The pinned variants are emulated by scaling the initial α and the
+//! period/t_fetch inputs so the eq. 9 floor *is* the pinned value; the
+//! adaptation step is unchanged, so "pinned" rows still adapt upward —
+//! what the table isolates is the starting width of the urgent window.
+//!
+//! ```text
+//! cargo run -p cs-bench --release --bin ablation_alpha
+//! ```
+
+use cs_bench::{arg_rounds, arg_sizes, f3, f4, print_table, run_many};
+use cs_core::SystemConfig;
+
+fn main() {
+    let n = arg_sizes(&[1000])[0];
+    let rounds = arg_rounds(40);
+
+    // t_hop multipliers scale t_fetch (and thus the eq. 9 α floor).
+    let variants: Vec<(&str, f64)> = vec![
+        ("alpha floor x0.5 (narrow)", 0.025),
+        ("alpha floor x1 (paper)", 0.05),
+        ("alpha floor x4 (wide)", 0.2),
+        ("alpha floor x10 (very wide)", 0.5),
+    ];
+    let configs = variants
+        .iter()
+        .map(|&(_, t_hop)| SystemConfig {
+            nodes: n,
+            rounds,
+            t_hop_secs: t_hop,
+            ..SystemConfig::continustreaming(n, 20080414)
+        })
+        .collect();
+    eprintln!("running {} α variants…", variants.len());
+    let reports = run_many(configs);
+
+    let rows: Vec<Vec<String>> = variants
+        .iter()
+        .zip(&reports)
+        .map(|(&(name, _), r)| {
+            let overdue: u32 = r.rounds.iter().map(|x| x.prefetch_overdue).sum();
+            let repeated: u32 = r.rounds.iter().map(|x| x.prefetch_repeated).sum();
+            let mean_alpha =
+                r.rounds.iter().map(|x| x.mean_alpha).sum::<f64>() / r.rounds.len() as f64;
+            vec![
+                name.to_string(),
+                f3(r.summary.stable_continuity),
+                f4(r.summary.stable_prefetch_overhead),
+                overdue.to_string(),
+                repeated.to_string(),
+                f4(mean_alpha),
+            ]
+        })
+        .collect();
+    print_table(
+        "Ablation A2 — urgent ratio α",
+        &["variant", "stable PC", "pf overhead", "overdue", "repeated", "mean alpha"],
+        &rows,
+    );
+    println!("\nexpected: narrow windows raise overdue events; wide windows raise repeated/pf cost.");
+}

@@ -1,0 +1,59 @@
+//! Ablation A5: backup placement — `hash(id·i)` vs `hash(id+i)`.
+//!
+//! §4.3: "The reason why we use id × i to hash is to backup a data
+//! segment into dispersed nodes so as to balance load. For example, if we
+//! use id + i to hash, the data segments with close ids may aggregate in
+//! the same node." This bench measures the load balance of both schemes
+//! directly: the distribution of replica positions of a window of
+//! consecutive segments across ring arcs.
+//!
+//! ```text
+//! cargo run -p cs-bench --release --bin ablation_placement
+//! ```
+
+use cs_bench::{f3, print_table};
+use cs_dht::placement::{backup_targets, backup_targets_additive};
+use cs_dht::IdSpace;
+
+fn main() {
+    let space = IdSpace::new(13); // N = 8192
+    let k = 4;
+    let arcs = 256usize; // pretend 256 evenly spread backup nodes
+    let window = 600u64; // one buffer's worth of consecutive segments
+
+    let mut rows = Vec::new();
+    for (name, f) in [
+        ("hash(id*i) (paper)", backup_targets as fn(IdSpace, u64, u32) -> Vec<u64>),
+        ("hash(id+i) (strawman)", backup_targets_additive),
+    ] {
+        let mut counts = vec![0u64; arcs];
+        for seg in 1..=window {
+            for pos in f(space, seg, k) {
+                counts[(pos as usize * arcs) / space.size() as usize] += 1;
+            }
+        }
+        let total: u64 = counts.iter().sum();
+        let mean = total as f64 / arcs as f64;
+        let max = *counts.iter().max().expect("non-empty") as f64;
+        let variance =
+            counts.iter().map(|&c| (c as f64 - mean).powi(2)).sum::<f64>() / arcs as f64;
+        // Jain's fairness index: 1.0 = perfectly balanced.
+        let sum: f64 = counts.iter().map(|&c| c as f64).sum();
+        let sumsq: f64 = counts.iter().map(|&c| (c as f64).powi(2)).sum();
+        let jain = sum * sum / (arcs as f64 * sumsq);
+        rows.push(vec![
+            name.to_string(),
+            f3(mean),
+            f3(max),
+            f3(max / mean),
+            f3(variance.sqrt()),
+            f3(jain),
+        ]);
+    }
+    print_table(
+        &format!("Ablation A5 — placement load balance ({window} consecutive segments, k = {k}, {arcs} arcs)"),
+        &["scheme", "mean load", "max load", "max/mean", "stddev", "Jain index"],
+        &rows,
+    );
+    println!("\nexpected: both hash-based schemes disperse well; the paper's concern applies to\nun-hashed id+i placement — shown here, the hashed additive variant is comparable,\nwhile multiplicative hashing additionally decorrelates the k replicas of one segment.");
+}

@@ -1,0 +1,76 @@
+//! Figure 3: average routing hops and query success rate of the loose DHT
+//! versus the number of joined nodes `n`, in an ID space of `N = 8192`.
+//!
+//! The paper's claims: average hops ≈ `log₂(n)/2` and success very close
+//! to 1.0 even when the overlay is sparse (`n ≪ N`).
+//!
+//! ```text
+//! cargo run -p cs-bench --release --bin fig3_dht
+//! ```
+
+use cs_bench::{f3, print_table};
+use cs_dht::{route, DhtNetwork, IdSpace};
+use cs_sim::RngTree;
+use rand::Rng;
+
+fn main() {
+    let space = IdSpace::new(13); // N = 8192, as in the paper
+    let sizes = [500usize, 1000, 2000, 3000, 4000, 5000, 6000, 7000, 8000];
+    let lookups = 2000;
+    let bound = cs_analysis::routing_hop_upper_bound(space.bits());
+
+    let mut rows = Vec::new();
+    for &n in &sizes {
+        let tree = RngTree::new(8192 + n as u64);
+        let mut rng = tree.child("net");
+        let mut used = std::collections::HashSet::new();
+        let mut ids = Vec::with_capacity(n);
+        while ids.len() < n {
+            let id = rng.gen_range(0..space.size());
+            if used.insert(id) {
+                ids.push(id);
+            }
+        }
+        let latency = |a: u64, b: u64| 50.0 + ((a ^ b) % 37) as f64; // ≈ t_hop 50 ms
+        let mut net = DhtNetwork::build(space, &ids, &latency, &mut rng);
+
+        let mut lrng = tree.child("lookups");
+        let mut hops = 0u64;
+        let mut max_hops = 0u32;
+        let mut successes = 0u64;
+        for _ in 0..lookups {
+            let src = net.random_id(&mut lrng).expect("network is non-empty");
+            let key = lrng.gen_range(0..space.size());
+            let out = route(&mut net, src, key, &latency, true);
+            hops += out.hops() as u64;
+            max_hops = max_hops.max(out.hops());
+            successes += u64::from(out.succeeded());
+        }
+        let avg = hops as f64 / lookups as f64;
+        let success = successes as f64 / lookups as f64;
+        rows.push(vec![
+            n.to_string(),
+            f3(avg),
+            f3(cs_analysis::expected_routing_hops(n as u64)),
+            max_hops.to_string(),
+            f3(bound),
+            f3(success),
+        ]);
+    }
+    print_table(
+        "Figure 3 — loose-DHT routing (N = 8192)",
+        &[
+            "n",
+            "avg hops",
+            "log2(n)/2",
+            "max hops",
+            "2.41*logN",
+            "success",
+        ],
+        &rows,
+    );
+    println!(
+        "\npaper: avg hops tracks log2(n)/2; success ~= 1.0 even when sparse; \
+         every lookup within the appendix bound."
+    );
+}

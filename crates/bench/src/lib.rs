@@ -1,0 +1,157 @@
+//! # cs-bench — the experiment harness
+//!
+//! One binary per table/figure of the paper (see DESIGN.md §5 for the
+//! index) plus Criterion micro-benchmarks. This library holds the shared
+//! machinery: parameter-sweep execution (parallelised across runs with
+//! crossbeam — each run is itself deterministic and single-threaded) and
+//! table formatting.
+
+use parking_lot::Mutex;
+
+use cs_core::{RunReport, SystemConfig, SystemSim};
+
+/// Default seeds used when an experiment averages over repetitions.
+pub const REPETITION_SEEDS: [u64; 3] = [20080414, 19700101, 42];
+
+/// Run one full-system simulation.
+pub fn run_system(config: SystemConfig) -> RunReport {
+    SystemSim::new(config).run()
+}
+
+/// Run many configurations in parallel (one OS thread per available core,
+/// work-stealing via an index counter). Results come back in input order.
+pub fn run_many(configs: Vec<SystemConfig>) -> Vec<RunReport> {
+    let n = configs.len();
+    let results: Mutex<Vec<Option<RunReport>>> = Mutex::new((0..n).map(|_| None).collect());
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let threads = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(4)
+        .min(n.max(1));
+
+    crossbeam::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|_| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let report = run_system(configs[i].clone());
+                results.lock()[i] = Some(report);
+            });
+        }
+    })
+    .expect("worker thread panicked");
+
+    results
+        .into_inner()
+        .into_iter()
+        .map(|r| r.expect("every index was filled"))
+        .collect()
+}
+
+/// Render a simple aligned table to stdout.
+pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
+    println!("\n== {title} ==");
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let line = |cells: Vec<String>| {
+        let mut out = String::new();
+        for (i, c) in cells.iter().enumerate() {
+            out.push_str(&format!("{:>width$}  ", c, width = widths[i]));
+        }
+        println!("{}", out.trim_end());
+    };
+    line(header.iter().map(|s| s.to_string()).collect());
+    line(widths.iter().map(|w| "-".repeat(*w)).collect());
+    for row in rows {
+        line(row.clone());
+    }
+}
+
+/// Format a float to 3 decimals for table cells.
+pub fn f3(x: f64) -> String {
+    format!("{x:.3}")
+}
+
+/// Format a float to 4 decimals for table cells.
+pub fn f4(x: f64) -> String {
+    format!("{x:.4}")
+}
+
+/// Parse `--nodes 100,500,1000`-style CLI overrides; returns `default`
+/// when the flag is absent.
+pub fn arg_sizes(default: &[usize]) -> Vec<usize> {
+    let args: Vec<String> = std::env::args().collect();
+    for i in 0..args.len() {
+        if args[i] == "--sizes" && i + 1 < args.len() {
+            return args[i + 1]
+                .split(',')
+                .map(|s| s.trim().parse().expect("--sizes takes comma-separated node counts"))
+                .collect();
+        }
+    }
+    default.to_vec()
+}
+
+/// True if a bare argument (e.g. `static` / `dynamic` / `track`) is
+/// present on the CLI.
+pub fn has_arg(name: &str) -> bool {
+    std::env::args().any(|a| a == name)
+}
+
+/// Parse `--rounds N`; returns `default` when absent.
+pub fn arg_rounds(default: u32) -> u32 {
+    let args: Vec<String> = std::env::args().collect();
+    for i in 0..args.len() {
+        if args[i] == "--rounds" && i + 1 < args.len() {
+            return args[i + 1].parse().expect("--rounds takes an integer");
+        }
+    }
+    default
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cs_core::SchedulerKind;
+
+    fn tiny(seed: u64) -> SystemConfig {
+        SystemConfig {
+            nodes: 30,
+            rounds: 8,
+            startup_segments: 20,
+            scheduler: SchedulerKind::ContinuStreaming,
+            seed,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn run_many_preserves_order_and_determinism() {
+        let configs = vec![tiny(1), tiny(2), tiny(3), tiny(1)];
+        let reports = run_many(configs);
+        assert_eq!(reports.len(), 4);
+        assert_eq!(reports[0].rounds, reports[3].rounds, "same seed, same run");
+        assert_ne!(reports[0].rounds, reports[1].rounds);
+    }
+
+    #[test]
+    fn parallel_equals_serial() {
+        let serial = run_system(tiny(7));
+        let parallel = run_many(vec![tiny(7)]).remove(0);
+        assert_eq!(serial.rounds, parallel.rounds);
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(f3(0.12345), "0.123");
+        assert_eq!(f4(0.12345), "0.1235");
+    }
+}

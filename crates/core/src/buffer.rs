@@ -1,0 +1,506 @@
+//! The FIFO segment buffer and its wire encoding.
+//!
+//! Each node buffers a sliding window of `B` segments (paper default 600,
+//! i.e. 60 s of media). Replacement is FIFO: the window slides forward as
+//! newer segments arrive, evicting the oldest. Two quantities the
+//! algorithms read off a buffer:
+//!
+//! * the **availability bitmap** exchanged each period — `20 + B` bits on
+//!   the wire (§5.4.2);
+//! * a segment's **replacement probability** `p_ij / B` (eq. 2), where
+//!   `p_ij` is the segment's distance from the buffer tail (the insertion
+//!   end): a segment that has traversed most of the FIFO is about to be
+//!   evicted, so its replacement probability approaches 1.
+
+use crate::SegmentId;
+
+/// A fixed-capacity sliding bit window over segment IDs.
+///
+/// The window covers `[head, head + capacity)`. Inserting an ID at or past
+/// the end slides the window forward (FIFO eviction of the oldest IDs).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StreamBuffer {
+    head: SegmentId,
+    capacity: u64,
+    /// Bit `i` of the window = presence of segment `head + i`.
+    words: Vec<u64>,
+    /// Number of present segments (kept incrementally).
+    len: u64,
+}
+
+impl StreamBuffer {
+    /// An empty buffer of the given capacity with the window starting at
+    /// segment 1 (segment IDs are 1-based).
+    pub fn new(capacity: u64) -> Self {
+        Self::with_head(capacity, 1)
+    }
+
+    /// An empty buffer whose window starts at `head`.
+    pub fn with_head(capacity: u64, head: SegmentId) -> Self {
+        assert!(capacity > 0, "buffer capacity must be positive");
+        let words = vec![0u64; capacity.div_ceil(64) as usize];
+        StreamBuffer {
+            head,
+            capacity,
+            words,
+            len: 0,
+        }
+    }
+
+    /// The buffer capacity `B`.
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    /// The oldest ID the window can currently hold.
+    pub fn head(&self) -> SegmentId {
+        self.head
+    }
+
+    /// One past the newest ID the window can currently hold.
+    pub fn end(&self) -> SegmentId {
+        self.head + self.capacity
+    }
+
+    /// Number of segments present.
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// True when no segments are present.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    #[inline]
+    fn bit_index(&self, id: SegmentId) -> Option<(usize, u32)> {
+        if id < self.head || id >= self.head + self.capacity {
+            return None;
+        }
+        let off = id - self.head;
+        Some(((off / 64) as usize, (off % 64) as u32))
+    }
+
+    /// Whether segment `id` is present.
+    #[inline]
+    pub fn contains(&self, id: SegmentId) -> bool {
+        match self.bit_index(id) {
+            Some((w, b)) => self.words[w] >> b & 1 == 1,
+            None => false,
+        }
+    }
+
+    /// Insert segment `id`. IDs older than the window are rejected
+    /// (`false`); IDs past the window slide it forward first, evicting the
+    /// oldest segments FIFO-style. Returns `true` if the segment was newly
+    /// inserted.
+    pub fn insert(&mut self, id: SegmentId) -> bool {
+        if id < self.head {
+            return false;
+        }
+        if id >= self.head + self.capacity {
+            self.slide_to(id - self.capacity + 1);
+        }
+        let (w, b) = self.bit_index(id).expect("id is inside the window now");
+        let mask = 1u64 << b;
+        if self.words[w] & mask != 0 {
+            return false;
+        }
+        self.words[w] |= mask;
+        self.len += 1;
+        true
+    }
+
+    /// Slide the window so it starts at `new_head`, evicting everything
+    /// older. No-op if `new_head ≤ head`.
+    pub fn slide_to(&mut self, new_head: SegmentId) {
+        if new_head <= self.head {
+            return;
+        }
+        let shift = new_head - self.head;
+        if shift >= self.capacity {
+            self.words.fill(0);
+            self.len = 0;
+            self.head = new_head;
+            return;
+        }
+        // Count and drop the evicted bits by shifting the whole bitset
+        // right by `shift`.
+        let word_shift = (shift / 64) as usize;
+        let bit_shift = (shift % 64) as u32;
+        let n = self.words.len();
+        let mut evicted = 0u32;
+        for i in 0..word_shift.min(n) {
+            evicted += self.words[i].count_ones();
+        }
+        if word_shift > 0 {
+            self.words.rotate_left(word_shift.min(n));
+            for w in &mut self.words[n - word_shift.min(n)..] {
+                *w = 0;
+            }
+        }
+        if bit_shift > 0 {
+            let mut carry_mask_count = 0u32;
+            // Bits below bit_shift of word 0 are evicted.
+            carry_mask_count += (self.words[0] & ((1u64 << bit_shift) - 1)).count_ones();
+            for i in 0..n {
+                let hi = if i + 1 < n { self.words[i + 1] } else { 0 };
+                self.words[i] = (self.words[i] >> bit_shift) | (hi << (64 - bit_shift));
+            }
+            evicted += carry_mask_count;
+        }
+        // Bits beyond the capacity within the top word were never valid.
+        self.len -= evicted as u64;
+        self.head = new_head;
+        self.mask_tail();
+    }
+
+    /// Zero any bits at or past `capacity` in the top word (they can be
+    /// produced transiently by shifts).
+    fn mask_tail(&mut self) {
+        let valid = self.capacity % 64;
+        if valid != 0 {
+            let last = self.words.len() - 1;
+            self.words[last] &= (1u64 << valid) - 1;
+        }
+    }
+
+    /// Iterate over the IDs present, in increasing order.
+    pub fn iter(&self) -> impl Iterator<Item = SegmentId> + '_ {
+        self.words.iter().enumerate().flat_map(move |(wi, &w)| {
+            let head = self.head;
+            let base = wi as u64 * 64;
+            BitIter(w).map(move |b| head + base + b as u64)
+        })
+    }
+
+    /// The segment's distance from the buffer *tail* (the insertion end):
+    /// `head + B − id`. Grows as the segment ages toward eviction.
+    /// `None` if the id is outside the window.
+    pub fn distance_from_tail(&self, id: SegmentId) -> Option<u64> {
+        (id >= self.head && id < self.end()).then(|| self.end() - id)
+    }
+
+    /// Equation (2)'s per-supplier factor: the probability this segment
+    /// will (soon) be replaced in this buffer, `p_ij / B ∈ (0, 1]`.
+    /// Segments below the window have effectively been replaced (1.0);
+    /// segments past it are not in danger (0.0).
+    pub fn replacement_probability(&self, id: SegmentId) -> f64 {
+        if id < self.head {
+            return 1.0;
+        }
+        match self.distance_from_tail(id) {
+            Some(d) => d as f64 / self.capacity as f64,
+            None => 0.0,
+        }
+    }
+
+    /// The length of the contiguous present run starting at `from`.
+    pub fn contiguous_from(&self, from: SegmentId) -> u64 {
+        let mut n = 0;
+        while self.contains(from + n) {
+            n += 1;
+        }
+        n
+    }
+
+    /// Whether all of `[from, from + count)` is present.
+    pub fn has_range(&self, from: SegmentId, count: u64) -> bool {
+        (0..count).all(|i| self.contains(from + i))
+    }
+
+    /// Snapshot the availability bitmap for the wire.
+    pub fn to_map(&self) -> BufferMap {
+        BufferMap {
+            head: self.head,
+            capacity: self.capacity,
+            words: self.words.clone(),
+        }
+    }
+}
+
+/// Iterator over set bits of one word.
+struct BitIter(u64);
+
+impl Iterator for BitIter {
+    type Item = u32;
+    #[inline]
+    fn next(&mut self) -> Option<u32> {
+        if self.0 == 0 {
+            return None;
+        }
+        let b = self.0.trailing_zeros();
+        self.0 &= self.0 - 1;
+        Some(b)
+    }
+}
+
+/// A snapshot of a peer's buffer availability: what travels in the 620-bit
+/// buffer-map exchange (20-bit head id + `B` availability bits).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BufferMap {
+    head: SegmentId,
+    capacity: u64,
+    words: Vec<u64>,
+}
+
+impl BufferMap {
+    /// The window start carried in the map header.
+    pub fn head(&self) -> SegmentId {
+        self.head
+    }
+
+    /// The window size (= the sender's buffer capacity).
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    /// One past the newest representable ID.
+    pub fn end(&self) -> SegmentId {
+        self.head + self.capacity
+    }
+
+    /// Whether the peer advertises segment `id`.
+    #[inline]
+    pub fn contains(&self, id: SegmentId) -> bool {
+        if id < self.head || id >= self.end() {
+            return false;
+        }
+        let off = id - self.head;
+        self.words[(off / 64) as usize] >> (off % 64) & 1 == 1
+    }
+
+    /// The advertised IDs, in increasing order.
+    pub fn iter(&self) -> impl Iterator<Item = SegmentId> + '_ {
+        self.words.iter().enumerate().flat_map(move |(wi, &w)| {
+            let head = self.head;
+            let base = wi as u64 * 64;
+            BitIter(w).map(move |b| head + base + b as u64)
+        })
+    }
+
+    /// Size of this map on the wire in bits: `head_bits + B` (§5.4.2's
+    /// `20 + 600 = 620`).
+    pub fn wire_bits(&self, head_bits: u64) -> u64 {
+        head_bits + self.capacity
+    }
+
+    /// The §4.2 replacement-probability factor as seen from this
+    /// advertisement (eq. 2's `p_ij / B`).
+    pub fn replacement_probability(&self, id: SegmentId) -> f64 {
+        if id < self.head {
+            return 1.0;
+        }
+        if id >= self.end() {
+            return 0.0;
+        }
+        (self.end() - id) as f64 / self.capacity as f64
+    }
+
+    /// IDs present in this map but absent from `buffer`, within
+    /// `[lo, hi)` — the "fresh to the local node" candidate set of §4.2.
+    pub fn fresh_for(
+        &self,
+        buffer: &StreamBuffer,
+        lo: SegmentId,
+        hi: SegmentId,
+    ) -> impl Iterator<Item = SegmentId> + '_ {
+        let buf = buffer.clone();
+        self.iter()
+            .filter(move |&id| id >= lo && id < hi && !buf.contains(id))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_and_contains() {
+        let mut b = StreamBuffer::new(10);
+        assert!(b.insert(1));
+        assert!(b.insert(5));
+        assert!(!b.insert(5), "duplicate insert");
+        assert!(b.contains(1));
+        assert!(b.contains(5));
+        assert!(!b.contains(2));
+        assert_eq!(b.len(), 2);
+    }
+
+    #[test]
+    fn window_slides_fifo() {
+        let mut b = StreamBuffer::new(10); // window [1, 11)
+        for id in 1..=10 {
+            assert!(b.insert(id));
+        }
+        assert_eq!(b.len(), 10);
+        // Inserting 15 slides the window to [6, 16): 1..=5 evicted.
+        assert!(b.insert(15));
+        assert_eq!(b.head(), 6);
+        assert!(!b.contains(5));
+        assert!(b.contains(6));
+        assert!(b.contains(15));
+        assert_eq!(b.len(), 6); // 6..=10 and 15
+    }
+
+    #[test]
+    fn stale_ids_rejected() {
+        let mut b = StreamBuffer::with_head(10, 100);
+        assert!(!b.insert(99));
+        assert!(b.insert(100));
+    }
+
+    #[test]
+    fn slide_past_everything_clears() {
+        let mut b = StreamBuffer::new(10);
+        for id in 1..=10 {
+            b.insert(id);
+        }
+        b.slide_to(1000);
+        assert!(b.is_empty());
+        assert_eq!(b.head(), 1000);
+        assert!(b.insert(1005));
+    }
+
+    #[test]
+    fn slide_is_noop_backwards() {
+        let mut b = StreamBuffer::with_head(10, 50);
+        b.insert(55);
+        b.slide_to(10);
+        assert_eq!(b.head(), 50);
+        assert!(b.contains(55));
+    }
+
+    #[test]
+    fn multi_word_window() {
+        // Capacity 600 spans 10 words, like the paper's default buffer.
+        let mut b = StreamBuffer::new(600);
+        let ids: Vec<u64> = (1..=600).filter(|i| i % 7 == 0).collect();
+        for &id in &ids {
+            assert!(b.insert(id));
+        }
+        for &id in &ids {
+            assert!(b.contains(id), "missing {id}");
+        }
+        assert_eq!(b.len(), ids.len() as u64);
+        let collected: Vec<u64> = b.iter().collect();
+        assert_eq!(collected, ids);
+    }
+
+    #[test]
+    fn slide_partial_word_amounts() {
+        for shift in [1u64, 3, 63, 64, 65, 100, 599] {
+            let mut b = StreamBuffer::new(600);
+            for id in 1..=600 {
+                b.insert(id);
+            }
+            b.slide_to(1 + shift);
+            assert_eq!(b.len(), 600 - shift, "shift {shift}");
+            assert!(!b.contains(shift));
+            assert!(b.contains(shift + 1), "shift {shift}");
+            assert!(b.contains(600));
+            // Window extends but new slots are empty.
+            assert!(!b.contains(600 + shift));
+        }
+    }
+
+    #[test]
+    fn iter_after_slide_is_consistent() {
+        let mut b = StreamBuffer::new(64);
+        for id in (1..=64).step_by(3) {
+            b.insert(id);
+        }
+        b.slide_to(20);
+        let ids: Vec<u64> = b.iter().collect();
+        assert!(ids.iter().all(|&i| i >= 20));
+        assert_eq!(ids.len() as u64, b.len());
+        for &id in &ids {
+            assert!(b.contains(id));
+        }
+    }
+
+    #[test]
+    fn distance_from_tail_and_replacement_probability() {
+        let mut b = StreamBuffer::new(100); // window [1, 101)
+        b.insert(1);
+        // Oldest slot: distance 100, probability 1.0.
+        assert_eq!(b.distance_from_tail(1), Some(100));
+        assert_eq!(b.replacement_probability(1), 1.0);
+        // Newest slot: distance 1, probability 0.01.
+        assert_eq!(b.distance_from_tail(100), Some(1));
+        assert!((b.replacement_probability(100) - 0.01).abs() < 1e-12);
+        // Outside the window.
+        assert_eq!(b.distance_from_tail(101), None);
+        assert_eq!(b.replacement_probability(101), 0.0);
+        assert_eq!(b.replacement_probability(0), 1.0, "already evicted");
+    }
+
+    #[test]
+    fn contiguous_and_range() {
+        let mut b = StreamBuffer::new(20);
+        for id in [1, 2, 3, 5, 6] {
+            b.insert(id);
+        }
+        assert_eq!(b.contiguous_from(1), 3);
+        assert_eq!(b.contiguous_from(5), 2);
+        assert_eq!(b.contiguous_from(4), 0);
+        assert!(b.has_range(1, 3));
+        assert!(!b.has_range(1, 4));
+        assert!(b.has_range(5, 2));
+    }
+
+    #[test]
+    fn map_reflects_buffer() {
+        let mut b = StreamBuffer::new(600);
+        for id in [10u64, 20, 300, 599] {
+            b.insert(id);
+        }
+        let m = b.to_map();
+        assert_eq!(m.head(), b.head());
+        for id in 1..=620 {
+            assert_eq!(m.contains(id), b.contains(id), "id {id}");
+        }
+        assert_eq!(m.iter().collect::<Vec<_>>(), b.iter().collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn map_wire_size_is_620_bits_for_paper_buffer() {
+        let b = StreamBuffer::new(600);
+        assert_eq!(b.to_map().wire_bits(20), 620);
+    }
+
+    #[test]
+    fn fresh_for_filters_window_and_local() {
+        let mut theirs = StreamBuffer::new(50);
+        for id in 1..=30 {
+            theirs.insert(id);
+        }
+        let mut mine = StreamBuffer::new(50);
+        for id in 1..=10 {
+            mine.insert(id);
+        }
+        let m = theirs.to_map();
+        let fresh: Vec<u64> = m.fresh_for(&mine, 5, 25).collect();
+        assert_eq!(fresh, (11..25).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn map_replacement_probability_matches_buffer() {
+        let mut b = StreamBuffer::new(100);
+        b.insert(42);
+        let m = b.to_map();
+        for id in [0u64, 1, 42, 100, 101] {
+            assert_eq!(
+                m.replacement_probability(id),
+                b.replacement_probability(id),
+                "id {id}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_capacity_panics() {
+        let _ = StreamBuffer::new(0);
+    }
+}

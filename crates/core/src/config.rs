@@ -1,0 +1,218 @@
+//! Full-system configuration with the paper's §5.2 defaults.
+
+use cs_net::BandwidthProfile;
+use cs_overlay::ChurnConfig;
+
+use crate::priority::PriorityPolicy;
+
+/// Which data-scheduling policy a run uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SchedulerKind {
+    /// ContinuStreaming: Algorithm 1 driven by `max(urgency, rarity)`.
+    ContinuStreaming,
+    /// The CoolStreaming baseline: rarest-first pull.
+    CoolStreaming,
+    /// Naive gossip: random order, random supplier.
+    Random,
+    /// Algorithm 1 driven by an alternative priority policy (ablation A1).
+    GreedyWithPolicy(PriorityPolicy),
+}
+
+/// Full-system simulation parameters. Defaults are the paper's §5.2
+/// values; see DESIGN.md §4 for the table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SystemConfig {
+    /// Number of overlay nodes, excluding nothing — the source is one of
+    /// them (paper: 100–10 000).
+    pub nodes: usize,
+    /// Scheduling periods to simulate (τ-sized rounds; paper tracks 30 s).
+    pub rounds: u32,
+    /// Connected-neighbour count `M` (paper: 5).
+    pub neighbors: usize,
+    /// Overheard-list capacity `H` (paper: 20).
+    pub overheard: usize,
+    /// Buffer capacity `B` in segments (paper: 600 = 60 s).
+    pub buffer_size: u64,
+    /// Playback rate `p`, segments per second (paper: 10).
+    pub playback_rate: u32,
+    /// Scheduling period `τ` in seconds (paper: 1.0).
+    pub period_secs: f64,
+    /// Segment size in kilobits (paper: 30).
+    pub segment_kbits: f64,
+    /// Replicas per segment `k` (paper: 4).
+    pub replicas: u32,
+    /// Pre-fetch cap per period `l` (paper: 5).
+    pub prefetch_cap: usize,
+    /// Bandwidth distribution across nodes.
+    pub bandwidth: BandwidthProfile,
+    /// Churn model (static or dynamic environment).
+    pub churn: ChurnConfig,
+    /// The scheduling policy under test.
+    pub scheduler: SchedulerKind,
+    /// Whether the DHT-assisted on-demand retrieval runs (the
+    /// ContinuStreaming-vs-CoolStreaming toggle).
+    pub prefetch_enabled: bool,
+    /// Segments of contiguous data a node buffers before starting
+    /// playback.
+    pub startup_segments: u64,
+    /// Extra head room of the ID space: `N = next_pow2(nodes · this)`.
+    pub id_space_slack: u32,
+    /// Expected one-hop latency `t_hop` in seconds used to parameterise
+    /// the urgent line (the realised latency comes from the trace).
+    pub t_hop_secs: f64,
+    /// Fraction of the inbound budget the ContinuStreaming scheduler may
+    /// spend on *urgent* candidates (deadline within ~1 s). Deadline
+    /// rescue must be bounded: a scheduler that always serves the nearest
+    /// deadline first stops acquiring fresh segments, the neighbourhood
+    /// has nothing to trade, and the swarm collapses (ablation A1 shows
+    /// this). The remainder of the budget follows the diversified
+    /// rarity order; stragglers that slip through are exactly what the
+    /// urgent line + DHT retrieval exist to catch.
+    pub rescue_budget_fraction: f64,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Default for SystemConfig {
+    fn default() -> Self {
+        SystemConfig {
+            nodes: 1000,
+            rounds: 30,
+            neighbors: 5,
+            overheard: 20,
+            buffer_size: 600,
+            playback_rate: 10,
+            period_secs: 1.0,
+            segment_kbits: 30.0,
+            replicas: 4,
+            prefetch_cap: 5,
+            bandwidth: BandwidthProfile::Heterogeneous,
+            churn: ChurnConfig::STATIC,
+            scheduler: SchedulerKind::ContinuStreaming,
+            prefetch_enabled: true,
+            startup_segments: 100,
+            id_space_slack: 2,
+            t_hop_secs: 0.05,
+            rescue_budget_fraction: 0.2,
+            seed: 20080414, // IPDPS 2008 in Miami started on April 14.
+        }
+    }
+}
+
+impl SystemConfig {
+    /// The paper's ContinuStreaming configuration at a given size/seed.
+    pub fn continustreaming(nodes: usize, seed: u64) -> Self {
+        SystemConfig {
+            nodes,
+            seed,
+            scheduler: SchedulerKind::ContinuStreaming,
+            prefetch_enabled: true,
+            ..Default::default()
+        }
+    }
+
+    /// The paper's CoolStreaming baseline at a given size/seed.
+    pub fn coolstreaming(nodes: usize, seed: u64) -> Self {
+        SystemConfig {
+            nodes,
+            seed,
+            scheduler: SchedulerKind::CoolStreaming,
+            prefetch_enabled: false,
+            ..Default::default()
+        }
+    }
+
+    /// Switch to the paper's dynamic environment (5 % + 5 % churn).
+    pub fn with_dynamic_churn(mut self) -> Self {
+        self.churn = ChurnConfig::DYNAMIC;
+        self
+    }
+
+    /// Validate invariants; called by the simulator constructor.
+    pub fn validate(&self) {
+        assert!(self.nodes >= 2, "need at least a source and one receiver");
+        assert!(self.rounds > 0, "need at least one round");
+        assert!(self.neighbors > 0, "need at least one neighbour");
+        assert!(
+            self.neighbors < self.nodes,
+            "M = {} must be below the node count {}",
+            self.neighbors,
+            self.nodes
+        );
+        assert!(self.buffer_size > 0, "need a non-empty buffer");
+        assert!(self.playback_rate > 0, "playback rate must be positive");
+        assert!(self.period_secs > 0.0, "period must be positive");
+        assert!(self.segment_kbits > 0.0, "segment size must be positive");
+        assert!(self.id_space_slack >= 1, "ID space must fit all nodes");
+        assert!(
+            (self.playback_rate as u64) < self.buffer_size,
+            "buffer must hold more than one period of playback"
+        );
+        self.churn.validate();
+    }
+
+    /// Segments consumed per round (`p·τ`).
+    pub fn demand_per_round(&self) -> u64 {
+        (self.playback_rate as f64 * self.period_secs).floor() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let c = SystemConfig::default();
+        assert_eq!(c.neighbors, 5);
+        assert_eq!(c.buffer_size, 600);
+        assert_eq!(c.playback_rate, 10);
+        assert_eq!(c.segment_kbits, 30.0);
+        assert_eq!(c.replicas, 4);
+        assert_eq!(c.prefetch_cap, 5);
+        assert_eq!(c.overheard, 20);
+        assert_eq!(c.period_secs, 1.0);
+        assert_eq!(c.demand_per_round(), 10);
+        c.validate();
+    }
+
+    #[test]
+    fn presets_differ_only_in_policy() {
+        let cool = SystemConfig::coolstreaming(500, 9);
+        let cont = SystemConfig::continustreaming(500, 9);
+        assert_eq!(cool.scheduler, SchedulerKind::CoolStreaming);
+        assert!(!cool.prefetch_enabled);
+        assert_eq!(cont.scheduler, SchedulerKind::ContinuStreaming);
+        assert!(cont.prefetch_enabled);
+        assert_eq!(cool.nodes, cont.nodes);
+        assert_eq!(cool.seed, cont.seed);
+    }
+
+    #[test]
+    fn dynamic_preset_sets_churn() {
+        let c = SystemConfig::continustreaming(100, 1).with_dynamic_churn();
+        assert!(!c.churn.is_static());
+        c.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "below the node count")]
+    fn too_many_neighbors_rejected() {
+        let c = SystemConfig {
+            nodes: 4,
+            neighbors: 4,
+            ..Default::default()
+        };
+        c.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "at least a source")]
+    fn one_node_rejected() {
+        let c = SystemConfig {
+            nodes: 1,
+            ..Default::default()
+        };
+        c.validate();
+    }
+}

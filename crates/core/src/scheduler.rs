@@ -1,0 +1,413 @@
+//! Data-scheduling algorithms: the paper's Algorithm 1 and the baselines
+//! it is evaluated against.
+//!
+//! The underlying assignment problem — pick a supplier for every wanted
+//! segment so that the fewest miss their deadlines — contains parallel
+//! machine scheduling and is NP-hard (§4.2), so everything here is
+//! greedy:
+//!
+//! * [`schedule_greedy`] — **Algorithm 1**: walk candidates in descending
+//!   priority; for each, pick the supplier minimising expected receive
+//!   time `t_trans + τ(j)` subject to `t_trans + τ(j) < τ`, then charge
+//!   the chosen supplier's queue `τ(j) ← t_min`.
+//! * [`schedule_coolstreaming`] — the CoolStreaming/DONet baseline:
+//!   rarest-first order (fewest suppliers first), supplier = highest
+//!   bandwidth with enough available time.
+//! * [`schedule_random`] — naive gossip: random order, random feasible
+//!   supplier; the lower bound any smart policy must beat.
+//!
+//! All schedulers respect the same inbound budget `min(m, I·τ)` and the
+//! same per-supplier queue model, so measured differences are purely the
+//! policy.
+
+use std::collections::HashMap;
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use cs_dht::DhtId;
+use cs_sim::SimRng;
+
+use crate::SegmentId;
+
+/// One candidate segment, with its suppliers and computed priority.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SegmentCandidate {
+    /// The wanted segment.
+    pub id: SegmentId,
+    /// Scheduling priority (larger = sooner); semantics depend on the
+    /// [`crate::priority::PriorityPolicy`] that produced it.
+    pub priority: f64,
+    /// Connected neighbours advertising this segment, in ascending-id
+    /// order (callers must keep this deterministic).
+    pub suppliers: Vec<DhtId>,
+}
+
+/// Inputs shared by all scheduling policies.
+#[derive(Debug, Clone)]
+pub struct ScheduleContext {
+    /// `I·τ` rounded down: how many segments the node can pull this
+    /// period. Algorithm 1's loop bound is `min(m, inbound_budget)`.
+    pub inbound_budget: u32,
+    /// The scheduling period `τ` in seconds.
+    pub period_secs: f64,
+    /// Estimated sending rate `R(j)` of each supplier, segments/s.
+    pub supplier_rates: HashMap<DhtId, f64>,
+    /// Segments below this id are deadline-critical (DONet schedules
+    /// within deadline constraints before applying rarest-first; without
+    /// this a freshly joined node pulls the rare frontier forever while
+    /// its play point starves). `None` disables the split.
+    pub deadline_cutoff: Option<SegmentId>,
+}
+
+impl ScheduleContext {
+    fn rate(&self, j: DhtId) -> f64 {
+        self.supplier_rates.get(&j).copied().unwrap_or(0.0)
+    }
+}
+
+/// One scheduled request.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Assignment {
+    /// The segment to request.
+    pub segment: SegmentId,
+    /// The chosen supplier.
+    pub supplier: DhtId,
+    /// The expected receive time within the period (`t_min`), seconds.
+    pub expected_receive_secs: f64,
+    /// The candidate's scheduling priority, forwarded so the supplier can
+    /// serve the most urgent requests first under contention.
+    pub priority: f64,
+}
+
+/// Algorithm 1. `candidates` must already be sorted in **descending
+/// priority** (ties broken by ascending id for determinism — use
+/// [`sort_candidates`]).
+pub fn schedule_greedy(candidates: &[SegmentCandidate], ctx: &ScheduleContext) -> Vec<Assignment> {
+    let budget = (candidates.len() as u32).min(ctx.inbound_budget) as usize;
+    let mut queue: HashMap<DhtId, f64> = HashMap::new();
+    let mut out = Vec::with_capacity(budget);
+    // The loop bound min(m, I·τ) caps *scheduled segments*: a candidate
+    // with no feasible supplier does not consume an inbound slot, the
+    // scheduler simply moves on to the next-priority segment.
+    for cand in candidates.iter() {
+        if out.len() >= budget {
+            break;
+        }
+        let mut t_min = f64::INFINITY;
+        let mut chosen: Option<DhtId> = None;
+        for &j in &cand.suppliers {
+            let rate = ctx.rate(j);
+            if rate <= 0.0 {
+                continue;
+            }
+            let t_trans = 1.0 / rate;
+            let tau_j = queue.get(&j).copied().unwrap_or(0.0);
+            let eta = t_trans + tau_j;
+            if eta < t_min && eta < ctx.period_secs {
+                t_min = eta;
+                chosen = Some(j);
+            }
+        }
+        if let Some(j) = chosen {
+            queue.insert(j, t_min);
+            out.push(Assignment {
+                segment: cand.id,
+                supplier: j,
+                expected_receive_secs: t_min,
+                priority: cand.priority,
+            });
+        }
+    }
+    out
+}
+
+/// The CoolStreaming baseline: candidates in rarest-first order (fewest
+/// suppliers first, ties by ascending id), supplier = highest-rate
+/// neighbour whose queue still fits the period.
+pub fn schedule_coolstreaming(
+    candidates: &[SegmentCandidate],
+    ctx: &ScheduleContext,
+) -> Vec<Assignment> {
+    let mut order: Vec<&SegmentCandidate> = candidates.iter().collect();
+    let critical = |c: &SegmentCandidate| {
+        ctx.deadline_cutoff.is_some_and(|cut| c.id < cut)
+    };
+    order.sort_by(|a, b| {
+        // Deadline-critical segments first (earliest deadline first),
+        // rarest-first among the rest.
+        critical(b)
+            .cmp(&critical(a))
+            .then_with(|| {
+                if critical(a) && critical(b) {
+                    a.id.cmp(&b.id)
+                } else {
+                    a.suppliers.len().cmp(&b.suppliers.len()).then(a.id.cmp(&b.id))
+                }
+            })
+    });
+    let budget = (order.len() as u32).min(ctx.inbound_budget) as usize;
+    let mut queue: HashMap<DhtId, f64> = HashMap::new();
+    let mut out = Vec::with_capacity(budget);
+    for cand in order.into_iter() {
+        if out.len() >= budget {
+            break;
+        }
+        let mut best: Option<(f64, DhtId, f64)> = None; // (rate, id, eta)
+        for &j in &cand.suppliers {
+            let rate = ctx.rate(j);
+            if rate <= 0.0 {
+                continue;
+            }
+            let eta = 1.0 / rate + queue.get(&j).copied().unwrap_or(0.0);
+            if eta >= ctx.period_secs {
+                continue;
+            }
+            let better = match best {
+                None => true,
+                Some((r, id, _)) => rate > r || (rate == r && j < id),
+            };
+            if better {
+                best = Some((rate, j, eta));
+            }
+        }
+        if let Some((_, j, eta)) = best {
+            queue.insert(j, eta);
+            out.push(Assignment {
+                segment: cand.id,
+                supplier: j,
+                expected_receive_secs: eta,
+                // CoolStreaming's wire protocol carries no urgency; the
+                // supplier serves rarest-first order by arrival. We use
+                // the inverse supplier count so contention resolution
+                // stays rarest-first at the supplier too.
+                priority: 1.0 / cand.suppliers.len().max(1) as f64,
+            });
+        }
+    }
+    out
+}
+
+/// Naive gossip: shuffle the candidates, pick a random feasible supplier
+/// for each.
+pub fn schedule_random(
+    candidates: &[SegmentCandidate],
+    ctx: &ScheduleContext,
+    rng: &mut SimRng,
+) -> Vec<Assignment> {
+    let mut order: Vec<&SegmentCandidate> = candidates.iter().collect();
+    order.shuffle(rng);
+    let budget = (order.len() as u32).min(ctx.inbound_budget) as usize;
+    let mut queue: HashMap<DhtId, f64> = HashMap::new();
+    let mut out = Vec::with_capacity(budget);
+    for cand in order.into_iter() {
+        if out.len() >= budget {
+            break;
+        }
+        let feasible: Vec<(DhtId, f64)> = cand
+            .suppliers
+            .iter()
+            .filter_map(|&j| {
+                let rate = ctx.rate(j);
+                if rate <= 0.0 {
+                    return None;
+                }
+                let eta = 1.0 / rate + queue.get(&j).copied().unwrap_or(0.0);
+                (eta < ctx.period_secs).then_some((j, eta))
+            })
+            .collect();
+        if feasible.is_empty() {
+            continue;
+        }
+        let &(j, eta) = &feasible[rng.gen_range(0..feasible.len())];
+        queue.insert(j, eta);
+        out.push(Assignment {
+            segment: cand.id,
+            supplier: j,
+            expected_receive_secs: eta,
+            priority: 0.0,
+        });
+    }
+    out
+}
+
+/// Sort candidates for [`schedule_greedy`]: descending priority, ties by
+/// ascending segment id (deterministic).
+pub fn sort_candidates(candidates: &mut [SegmentCandidate]) {
+    candidates.sort_by(|a, b| {
+        b.priority
+            .total_cmp(&a.priority)
+            .then(a.id.cmp(&b.id))
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cs_sim::RngTree;
+
+    fn ctx(budget: u32, rates: &[(DhtId, f64)]) -> ScheduleContext {
+        ScheduleContext {
+            inbound_budget: budget,
+            period_secs: 1.0,
+            supplier_rates: rates.iter().copied().collect(),
+            deadline_cutoff: None,
+        }
+    }
+
+    fn cand(id: SegmentId, priority: f64, suppliers: &[DhtId]) -> SegmentCandidate {
+        SegmentCandidate {
+            id,
+            priority,
+            suppliers: suppliers.to_vec(),
+        }
+    }
+
+    #[test]
+    fn greedy_prefers_fastest_supplier() {
+        let c = [cand(1, 1.0, &[10, 20])];
+        let ctx = ctx(5, &[(10, 2.0), (20, 8.0)]);
+        let a = schedule_greedy(&c, &ctx);
+        assert_eq!(a.len(), 1);
+        assert_eq!(a[0].supplier, 20);
+        assert!((a[0].expected_receive_secs - 0.125).abs() < 1e-12);
+    }
+
+    #[test]
+    fn greedy_spreads_load_when_queues_build() {
+        // Two segments, both available from a fast and a slow supplier.
+        // First goes to the fast one; the second sees the fast supplier's
+        // queue (0.125 + 0.125 = 0.25) still beating the slow one (0.5),
+        // so both go to the fast supplier — then a third finally spills.
+        let c = [
+            cand(1, 3.0, &[10, 20]),
+            cand(2, 2.0, &[10, 20]),
+            cand(3, 1.0, &[10, 20]),
+        ];
+        let fast = ctx(5, &[(10, 2.0), (20, 8.0)]);
+        let a = schedule_greedy(&c, &fast);
+        assert_eq!(a.len(), 3);
+        assert_eq!(a[0].supplier, 20);
+        assert_eq!(a[1].supplier, 20);
+        assert_eq!(a[2].supplier, 20); // 0.375 still < 0.5
+        // With a slower fast supplier the spill happens.
+        let ctx2 = ctx(5, &[(10, 2.0), (20, 3.0)]);
+        let a2 = schedule_greedy(&c, &ctx2);
+        assert_eq!(a2[0].supplier, 20); // 1/3 < 1/2
+        assert_eq!(a2[1].supplier, 10); // 2/3 vs 1/2 → 10
+    }
+
+    #[test]
+    fn greedy_respects_budget_and_priority_order() {
+        let c = [
+            cand(5, 9.0, &[10]),
+            cand(6, 5.0, &[10]),
+            cand(7, 1.0, &[10]),
+        ];
+        let ctx = ctx(2, &[(10, 100.0)]);
+        let a = schedule_greedy(&c, &ctx);
+        assert_eq!(a.len(), 2);
+        assert_eq!(a[0].segment, 5);
+        assert_eq!(a[1].segment, 6, "lowest priority segment dropped");
+    }
+
+    #[test]
+    fn greedy_skips_when_period_exceeded() {
+        // Rate 0.5/s → 2 s per segment > τ = 1 s: infeasible.
+        let c = [cand(1, 1.0, &[10])];
+        let ctx = ctx(5, &[(10, 0.5)]);
+        assert!(schedule_greedy(&c, &ctx).is_empty());
+    }
+
+    #[test]
+    fn greedy_queue_saturates_supplier() {
+        // One supplier at 3/s: only 2 segments fit in 1 s
+        // (1/3, 2/3; the third would be 1.0 ≮ 1.0).
+        let c = [
+            cand(1, 3.0, &[10]),
+            cand(2, 2.0, &[10]),
+            cand(3, 1.0, &[10]),
+        ];
+        let ctx = ctx(5, &[(10, 3.0)]);
+        let a = schedule_greedy(&c, &ctx);
+        assert_eq!(a.len(), 2);
+    }
+
+    #[test]
+    fn greedy_ignores_unknown_or_zero_rate_suppliers() {
+        let c = [cand(1, 1.0, &[10, 99])];
+        let ctx = ctx(5, &[(10, 4.0), (99, 0.0)]);
+        let a = schedule_greedy(&c, &ctx);
+        assert_eq!(a[0].supplier, 10);
+    }
+
+    #[test]
+    fn coolstreaming_is_rarest_first() {
+        // Segment 2 has one supplier, segment 1 has two: 2 gets scheduled
+        // first and grabs the shared supplier's queue slot.
+        let c = [cand(1, 0.0, &[10, 20]), cand(2, 0.0, &[20])];
+        let ctx = ctx(5, &[(10, 1.5), (20, 1.5)]);
+        let a = schedule_coolstreaming(&c, &ctx);
+        assert_eq!(a[0].segment, 2);
+        assert_eq!(a[0].supplier, 20);
+        assert_eq!(a[1].segment, 1);
+        assert_eq!(a[1].supplier, 10, "20's queue is charged, 10 is free");
+    }
+
+    #[test]
+    fn coolstreaming_prefers_bandwidth() {
+        let c = [cand(1, 0.0, &[10, 20])];
+        let ctx = ctx(5, &[(10, 9.0), (20, 2.0)]);
+        let a = schedule_coolstreaming(&c, &ctx);
+        assert_eq!(a[0].supplier, 10);
+    }
+
+    #[test]
+    fn random_respects_feasibility() {
+        let mut rng = RngTree::new(1).child("sched");
+        let c = [
+            cand(1, 0.0, &[10, 20]),
+            cand(2, 0.0, &[10, 20]),
+            cand(3, 0.0, &[10, 20]),
+        ];
+        // Supplier 20 can't deliver within the period at all.
+        let ctx = ctx(5, &[(10, 50.0), (20, 0.9)]);
+        for _ in 0..20 {
+            let a = schedule_random(&c, &ctx, &mut rng);
+            assert_eq!(a.len(), 3);
+            assert!(a.iter().all(|x| x.supplier == 10));
+        }
+    }
+
+    #[test]
+    fn random_is_deterministic_per_seed() {
+        let c = [
+            cand(1, 0.0, &[10, 20]),
+            cand(2, 0.0, &[10, 20]),
+            cand(3, 0.0, &[10, 20]),
+        ];
+        let ctx = ctx(5, &[(10, 50.0), (20, 50.0)]);
+        let run = |seed| {
+            let mut rng = RngTree::new(seed).child("sched");
+            schedule_random(&c, &ctx, &mut rng)
+        };
+        assert_eq!(run(4), run(4));
+    }
+
+    #[test]
+    fn sort_candidates_orders_desc_then_id() {
+        let mut c = vec![cand(3, 1.0, &[]), cand(1, 5.0, &[]), cand(2, 5.0, &[])];
+        sort_candidates(&mut c);
+        let ids: Vec<u64> = c.iter().map(|x| x.id).collect();
+        assert_eq!(ids, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let ctx = ctx(5, &[]);
+        assert!(schedule_greedy(&[], &ctx).is_empty());
+        assert!(schedule_coolstreaming(&[], &ctx).is_empty());
+        let mut rng = RngTree::new(1).child("s");
+        assert!(schedule_random(&[], &ctx, &mut rng).is_empty());
+    }
+}

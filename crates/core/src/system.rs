@@ -1,0 +1,1491 @@
+//! The full-system simulator: the paper's §5.2 methodology end to end.
+//!
+//! One run wires every piece together: a synthetic Clip2-style trace
+//! (edges augmented to `M` neighbours), per-node bandwidth from the §5.2
+//! distribution, the hybrid overlay (connected neighbours + loose DHT +
+//! overheard list), periodic buffer-map exchange, a pluggable data
+//! scheduler, the urgent line, Algorithm 2 pre-fetching over the DHT, VoD
+//! backup placement/handover, churn, and the §5.3 metrics.
+//!
+//! ## Timing model
+//!
+//! The simulation advances in scheduling periods (`τ`-rounds) driven by
+//! the [`cs_sim::Engine`]; within a round, transfer and routing times are
+//! computed analytically from trace latencies and bandwidth shares
+//! (Algorithm 1 already guarantees every accepted transfer completes
+//! inside the period). Segments delivered in round `r` become playable in
+//! round `r + 1`; the continuity check runs at the start of each round,
+//! exactly like the paper's per-round ratio.
+
+use std::collections::HashMap;
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use cs_dht::{DhtId, DhtNetwork, IdSpace};
+use cs_net::{
+    BandwidthAssigner, MessageSizes, NodeBandwidth, TrafficClass, TrafficCounter,
+};
+use cs_overlay::{plan_churn, ConnectedNeighbors, NeighborEntry, OverheardList, RpServer};
+use cs_sim::{Engine, RngTree, SimDuration, SimRng, SimTime};
+use cs_trace::{augment_to_min_degree, derive_latency, TraceGenConfig, TraceGenerator};
+
+use crate::backup::VodBackupStore;
+use crate::buffer::{BufferMap, StreamBuffer};
+use crate::config::{SchedulerKind, SystemConfig};
+use crate::metrics::{summarize, RoundRecord, RunReport};
+use crate::priority::{PriorityInput, PriorityPolicy};
+use crate::rate::RateController;
+use crate::retrieval::retrieve_one;
+use crate::scheduler::{
+    schedule_coolstreaming, schedule_greedy, schedule_random, sort_candidates, Assignment,
+    ScheduleContext, SegmentCandidate,
+};
+use crate::urgent::{PrefetchDecision, UrgentLine};
+use crate::SegmentId;
+
+/// Per-node simulation state.
+struct NodeSim {
+    /// The node's DHT identifier (also its key in the simulator's map;
+    /// kept here so diagnostics and future per-node hooks are self-
+    /// contained).
+    #[allow(dead_code)]
+    id: DhtId,
+    ping_ms: f64,
+    bandwidth: NodeBandwidth,
+    connected: ConnectedNeighbors,
+    overheard: OverheardList,
+    buffer: StreamBuffer,
+    backup: VodBackupStore,
+    rate: RateController,
+    urgent: UrgentLine,
+    /// Next segment to play; `None` until playback starts.
+    next_play: Option<SegmentId>,
+    /// Round at which the node first received any data; playback starts
+    /// a fixed buffering delay after this.
+    first_data_round: Option<u32>,
+    /// Round the node entered the overlay (0 for initial members); fresh
+    /// nodes get a catch-up grace before the rescue cap applies.
+    spawn_round: u32,
+    /// Segments obtained by pre-fetch, pending the §4.3 Case-2
+    /// (repeated-data) check. Value = the round they were fetched in.
+    prefetch_tags: HashMap<SegmentId, u32>,
+    /// Segments received (gossip + pre-fetch) during the previous round;
+    /// drives the "supplied little data" neighbour-replacement rule.
+    last_inflow: u32,
+    /// Segments received so far in the current round.
+    round_inflow: u32,
+    /// Fractional left-over outbound budget carried between rounds.
+    outbound_carry: f64,
+    /// Fractional left-over inbound budget carried between rounds.
+    inbound_carry: f64,
+    is_source: bool,
+}
+
+/// One gossip pull request, queued at its supplier.
+struct PullRequest {
+    requester: DhtId,
+    segment: SegmentId,
+    priority: f64,
+}
+
+/// The full-system simulator.
+pub struct SystemSim {
+    config: SystemConfig,
+    /// Root of all deterministic randomness; retained so extensions can
+    /// derive fresh labelled streams without re-threading the seed.
+    #[allow(dead_code)]
+    rng_tree: RngTree,
+    space: IdSpace,
+    rp: RpServer,
+    dht: DhtNetwork,
+    nodes: HashMap<DhtId, NodeSim>,
+    /// Alive node ids in deterministic (sorted) order; rebuilt on churn.
+    order: Vec<DhtId>,
+    source: DhtId,
+    sizes: MessageSizes,
+    bw_assigner: BandwidthAssigner,
+    /// Ping-time pool for joiners, drawn from the same distribution as
+    /// the initial trace.
+    joiner_pings: Vec<f64>,
+    newest_emitted: SegmentId,
+    records: Vec<RoundRecord>,
+    churn_rng: SimRng,
+    sched_rng: SimRng,
+    join_rng: SimRng,
+}
+
+/// Internal event payload for the round engine.
+#[derive(Debug, Clone, Copy)]
+enum SysEvent {
+    Round(u32),
+}
+
+impl SystemSim {
+    /// Build a simulator (generates the trace, assigns bandwidth, wires
+    /// the overlay and DHT). Deterministic in `config.seed`.
+    pub fn new(config: SystemConfig) -> Self {
+        config.validate();
+        let tree = RngTree::new(config.seed);
+
+        // 1. Trace: synthetic Clip2-style topology, augmented to M.
+        let mut trace_rng = tree.child("trace");
+        let topo_cfg = TraceGenConfig::with_nodes(config.nodes);
+        let mut topo = TraceGenerator::new(topo_cfg).generate(&mut trace_rng);
+        let mut aug_rng = tree.child("augment");
+        augment_to_min_degree(&mut topo, config.neighbors, &mut aug_rng);
+
+        // 2. IDs from the RP server.
+        let expected_joins = (config.nodes as f64
+            * config.churn.join_fraction
+            * config.rounds as f64)
+            .ceil() as u64;
+        let space = IdSpace::for_capacity(
+            (config.nodes as u64 + expected_joins) * config.id_space_slack as u64,
+        );
+        let mut rp = RpServer::new(space);
+        let mut rp_rng = tree.child("rp");
+        let ids: Vec<DhtId> = (0..config.nodes)
+            .map(|_| rp.assign_id(&mut rp_rng))
+            .collect();
+
+        // 3. Bandwidth.
+        let bw_assigner = BandwidthAssigner::paper(config.bandwidth);
+        let mut bw_rng = tree.child("bandwidth");
+
+        // 4. Node states. Index 0 of the trace is the source.
+        let sizes = MessageSizes::for_buffer(config.buffer_size);
+        let t_fetch = cs_analysis::t_fetch(config.nodes as u64, config.t_hop_secs);
+        let mut nodes: HashMap<DhtId, NodeSim> = HashMap::with_capacity(config.nodes);
+        let pings: Vec<f64> = topo.records().iter().map(|r| r.ping_ms).collect();
+        for (idx, &id) in ids.iter().enumerate() {
+            let is_source = idx == 0;
+            let bandwidth = if is_source {
+                bw_assigner.source_node(config.segment_kbits)
+            } else {
+                bw_assigner.sample_node(&mut bw_rng)
+            };
+            nodes.insert(
+                id,
+                Self::make_node(&config, space, id, pings[idx], bandwidth, t_fetch, is_source),
+            );
+        }
+        let source = ids[0];
+
+        // 5. Connected neighbours from the augmented topology: up to M
+        //    lowest-latency adjacent nodes.
+        for (idx, &id) in ids.iter().enumerate() {
+            let mut adj: Vec<(f64, DhtId)> = topo
+                .neighbors(idx)
+                .iter()
+                .map(|&j| (derive_latency(pings[idx], pings[j]), ids[j]))
+                .collect();
+            adj.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+            let node = nodes.get_mut(&id).expect("node exists");
+            for (lat, nid) in adj {
+                if node.connected.is_full() {
+                    break;
+                }
+                node.connected.add(NeighborEntry {
+                    id: nid,
+                    latency_ms: lat,
+                    recent_supply_kbps: 0.0,
+                });
+            }
+            // Seed the overheard list with a few random members so
+            // neighbour repair has material from round one.
+            let mut seed_rng = tree.child_indexed("overheard-seed", idx as u64);
+            for _ in 0..4 {
+                let other = ids[seed_rng.gen_range(0..ids.len())];
+                if other != id {
+                    let oi = ids.iter().position(|&x| x == other).expect("member");
+                    node.overheard
+                        .record(other, derive_latency(pings[idx], pings[oi]));
+                }
+            }
+        }
+
+        // 6. The DHT over the same membership.
+        let ping_of: HashMap<DhtId, f64> =
+            ids.iter().copied().zip(pings.iter().copied()).collect();
+        let latency = |a: DhtId, b: DhtId| derive_latency(ping_of[&a], ping_of[&b]);
+        let mut dht_rng = tree.child("dht");
+        let dht = DhtNetwork::build(space, &ids, &latency, &mut dht_rng);
+
+        // 7. A ping pool for joiners, same distribution as the trace.
+        let mut pool_rng = tree.child("joiner-pings");
+        let pool_gen = TraceGenerator::new(TraceGenConfig::with_nodes(
+            (expected_joins as usize + 16).max(16),
+        ));
+        let joiner_pings: Vec<f64> = pool_gen
+            .generate(&mut pool_rng)
+            .records()
+            .iter()
+            .map(|r| r.ping_ms)
+            .collect();
+
+        let mut order: Vec<DhtId> = nodes.keys().copied().collect();
+        order.sort_unstable();
+
+        SystemSim {
+            rng_tree: tree,
+            space,
+            rp,
+            dht,
+            nodes,
+            order,
+            source,
+            sizes,
+            bw_assigner,
+            joiner_pings,
+            newest_emitted: 0,
+            records: Vec::with_capacity(config.rounds as usize),
+            churn_rng: tree.child("churn"),
+            sched_rng: tree.child("scheduler"),
+            join_rng: tree.child("join"),
+            config,
+        }
+    }
+
+    fn make_node(
+        config: &SystemConfig,
+        space: IdSpace,
+        id: DhtId,
+        ping_ms: f64,
+        bandwidth: NodeBandwidth,
+        t_fetch: f64,
+        is_source: bool,
+    ) -> NodeSim {
+        let prior =
+            (bandwidth.inbound_segments_per_sec(config.segment_kbits) / config.neighbors as f64)
+                .max(0.5);
+        NodeSim {
+            id,
+            ping_ms,
+            bandwidth,
+            connected: ConnectedNeighbors::new(config.neighbors),
+            overheard: OverheardList::new(config.overheard),
+            buffer: StreamBuffer::new(config.buffer_size),
+            backup: VodBackupStore::new(space, id, config.replicas),
+            rate: RateController::new(prior),
+            urgent: UrgentLine::new(
+                config.playback_rate as f64,
+                config.buffer_size,
+                config.period_secs,
+                t_fetch,
+                config.t_hop_secs,
+                config.prefetch_cap,
+            ),
+            next_play: None,
+            first_data_round: None,
+            spawn_round: 0,
+            prefetch_tags: HashMap::new(),
+            last_inflow: 0,
+            round_inflow: 0,
+            outbound_carry: 0.0,
+            inbound_carry: 0.0,
+            is_source,
+        }
+    }
+
+    /// The configuration of this run.
+    pub fn config(&self) -> &SystemConfig {
+        &self.config
+    }
+
+    /// Current number of alive nodes (including the source).
+    pub fn alive(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Debug introspection: `(id, next_play, buffer_len, first_id,
+    /// contiguous_from_first, connected, inbound_rate)` per alive node.
+    #[doc(hidden)]
+    pub fn debug_states(&self) -> Vec<(DhtId, Option<u64>, u64, Option<u64>, u64, usize, f64)> {
+        self.order
+            .iter()
+            .map(|id| {
+                let n = &self.nodes[id];
+                let first = n.buffer.iter().next();
+                (
+                    *id,
+                    n.next_play,
+                    n.buffer.len(),
+                    first,
+                    first.map(|f| n.buffer.contiguous_from(f)).unwrap_or(0),
+                    n.connected.len(),
+                    n.bandwidth
+                        .inbound_segments_per_sec(self.config.segment_kbits),
+                )
+            })
+            .collect()
+    }
+
+    /// Step the simulation one round manually (debug/benchmark hook).
+    #[doc(hidden)]
+    pub fn debug_step(&mut self, round: u32) {
+        let end = SimTime::from_secs_f64((round as f64 + 1.0) * self.config.period_secs);
+        self.step_round(round, end);
+    }
+
+    /// Run the configured number of rounds and produce the report.
+    pub fn run(mut self) -> RunReport {
+        let tau = SimDuration::from_secs_f64(self.config.period_secs);
+        let rounds = self.config.rounds;
+        let mut engine: Engine<SysEvent> = Engine::new();
+        engine.schedule(SimTime::ZERO, SysEvent::Round(0));
+        let horizon = SimTime::ZERO + tau * rounds as u64;
+        engine.run_until(horizon, |ev, sched| {
+            let SysEvent::Round(r) = ev.payload;
+            self.step_round(r, sched.now() + tau);
+            if r + 1 < rounds {
+                sched.schedule_after(tau, SysEvent::Round(r + 1));
+            }
+        });
+        let summary = summarize(&self.records);
+        RunReport {
+            rounds: self.records,
+            summary,
+        }
+    }
+
+    fn latency(&self, a: DhtId, b: DhtId) -> f64 {
+        let pa = self.nodes.get(&a).map(|n| n.ping_ms).unwrap_or(50.0);
+        let pb = self.nodes.get(&b).map(|n| n.ping_ms).unwrap_or(50.0);
+        derive_latency(pa, pb)
+    }
+
+    fn rebuild_order(&mut self) {
+        self.order = self.nodes.keys().copied().collect();
+        self.order.sort_unstable();
+    }
+
+    /// One scheduling period.
+    fn step_round(&mut self, round: u32, round_end: SimTime) {
+        let mut traffic = TrafficCounter::new();
+        let mut joins = 0usize;
+        let mut leaves = 0usize;
+
+        // --- 1. churn -----------------------------------------------------
+        if !self.config.churn.is_static() && round > 0 {
+            let plan = plan_churn(&self.config.churn, &self.order, self.source, &mut self.churn_rng);
+            leaves = plan.leavers();
+            for &id in &plan.graceful_leaves {
+                self.graceful_leave(id);
+            }
+            for &id in &plan.failures {
+                self.abrupt_failure(id);
+            }
+            for _ in 0..plan.joins {
+                if self.join_one(round) {
+                    joins += 1;
+                }
+            }
+            self.rebuild_order();
+        }
+
+        // --- 2. source emission -------------------------------------------
+        let p = self.config.demand_per_round();
+        let first_new = self.newest_emitted + 1;
+        self.newest_emitted += p;
+        {
+            let successor = self.believed_successor(self.source);
+            let src = self.nodes.get_mut(&self.source).expect("source is immortal");
+            for seg in first_new..=self.newest_emitted {
+                src.buffer.insert(seg);
+                src.backup.maybe_store(seg, successor);
+            }
+        }
+
+        // --- 3. neighbour maintenance --------------------------------------
+        self.maintain_neighbors(round);
+
+        // --- 4. buffer-map exchange -----------------------------------------
+        let maps: HashMap<DhtId, BufferMap> = self
+            .order
+            .iter()
+            .map(|&id| (id, self.nodes[&id].buffer.to_map()))
+            .collect();
+        let bufmap_bits = self.sizes.bufmap_bits();
+        for &id in &self.order {
+            let n = &self.nodes[&id];
+            if !n.is_source {
+                traffic.add(
+                    TrafficClass::Control,
+                    bufmap_bits * n.connected.len() as u64,
+                );
+            }
+        }
+
+        // --- 5. scheduling ---------------------------------------------------
+        let mut per_supplier: HashMap<DhtId, Vec<PullRequest>> = HashMap::new();
+        let order = self.order.clone();
+        for &id in &order {
+            if self.nodes[&id].is_source {
+                continue;
+            }
+            let assignments = self.schedule_node(id, round, &maps);
+            for a in assignments {
+                self.nodes
+                    .get_mut(&id)
+                    .expect("alive")
+                    .rate
+                    .record_request(a.supplier);
+                per_supplier.entry(a.supplier).or_default().push(PullRequest {
+                    requester: id,
+                    segment: a.segment,
+                    priority: a.priority,
+                });
+            }
+        }
+
+        // --- 6. supplier service ----------------------------------------------
+        let mut gossip_deliveries = 0u64;
+        let mut requests_issued = 0u64;
+        let mut requests_dropped = 0u64;
+        let mut outbound_left: HashMap<DhtId, f64> = HashMap::new();
+        let mut suppliers: Vec<DhtId> = per_supplier.keys().copied().collect();
+        suppliers.sort_unstable();
+        let mut prefetch_repeated = 0u32;
+        for sid in suppliers {
+            let Some(sup) = self.nodes.get_mut(&sid) else { continue };
+            let budget = sup
+                .bandwidth
+                .outbound_segments_per_sec(self.config.segment_kbits)
+                * self.config.period_secs
+                + sup.outbound_carry;
+            let mut sends = budget.floor() as i64;
+            sup.outbound_carry = budget - sends as f64;
+            let mut reqs = per_supplier.remove(&sid).expect("key present");
+            // Most urgent first. Ties break on a per-round hash of the
+            // requester — deterministic, but not the same node winning
+            // every round (a fixed tie-break starves whoever sorts last).
+            let salt = cs_sim::splitmix64(round as u64 ^ self.config.seed);
+            reqs.sort_by(|a, b| {
+                b.priority
+                    .total_cmp(&a.priority)
+                    .then_with(|| {
+                        cs_sim::splitmix64(a.requester ^ salt)
+                            .cmp(&cs_sim::splitmix64(b.requester ^ salt))
+                    })
+                    .then(a.segment.cmp(&b.segment))
+            });
+            for req in reqs {
+                requests_issued += 1;
+                if sends <= 0 {
+                    requests_dropped += 1;
+                    continue;
+                }
+                // The supplier must (still) hold the segment.
+                if !self.nodes[&sid].buffer.contains(req.segment) {
+                    continue;
+                }
+                let Some(receiver) = self.nodes.get_mut(&req.requester) else {
+                    continue;
+                };
+                sends -= 1;
+                gossip_deliveries += 1;
+                traffic.add(TrafficClass::Data, self.sizes.segment_bits);
+                let newly = receiver.buffer.insert(req.segment);
+                receiver.round_inflow += 1;
+                receiver.rate.record_delivery(sid);
+                receiver
+                    .connected
+                    .record_supply(sid, self.config.segment_kbits);
+                if !newly {
+                    // Already present: if it carries a pre-fetch tag and
+                    // its deadline has not passed, this is §4.3 Case 2.
+                    if receiver.prefetch_tags.remove(&req.segment).is_some()
+                        && receiver.next_play.is_none_or(|np| req.segment >= np)
+                    {
+                        receiver.urgent.on_repeated();
+                        prefetch_repeated += 1;
+                    }
+                    continue;
+                }
+                let successor = self.believed_successor(req.requester);
+                let receiver = self.nodes.get_mut(&req.requester).expect("still here");
+                receiver.backup.maybe_store(req.segment, successor);
+            }
+        }
+
+        // --- 7. on-demand pre-fetch (Algorithm 2) ------------------------------
+        let mut prefetch_attempts = 0u32;
+        let mut prefetch_successes = 0u32;
+        let mut prefetch_overdue = 0u32;
+        let mut prefetch_suppressed = 0u32;
+        if self.config.prefetch_enabled {
+            let order = self.order.clone();
+            for id in order {
+                let (attempts, successes, overdue, suppressed, repeated) =
+                    self.prefetch_node(id, round, &maps, &mut traffic, &mut outbound_left);
+                prefetch_attempts += attempts;
+                prefetch_successes += successes;
+                prefetch_overdue += overdue;
+                prefetch_suppressed += suppressed;
+                prefetch_repeated += repeated;
+            }
+        }
+
+        // --- 8. playback and continuity -----------------------------------------
+        let mut playing = 0usize;
+        let mut continuous = 0usize;
+        let mut alive = 0usize;
+        let mut alpha_sum = 0.0;
+        for &id in &self.order {
+            let node = self.nodes.get_mut(&id).expect("alive");
+            if node.is_source {
+                continue;
+            }
+            alive += 1;
+            alpha_sum += node.urgent.alpha();
+            match node.next_play {
+                None => {
+                    // Startup: like a real player, buffer for a fixed
+                    // time after first data, then start at the earliest
+                    // buffered segment (initial holes are the scheduler's
+                    // and pre-fetcher's problem from here on).
+                    if node.first_data_round.is_none() && !node.buffer.is_empty() {
+                        node.first_data_round = Some(round);
+                    }
+                    let startup_rounds =
+                        (self.config.startup_segments / p.max(1)).max(1) as u32;
+                    if let Some(fdr) = node.first_data_round {
+                        if round >= fdr + startup_rounds {
+                            node.next_play = node.buffer.iter().next();
+                        }
+                    }
+                }
+                Some(np) => {
+                    playing += 1;
+                    if node.buffer.has_range(np, p) {
+                        continuous += 1;
+                    }
+                    let next = np + p;
+                    node.next_play = Some(next);
+                    // The buffer is FIFO in *arrival* order: played
+                    // segments stay (serving lagging neighbours) until
+                    // fresh segments slide the window past them. Only the
+                    // pre-fetch tags expire at the play point.
+                    node.prefetch_tags.retain(|&seg, _| seg >= next);
+                }
+            }
+            node.rate.end_period(self.config.period_secs);
+            node.last_inflow = node.round_inflow;
+            node.round_inflow = 0;
+        }
+
+        // --- 9. backup GC and DHT table aging -------------------------------------
+        if round % 10 == 9 {
+            let horizon = self.global_play_floor();
+            for &id in &self.order {
+                self.nodes
+                    .get_mut(&id)
+                    .expect("alive")
+                    .backup
+                    .gc_before(horizon);
+            }
+            self.dht.tick_tables();
+        }
+
+        if std::env::var_os("CS_DEBUG_ROUNDS").is_some() {
+            let mut not_triggered = 0u32;
+            let mut too_many = 0u32;
+            let mut fetch = 0u32;
+            let mut no_anchor = 0u32;
+            for &id in &self.order {
+                let n = &self.nodes[&id];
+                if n.is_source {
+                    continue;
+                }
+                let Some(anchor) = n.next_play.or_else(|| n.buffer.iter().next()) else {
+                    no_anchor += 1;
+                    continue;
+                };
+                match n.urgent.decide(&n.buffer, anchor, self.newest_emitted, |_| false) {
+                    PrefetchDecision::NotTriggered => not_triggered += 1,
+                    PrefetchDecision::TooMany(_) => too_many += 1,
+                    PrefetchDecision::Fetch(_) => fetch += 1,
+                }
+            }
+            let mean_inflow: f64 = self
+                .order
+                .iter()
+                .map(|i| self.nodes[i].last_inflow as f64)
+                .sum::<f64>()
+                / self.order.len().max(1) as f64;
+            let mut est_inflow = 0.0;
+            let mut est_n = 0u32;
+            let mut join_inflow = 0.0;
+            let mut join_n = 0u32;
+            let mut est_cands = 0.0;
+            let mut join_cands = 0.0;
+            for &nid in &self.order {
+                let n = &self.nodes[&nid];
+                if n.is_source {
+                    continue;
+                }
+                let missing_window = n
+                    .next_play
+                    .map(|np| {
+                        (np..(np + 100).min(self.newest_emitted + 1))
+                            .filter(|&sg| !n.buffer.contains(sg))
+                            .count() as f64
+                    })
+                    .unwrap_or(-1.0);
+                if round >= n.spawn_round + 6 {
+                    est_inflow += n.last_inflow as f64;
+                    est_cands += missing_window;
+                    est_n += 1;
+                } else {
+                    join_inflow += n.last_inflow as f64;
+                    join_cands += missing_window;
+                    join_n += 1;
+                }
+            }
+            eprintln!(
+                "DBG round {round}: notrig={not_triggered} toomany={too_many} fetch={fetch} noanchor={no_anchor} mean_inflow={mean_inflow:.1} est(n={est_n} in={:.1} miss={:.0}) join(n={join_n} in={:.1} miss={:.0})",
+                est_inflow / est_n.max(1) as f64,
+                est_cands / est_n.max(1) as f64,
+                join_inflow / join_n.max(1) as f64,
+                join_cands / join_n.max(1) as f64,
+            );
+        }
+        self.records.push(RoundRecord {
+            round,
+            time_secs: round_end.as_secs_f64(),
+            alive,
+            playing,
+            continuous,
+            continuity: if alive > 0 {
+                continuous as f64 / alive as f64
+            } else {
+                0.0
+            },
+            traffic,
+            prefetch_attempts,
+            prefetch_successes,
+            prefetch_overdue,
+            prefetch_repeated,
+            prefetch_suppressed,
+            mean_alpha: if alive > 0 { alpha_sum / alive as f64 } else { 0.0 },
+            gossip_deliveries,
+            requests_issued,
+            requests_dropped,
+            joins,
+            leaves,
+        });
+    }
+
+    /// The requester's estimate of supplier `s`'s sending rate `R(j)`:
+    /// the larger of the observed delivery EWMA and the supplier's
+    /// advertised per-neighbour outbound share. Without the advertised
+    /// component, a neighbour that was never asked decays to an estimated
+    /// rate of zero and is then never asked — a death spiral the real
+    /// Rate Controller avoids by knowing the peer's advertised bandwidth
+    /// (Figure 2 carries it in the Peer Table).
+    fn supplier_rate_estimate(&self, requester: DhtId, s: DhtId) -> f64 {
+        let observed = self.nodes[&requester].rate.rate(s);
+        let outbound = self
+            .nodes
+            .get(&s)
+            .map(|n| n.bandwidth.outbound_segments_per_sec(self.config.segment_kbits))
+            .unwrap_or(0.0);
+        let advertised_share = outbound / self.config.neighbors as f64;
+        // The estimate can never exceed what the supplier could physically
+        // send even with no other requester; without this cap the
+        // multiplicative probe inflates until every pull piles onto one
+        // neighbour.
+        observed.max(advertised_share).min(outbound.max(0.01))
+    }
+
+    /// The node's *belief* about its ring successor: its closest clockwise
+    /// DHT peer (the loose `n₁` of §4.3), falling back to itself.
+    fn believed_successor(&self, id: DhtId) -> DhtId {
+        self.dht
+            .node(id)
+            .and_then(|s| s.peers.closest_clockwise())
+            .map(|p| p.id)
+            .unwrap_or(id)
+    }
+
+    /// Oldest play point across alive nodes (for backup GC).
+    fn global_play_floor(&self) -> SegmentId {
+        self.order
+            .iter()
+            .filter_map(|id| self.nodes[id].next_play)
+            .min()
+            .unwrap_or(1)
+            .saturating_sub(self.config.demand_per_round())
+            .max(1)
+    }
+
+    fn maintain_neighbors(&mut self, round: u32) {
+        let order = self.order.clone();
+        for &id in &order {
+            // Drop dead neighbours.
+            let dead: Vec<DhtId> = {
+                let node = &self.nodes[&id];
+                node.connected
+                    .ids()
+                    .filter(|nid| !self.nodes.contains_key(nid))
+                    .collect()
+            };
+            for d in dead {
+                let node = self.nodes.get_mut(&id).expect("alive");
+                node.connected.remove(d);
+                node.overheard.remove(d);
+                node.rate.forget(d);
+            }
+            // Membership gossip: overhear one neighbour-of-neighbour,
+            // keeping the overheard list warm at (near) zero cost.
+            let heard: Option<(DhtId, f64)> = {
+                let node = &self.nodes[&id];
+                let nbrs: Vec<DhtId> = node.connected.ids().collect();
+                if nbrs.is_empty() {
+                    None
+                } else {
+                    let via = nbrs[self.sched_rng.gen_range(0..nbrs.len())];
+                    let second: Vec<DhtId> = self
+                        .nodes
+                        .get(&via)
+                        .map(|v| v.connected.ids().filter(|&x| x != id).collect())
+                        .unwrap_or_default();
+                    if second.is_empty() {
+                        None
+                    } else {
+                        let pick = second[self.sched_rng.gen_range(0..second.len())];
+                        Some((pick, self.latency(id, pick)))
+                    }
+                }
+            };
+            if let Some((pick, lat)) = heard {
+                let node = self.nodes.get_mut(&id).expect("alive");
+                node.overheard.record(pick, lat);
+            }
+            // Refill to M from the overheard list.
+            let candidates: Vec<(DhtId, f64)> = {
+                let node = &self.nodes[&id];
+                node.overheard
+                    .entries()
+                    .filter(|e| {
+                        e.id != id
+                            && self.nodes.contains_key(&e.id)
+                            && !node.connected.contains(e.id)
+                    })
+                    .map(|e| (e.id, e.latency_ms))
+                    .collect()
+            };
+            {
+                let node = self.nodes.get_mut(&id).expect("alive");
+                let mut sorted = candidates;
+                sorted.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
+                for (cid, lat) in sorted {
+                    if node.connected.is_full() {
+                        break;
+                    }
+                    node.connected.add(NeighborEntry {
+                        id: cid,
+                        latency_ms: lat,
+                        recent_supply_kbps: 0.0,
+                    });
+                }
+            }
+            // Replace a weak neighbour ("supplied little data") with an
+            // overheard candidate. A starving node (inflow below the
+            // playback rate last round) rewires immediately — finding a
+            // better-provisioned neighbourhood is its only way out; a
+            // healthy node only sheds neighbours that supply nothing.
+            // Rate-limited: a node reconsiders its weakest partnership at
+            // most every third round. Rewiring every round under system
+            // stress destroys the supply relationships it is trying to
+            // fix (every replacement resets rate estimates and supplier
+            // history).
+            let starving = {
+                let node = &self.nodes[&id];
+                node.next_play.is_some()
+                    && (node.last_inflow as u64) < self.config.demand_per_round()
+                    && (round as u64 + id) % 3 == 0
+            };
+            if starving || round % 5 == 4 {
+                let weak: Option<DhtId> = {
+                    let node = &self.nodes[&id];
+                    if !node.connected.is_full() {
+                        None
+                    } else {
+                        node.connected
+                            .weakest()
+                            .filter(|w| {
+                                (starving
+                                    || w.recent_supply_kbps
+                                        < 0.05 * self.config.segment_kbits)
+                                    && w.id != self.source
+                            })
+                            .map(|w| w.id)
+                    }
+                };
+                if let Some(w) = weak {
+                    let replacement: Option<(DhtId, f64)> = {
+                        let node = &self.nodes[&id];
+                        node.overheard
+                            .best_candidate(|c| {
+                                c == id
+                                    || c == w
+                                    || !self.nodes.contains_key(&c)
+                                    || node.connected.contains(c)
+                            })
+                            .map(|e| (e.id, e.latency_ms))
+                    };
+                    if let Some((rid, lat)) = replacement {
+                        let node = self.nodes.get_mut(&id).expect("alive");
+                        node.connected.replace(
+                            w,
+                            NeighborEntry {
+                                id: rid,
+                                latency_ms: lat,
+                                recent_supply_kbps: 0.0,
+                            },
+                        );
+                        node.rate.forget(w);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Compute one node's pull schedule from its neighbours' maps.
+    fn schedule_node(
+        &mut self,
+        id: DhtId,
+        round: u32,
+        maps: &HashMap<DhtId, BufferMap>,
+    ) -> Vec<Assignment> {
+        let p = self.config.demand_per_round();
+        let node = &self.nodes[&id];
+        let play_anchor = node
+            .next_play
+            .or_else(|| node.buffer.iter().next())
+            .unwrap_or_else(|| {
+                // Nothing buffered yet: aim at the oldest segment any
+                // neighbour still holds (bounded below by 1).
+                node.connected
+                    .ids()
+                    .filter_map(|nid| maps.get(&nid).and_then(|m| m.iter().next()))
+                    .min()
+                    .unwrap_or(1)
+            });
+        // The exchange window: pulls focus on segments within a couple of
+        // buffering delays of the play point — spending inbound budget on
+        // far-future segments starves near-deadline ones (the failure the
+        // §4.2 urgency term exists to avoid; real CoolStreaming bounds
+        // its exchange window the same way).
+        let lookahead = (2 * self.config.startup_segments).max(4 * p);
+        let window_end = (self.newest_emitted + 1)
+            .min(play_anchor + lookahead)
+            .min(play_anchor + self.config.buffer_size);
+
+        // Gather fresh candidates from all connected neighbours.
+        let mut suppliers_of: HashMap<SegmentId, Vec<DhtId>> = HashMap::new();
+        let mut nbr_ids: Vec<DhtId> = node.connected.ids().collect();
+        nbr_ids.sort_unstable();
+        for nid in &nbr_ids {
+            let Some(map) = maps.get(nid) else { continue };
+            for seg in map.fresh_for(&node.buffer, play_anchor, window_end) {
+                suppliers_of.entry(seg).or_default().push(*nid);
+            }
+        }
+        if suppliers_of.is_empty() {
+            return Vec::new();
+        }
+
+        // Priorities.
+        let policy = match self.config.scheduler {
+            SchedulerKind::ContinuStreaming => PriorityPolicy::UrgencyRarity,
+            SchedulerKind::CoolStreaming => PriorityPolicy::RarestFirst,
+            SchedulerKind::Random => PriorityPolicy::Uniform,
+            SchedulerKind::GreedyWithPolicy(p) => p,
+        };
+        let mut candidates: Vec<SegmentCandidate> = suppliers_of
+            .into_iter()
+            .map(|(seg, suppliers)| {
+                let max_rate = suppliers
+                    .iter()
+                    .map(|&s| self.supplier_rate_estimate(id, s))
+                    .fold(0.0f64, f64::max);
+                let replacement_probs: Vec<f64> = suppliers
+                    .iter()
+                    .map(|s| maps[s].replacement_probability(seg))
+                    .collect();
+                let input = PriorityInput {
+                    id: seg,
+                    play_id: play_anchor,
+                    playback_rate: p as f64,
+                    max_rate,
+                    replacement_probs,
+                };
+                // Per-(node, segment) deterministic jitter, sized to
+                // dominate the rarity band (0..1) but not genuine urgency
+                // (> 1 once a deadline is inside ~1 s): neighbours that
+                // compute identical priorities pull identical segments in
+                // identical order, holdings synchronise, and the
+                // intra-neighbourhood trading that makes swarming work
+                // dies. Within the non-urgent bulk the order is therefore
+                // diversified per node; near-deadline segments still beat
+                // everything. The A1 ablation bench quantifies this.
+                let jitter = 1.0
+                    * (cs_sim::splitmix64(id ^ seg.wrapping_mul(0x9E37_79B9)) as f64
+                        / u64::MAX as f64);
+                SegmentCandidate {
+                    id: seg,
+                    priority: policy.evaluate(&input) + jitter,
+                    suppliers,
+                }
+            })
+            .collect();
+
+        // Inbound budget with carry.
+        let budget_f = node
+            .bandwidth
+            .inbound_segments_per_sec(self.config.segment_kbits)
+            * self.config.period_secs
+            + node.inbound_carry;
+        let budget = budget_f.floor().max(0.0) as u32;
+        {
+            let node = self.nodes.get_mut(&id).expect("alive");
+            node.inbound_carry = (budget_f - budget as f64).clamp(0.0, 1.0);
+        }
+
+        let node = &self.nodes[&id];
+        let ctx = ScheduleContext {
+            inbound_budget: budget,
+            period_secs: self.config.period_secs,
+            supplier_rates: nbr_ids
+                .iter()
+                .map(|&s| (s, self.supplier_rate_estimate(id, s)))
+                .collect(),
+            deadline_cutoff: node.next_play.map(|np| np + 2 * p),
+        };
+        match self.config.scheduler {
+            SchedulerKind::CoolStreaming => schedule_coolstreaming(&candidates, &ctx),
+            SchedulerKind::Random => schedule_random(&candidates, &ctx, &mut self.sched_rng),
+            SchedulerKind::ContinuStreaming => {
+                // Bounded-rescue ordering: urgent candidates (deadline
+                // pressure has pushed their priority above the rarity
+                // band) are capped at a fraction of the budget; the rest
+                // of the order is the diversified rarity ranking. See
+                // `SystemConfig::rescue_budget_fraction`.
+                sort_candidates(&mut candidates);
+                // Catch-up grace: a node that just joined (or just started
+                // playing) is *supposed* to spend its whole budget near
+                // its play point; the rescue cap only binds in steady
+                // state.
+                let in_grace = round < self.nodes[&id].spawn_round + 6;
+                let rescue_cap = if in_grace {
+                    budget as usize
+                } else {
+                    ((budget as f64 * self.config.rescue_budget_fraction).floor() as usize)
+                        .max(1)
+                };
+                let split = candidates
+                    .iter()
+                    .position(|c| c.priority <= 1.0)
+                    .unwrap_or(candidates.len());
+                if split > rescue_cap {
+                    // Keep the `rescue_cap` most urgent, then the normal
+                    // band; urgent overflow goes to the back of the line
+                    // (it will usually miss — that is the pre-fetcher's
+                    // problem, not worth starving dissemination for).
+                    let mut reordered =
+                        Vec::with_capacity(candidates.len());
+                    reordered.extend_from_slice(&candidates[..rescue_cap]);
+                    reordered.extend_from_slice(&candidates[split..]);
+                    reordered.extend_from_slice(&candidates[rescue_cap..split]);
+                    candidates = reordered;
+                }
+                schedule_greedy(&candidates, &ctx)
+            }
+            SchedulerKind::GreedyWithPolicy(_) => {
+                sort_candidates(&mut candidates);
+                schedule_greedy(&candidates, &ctx)
+            }
+        }
+    }
+
+    /// Run the urgent-line check and Algorithm 2 for one node. Returns
+    /// `(attempts, successes, overdue, suppressed, repeated)`.
+    fn prefetch_node(
+        &mut self,
+        id: DhtId,
+        round: u32,
+        maps: &HashMap<DhtId, BufferMap>,
+        traffic: &mut TrafficCounter,
+        outbound_spent: &mut HashMap<DhtId, f64>,
+    ) -> (u32, u32, u32, u32, u32) {
+        let Some(node) = self.nodes.get(&id) else {
+            return (0, 0, 0, 0, 0);
+        };
+        if node.is_source {
+            return (0, 0, 0, 0, 0);
+        }
+        // Playing nodes guard their play point; buffering nodes guard the
+        // contiguity they need to *start* (this is how the pre-fetch
+        // "accelerates the streaming system's entering its stable phase",
+        // §5.4.1).
+        let anchor = node.next_play.or_else(|| node.buffer.iter().next());
+        let Some(anchor) = anchor else {
+            return (0, 0, 0, 0, 0);
+        };
+        let started = node.next_play.is_some();
+        let decision = node.urgent.decide(
+            &node.buffer,
+            anchor,
+            self.newest_emitted,
+            |_| false, // deliveries already committed this round
+        );
+        let missed = match decision {
+            PrefetchDecision::NotTriggered => return (0, 0, 0, 0, 0),
+            PrefetchDecision::TooMany(_) => return (0, 0, 0, 1, 0),
+            PrefetchDecision::Fetch(m) => m,
+        };
+
+        // §4.3 Case 2 (repeated data), pull-model form: a predicted-missed
+        // segment that a connected neighbour still advertises — with its
+        // deadline at least one period away — could "still be got by the
+        // data scheduling algorithm before its deadline". The paper
+        // fetches it anyway and uses the repetition as the α-down signal;
+        // we do the same (skipping the fetch and trusting gossip turned
+        // out to strand segments whose pulls kept losing the budget race).
+        let p = self.config.demand_per_round();
+        let mut repeated = 0u32;
+        let truly_missed = {
+            let node = &self.nodes[&id];
+            for &seg in &missed {
+                let deadline_far = !started || seg >= anchor + p;
+                let neighbour_has = deadline_far
+                    && node
+                        .connected
+                        .ids()
+                        .any(|nid| maps.get(&nid).is_some_and(|m| m.contains(seg)));
+                if neighbour_has {
+                    repeated += 1;
+                }
+            }
+            missed
+        };
+        // Pre-fetch shares the inbound rate with the scheduler (§4.3).
+        let inbound_room = node.inbound_carry
+            + node
+                .bandwidth
+                .inbound_segments_per_sec(self.config.segment_kbits)
+                * self.config.period_secs;
+        for _ in 0..repeated {
+            self.nodes
+                .get_mut(&id)
+                .expect("alive")
+                .urgent
+                .on_repeated();
+        }
+        let missed = truly_missed;
+        if missed.is_empty() {
+            return (0, 0, 0, 0, repeated);
+        }
+        let max_fetches = missed.len().min(inbound_room.floor().max(0.0) as usize);
+
+        let mut attempts = 0u32;
+        let mut successes = 0u32;
+        let mut overdue = 0u32;
+        let period_ms = self.config.period_secs * 1000.0;
+
+        for seg in missed.into_iter().take(max_fetches) {
+            attempts += 1;
+            // Split borrows: the DHT is mutated by routing, everything
+            // else is read through immutable snapshots.
+            let pings: HashMap<DhtId, f64> =
+                self.nodes.iter().map(|(&k, v)| (k, v.ping_ms)).collect();
+            let latency = |a: DhtId, b: DhtId| {
+                derive_latency(
+                    pings.get(&a).copied().unwrap_or(50.0),
+                    pings.get(&b).copied().unwrap_or(50.0),
+                )
+            };
+            let holders: &HashMap<DhtId, NodeSim> = &self.nodes;
+            let has_backup =
+                |n: DhtId, s: SegmentId| holders.get(&n).is_some_and(|h| h.backup.has(s));
+            let config = &self.config;
+            let spent_snapshot = outbound_spent.clone();
+            let available_rate = |n: DhtId| {
+                holders
+                    .get(&n)
+                    .map(|h| {
+                        let cap = h.bandwidth.outbound_segments_per_sec(config.segment_kbits);
+                        (cap - spent_snapshot.get(&n).copied().unwrap_or(0.0)).max(0.0)
+                    })
+                    .unwrap_or(0.0)
+            };
+            let transfer_ms = {
+                // UDP direct download at the supplier's outbound share.
+                config.segment_kbits / 450.0 * 1000.0
+            };
+            let outcome = retrieve_one(
+                &mut self.dht,
+                id,
+                seg,
+                &latency,
+                &has_backup,
+                &available_rate,
+                self.config.replicas,
+                transfer_ms,
+            );
+            traffic.add(
+                TrafficClass::PrefetchRouting,
+                outcome.routing_messages as u64 * self.sizes.routing_message_bits,
+            );
+            // The requester overhears every node its lookups reached.
+            {
+                let located = outcome.located.clone();
+                let node = self.nodes.get_mut(&id).expect("alive");
+                for l in located {
+                    if l != id {
+                        let lat = derive_latency(
+                            pings.get(&id).copied().unwrap_or(50.0),
+                            pings.get(&l).copied().unwrap_or(50.0),
+                        );
+                        node.overheard.record(l, lat);
+                    }
+                }
+            }
+            if let Some(supplier) = outcome.supplier {
+                successes += 1;
+                traffic.add(TrafficClass::PrefetchData, self.sizes.segment_bits);
+                *outbound_spent.entry(supplier).or_insert(0.0) += 1.0 / self.config.period_secs;
+                let fetch_ms = outcome.fetch_latency_ms.unwrap_or(period_ms);
+                // Deadline: the start of the round in which `seg` plays.
+                // Buffering nodes have no deadline yet.
+                let deadline_ms = if !started {
+                    f64::INFINITY
+                } else if seg < anchor + p {
+                    0.0 // needed this very round: always late
+                } else {
+                    ((seg - anchor) / p) as f64 * period_ms
+                };
+                let node = self.nodes.get_mut(&id).expect("alive");
+                node.buffer.insert(seg);
+                node.round_inflow += 1;
+                node.prefetch_tags.insert(seg, round);
+                let successor = self.believed_successor(id);
+                let node = self.nodes.get_mut(&id).expect("alive");
+                node.backup.maybe_store(seg, successor);
+                if fetch_ms > deadline_ms.max(f64::EPSILON) && deadline_ms < period_ms {
+                    // Case 1: arrived after (or perilously at) its
+                    // deadline round.
+                    node.urgent.on_overdue();
+                    overdue += 1;
+                }
+            }
+        }
+        (attempts, successes, overdue, 0, repeated)
+    }
+
+    /// Graceful leave: hand the VoD backups to the ring predecessor, tell
+    /// the RP server, drop the node.
+    fn graceful_leave(&mut self, id: DhtId) {
+        let heir = self.dht.predecessor_of(id);
+        if let Some(mut node) = self.nodes.remove(&id) {
+            if let Some(h) = heir.filter(|h| *h != id) {
+                if let Some(heir_node) = self.nodes.get_mut(&h) {
+                    for seg in node.backup.drain() {
+                        heir_node.backup.store_handover(seg);
+                    }
+                }
+            }
+        }
+        self.rp.report_failure(id);
+        self.dht.leave(id);
+    }
+
+    /// Abrupt failure: the node just vanishes (no handover).
+    fn abrupt_failure(&mut self, id: DhtId) {
+        self.nodes.remove(&id);
+        self.rp.report_failure(id);
+        self.dht.leave(id);
+    }
+
+    /// One join via the RP server (§4.1 protocol).
+    fn join_one(&mut self, round: u32) -> bool {
+        let id = self.rp.assign_id(&mut self.join_rng);
+        let ping = self.joiner_pings
+            [(round as usize * 31 + self.nodes.len()) % self.joiner_pings.len()];
+        let bandwidth = self.bw_assigner.sample_node(&mut self.join_rng);
+        let t_fetch = cs_analysis::t_fetch(self.nodes.len().max(2) as u64, self.config.t_hop_secs);
+        let mut node = Self::make_node(
+            &self.config,
+            self.space,
+            id,
+            ping,
+            bandwidth,
+            t_fetch,
+            false,
+        );
+        node.spawn_round = round;
+
+        // PING the close-ID list, adopt the nearest alive node's view.
+        let candidates = self.rp.close_list(id, 4);
+        let mut alive: Vec<(f64, DhtId)> = Vec::new();
+        for c in candidates {
+            if self.nodes.contains_key(&c) {
+                alive.push((self.latency(id, c), c));
+            } else {
+                self.rp.report_failure(c);
+            }
+        }
+        alive.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+        let Some(&(_, base)) = alive.first() else {
+            // Nobody reachable; abort the join (id rolled back).
+            self.rp.report_failure(id);
+            return false;
+        };
+
+        // "notifies B, C, D his joining": the notified nodes file the
+        // newcomer — into a free connected slot if they have one, and into
+        // their overheard list either way. Without this, nobody ever
+        // points at joiners, in-degree concentrates on long-lived nodes,
+        // and the swarm's aggregate upload capacity decays under churn.
+        for &(lat, c) in &alive {
+            if let Some(peer) = self.nodes.get_mut(&c) {
+                peer.overheard.record(id, lat);
+                if !peer.connected.is_full() {
+                    peer.connected.add(NeighborEntry {
+                        id,
+                        latency_ms: lat,
+                        recent_supply_kbps: 0.0,
+                    });
+                }
+            }
+        }
+
+        // Adopt: the alive close-ID candidates first (they are uniform
+        // over the membership, which keeps the overlay's expansion intact
+        // across join generations — adopting only the base's neighbours
+        // degenerates the graph into clusters of clones), then the base
+        // itself and a couple of its neighbours, then overheard fill.
+        for &(lat, c) in &alive {
+            if c != id && !node.connected.is_full() {
+                node.connected.add(NeighborEntry {
+                    id: c,
+                    latency_ms: lat,
+                    recent_supply_kbps: 0.0,
+                });
+            }
+        }
+        {
+            let base_node = &self.nodes[&base];
+            let adopt_connected: Vec<DhtId> = base_node.connected.ids().collect();
+            let adopt_overheard: Vec<DhtId> =
+                base_node.overheard.entries().map(|e| e.id).collect();
+            // Follow the base's play point only if the base is actually
+            // playing; otherwise the joiner buffers up and starts like any
+            // fresh node. (Following a synthetic frontier position pins
+            // the joiner at the emission edge where nothing is available
+            // yet — it would never receive anything.)
+            let follow_play = base_node.next_play;
+            for nid in adopt_connected {
+                if nid != id && !node.connected.is_full() {
+                    node.connected.add(NeighborEntry {
+                        id: nid,
+                        latency_ms: self.latency(id, nid),
+                        recent_supply_kbps: 0.0,
+                    });
+                }
+            }
+            if !node.connected.is_full() {
+                node.connected.add(NeighborEntry {
+                    id: base,
+                    latency_ms: self.latency(id, base),
+                    recent_supply_kbps: 0.0,
+                });
+            }
+            for nid in adopt_overheard {
+                if nid != id {
+                    node.overheard.record(nid, self.latency(id, nid));
+                }
+            }
+            // "A new joining node ... starts its media playback by
+            // following its neighbors' current steps."
+            if let Some(fp) = follow_play {
+                node.buffer.slide_to(fp);
+                node.next_play = Some(fp);
+            }
+        }
+
+        let pings: HashMap<DhtId, f64> = self
+            .nodes
+            .iter()
+            .map(|(&k, v)| (k, v.ping_ms))
+            .chain(std::iter::once((id, node.ping_ms)))
+            .collect();
+        let latency = |a: DhtId, b: DhtId| {
+            derive_latency(
+                pings.get(&a).copied().unwrap_or(50.0),
+                pings.get(&b).copied().unwrap_or(50.0),
+            )
+        };
+        self.nodes.insert(id, node);
+        self.dht
+            .join(id, &latency, &mut self.join_rng)
+            .expect("RP-assigned ids are unique");
+        true
+    }
+}
+
+/// A convenience shuffle used by examples and benches: pick `count`
+/// distinct alive ids deterministically.
+pub fn sample_ids(sim_order: &[DhtId], count: usize, rng: &mut SimRng) -> Vec<DhtId> {
+    let mut v = sim_order.to_vec();
+    v.shuffle(rng);
+    v.truncate(count);
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny(scheduler: SchedulerKind, prefetch: bool, seed: u64) -> SystemConfig {
+        SystemConfig {
+            nodes: 40,
+            rounds: 18,
+            startup_segments: 30,
+            scheduler,
+            prefetch_enabled: prefetch,
+            seed,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn run_produces_one_record_per_round() {
+        let report = SystemSim::new(tiny(SchedulerKind::ContinuStreaming, true, 1)).run();
+        assert_eq!(report.rounds.len(), 18);
+        for (i, r) in report.rounds.iter().enumerate() {
+            assert_eq!(r.round as usize, i);
+            assert!((r.time_secs - (i as f64 + 1.0)).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn continuity_ramps_up() {
+        let report = SystemSim::new(tiny(SchedulerKind::ContinuStreaming, true, 2)).run();
+        let first = report.rounds.first().unwrap().continuity;
+        let last = report.rounds.last().unwrap().continuity;
+        assert!(last > first, "continuity should rise: {first} → {last}");
+        assert!(last > 0.5, "a 40-node static net should mostly play: {last}");
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let a = SystemSim::new(tiny(SchedulerKind::ContinuStreaming, true, 3)).run();
+        let b = SystemSim::new(tiny(SchedulerKind::ContinuStreaming, true, 3)).run();
+        assert_eq!(a.rounds, b.rounds);
+        let c = SystemSim::new(tiny(SchedulerKind::ContinuStreaming, true, 4)).run();
+        assert_ne!(a.rounds, c.rounds);
+    }
+
+    #[test]
+    fn coolstreaming_never_prefetches() {
+        let report = SystemSim::new(tiny(SchedulerKind::CoolStreaming, false, 5)).run();
+        for r in &report.rounds {
+            assert_eq!(r.prefetch_attempts, 0);
+            assert_eq!(r.traffic.bits(TrafficClass::PrefetchData), 0);
+            assert_eq!(r.traffic.bits(TrafficClass::PrefetchRouting), 0);
+        }
+    }
+
+    #[test]
+    fn continustreaming_prefetches_something() {
+        let report = SystemSim::new(tiny(SchedulerKind::ContinuStreaming, true, 6)).run();
+        let attempts: u32 = report.rounds.iter().map(|r| r.prefetch_attempts).sum();
+        assert!(attempts > 0, "some pre-fetch should trigger in 12 rounds");
+    }
+
+    #[test]
+    fn control_overhead_is_small_and_present() {
+        let report = SystemSim::new(tiny(SchedulerKind::ContinuStreaming, true, 7)).run();
+        let oh = report.summary.control_overhead;
+        assert!(oh > 0.0, "buffer maps are exchanged");
+        assert!(oh < 0.1, "control overhead {oh} should be small");
+    }
+
+    #[test]
+    fn dynamic_churn_changes_membership() {
+        let cfg = tiny(SchedulerKind::ContinuStreaming, true, 8).with_dynamic_churn();
+        let report = SystemSim::new(cfg).run();
+        let joins: usize = report.rounds.iter().map(|r| r.joins).sum();
+        let leaves: usize = report.rounds.iter().map(|r| r.leaves).sum();
+        assert!(joins > 0, "some joins over 12 rounds of 5% churn");
+        assert!(leaves > 0, "some leaves over 12 rounds of 5% churn");
+    }
+
+    #[test]
+    fn alive_count_tracks_churn() {
+        let cfg = SystemConfig {
+            nodes: 60,
+            rounds: 10,
+            churn: cs_overlay::ChurnConfig {
+                leave_fraction: 0.2,
+                join_fraction: 0.0,
+                graceful_fraction: 0.5,
+            },
+            ..tiny(SchedulerKind::ContinuStreaming, true, 9)
+        };
+        let report = SystemSim::new(cfg).run();
+        let first = report.rounds.first().unwrap().alive;
+        let last = report.rounds.last().unwrap().alive;
+        assert!(last < first, "pure leaving must shrink the overlay");
+    }
+
+    #[test]
+    fn source_always_survives() {
+        let cfg = SystemConfig {
+            nodes: 30,
+            rounds: 15,
+            churn: cs_overlay::ChurnConfig {
+                leave_fraction: 0.3,
+                join_fraction: 0.0,
+                graceful_fraction: 0.0,
+            },
+            ..tiny(SchedulerKind::ContinuStreaming, true, 10)
+        };
+        let sim = SystemSim::new(cfg);
+        let source = sim.source;
+        let report = sim.run();
+        // The run completes every round — the source kept emitting.
+        assert_eq!(report.rounds.len(), 15);
+        let _ = source;
+    }
+
+    #[test]
+    fn greedy_policy_variants_run() {
+        for policy in [
+            PriorityPolicy::UrgencyOnly,
+            PriorityPolicy::RarityOnly,
+            PriorityPolicy::RarestFirst,
+        ] {
+            let cfg = tiny(SchedulerKind::GreedyWithPolicy(policy), true, 11);
+            let report = SystemSim::new(cfg).run();
+            assert_eq!(report.rounds.len(), 18);
+        }
+    }
+
+    #[test]
+    fn random_scheduler_runs_and_underperforms_eventually() {
+        let rand_report = SystemSim::new(tiny(SchedulerKind::Random, false, 12)).run();
+        let cont_report =
+            SystemSim::new(tiny(SchedulerKind::ContinuStreaming, true, 12)).run();
+        assert!(
+            cont_report.summary.stable_continuity >= rand_report.summary.stable_continuity,
+            "ContinuStreaming ({}) should not lose to random ({})",
+            cont_report.summary.stable_continuity,
+            rand_report.summary.stable_continuity
+        );
+    }
+}

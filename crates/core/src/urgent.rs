@@ -1,0 +1,285 @@
+//! The Urgent Line mechanism (§4.3, Figure 4, equations 4 and 8–9).
+//!
+//! The buffer region between the play point and the urgent line
+//! (`id_urgent = id_head + α·B`) is where a still-missing segment can no
+//! longer be trusted to the gossip scheduler: if it is not already on its
+//! way, it must be pre-fetched now or it will miss its deadline. The
+//! urgent ratio α is adapted at runtime:
+//!
+//! * too **small** an α and pre-fetch "cannot catch the speed of
+//!   playback" → whenever a pre-fetched segment arrives late (Case 1,
+//!   overdue data), α increases by `p·t_hop/B`;
+//! * too **large** an α and segments are pre-fetched that gossip would
+//!   have delivered anyway (Case 2, repeated data) → α decreases by the
+//!   same step.
+//!
+//! α never drops below the eq. 9 lower bound
+//! `(p/B)·max(τ, t_fetch)`, which is also its initial value.
+
+use crate::buffer::StreamBuffer;
+use crate::SegmentId;
+
+/// What the urgent-line check decided for this period (§4.3's three
+/// cases).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PrefetchDecision {
+    /// Case 1: nothing predicted missed; on-demand retrieval not
+    /// triggered.
+    NotTriggered,
+    /// Case 2: `0 < N_miss ≤ l`; fetch all of these in parallel.
+    Fetch(Vec<SegmentId>),
+    /// Case 3: `N_miss > l`; retrieval suppressed to avoid excessive
+    /// pre-fetch traffic. Carries the observed `N_miss`.
+    TooMany(usize),
+}
+
+/// The adaptive urgent line of one node.
+#[derive(Debug, Clone)]
+pub struct UrgentLine {
+    alpha: f64,
+    alpha_floor: f64,
+    step: f64,
+    buffer_size: u64,
+    max_per_period: usize,
+}
+
+impl UrgentLine {
+    /// Build from the paper's parameters.
+    ///
+    /// * `playback_rate` — `p`, segments/s;
+    /// * `buffer_size` — `B`;
+    /// * `period_secs` — `τ`;
+    /// * `t_fetch_secs` — expected pre-fetch time (eq. 7);
+    /// * `t_hop_secs` — expected one-hop time (sets the adaptation step);
+    /// * `max_per_period` — `l`, the pre-fetch cap.
+    pub fn new(
+        playback_rate: f64,
+        buffer_size: u64,
+        period_secs: f64,
+        t_fetch_secs: f64,
+        t_hop_secs: f64,
+        max_per_period: usize,
+    ) -> Self {
+        let floor = cs_analysis::alpha_lower_bound(
+            playback_rate,
+            buffer_size,
+            period_secs,
+            t_fetch_secs,
+        );
+        UrgentLine {
+            alpha: floor,
+            alpha_floor: floor,
+            step: cs_analysis::prefetch::alpha_step(playback_rate, buffer_size, t_hop_secs),
+            buffer_size,
+            max_per_period,
+        }
+    }
+
+    /// The current urgent ratio α.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// The eq. 9 lower bound (also the initial α).
+    pub fn alpha_floor(&self) -> f64 {
+        self.alpha_floor
+    }
+
+    /// The adaptation step `p·t_hop/B`.
+    pub fn step(&self) -> f64 {
+        self.step
+    }
+
+    /// Equation (4): the urgent line's segment id given the buffer head.
+    pub fn urgent_id(&self, head: SegmentId) -> SegmentId {
+        head + (self.alpha * self.buffer_size as f64).ceil() as u64
+    }
+
+    /// Predict the missed segments and decide whether to trigger
+    /// on-demand retrieval (§4.3's three cases).
+    ///
+    /// A segment in `[play_from, urgent_id)` is predicted missed when it
+    /// is neither in the buffer nor excluded by `expected` (segments the
+    /// scheduler already arranged to receive this period).
+    pub fn decide(
+        &self,
+        buffer: &StreamBuffer,
+        play_from: SegmentId,
+        newest_available: SegmentId,
+        expected: impl Fn(SegmentId) -> bool,
+    ) -> PrefetchDecision {
+        let urgent_end = self.urgent_id(play_from).min(newest_available + 1);
+        let mut missed = Vec::new();
+        let mut count = 0usize;
+        for id in play_from..urgent_end {
+            if !buffer.contains(id) && !expected(id) {
+                count += 1;
+                if count <= self.max_per_period {
+                    missed.push(id);
+                }
+            }
+        }
+        if count == 0 {
+            PrefetchDecision::NotTriggered
+        } else if count <= self.max_per_period {
+            PrefetchDecision::Fetch(missed)
+        } else {
+            PrefetchDecision::TooMany(count)
+        }
+    }
+
+    /// Case 1 (overdue data): a pre-fetched segment arrived after its
+    /// deadline → widen the urgent window.
+    pub fn on_overdue(&mut self) {
+        self.alpha = (self.alpha + self.step).min(1.0);
+    }
+
+    /// Case 2 (repeated data): a pre-fetched segment was also delivered
+    /// by the scheduler in time → narrow the urgent window, but never
+    /// below the eq. 9 floor.
+    pub fn on_repeated(&mut self) {
+        self.alpha = (self.alpha - self.step).max(self.alpha_floor);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line() -> UrgentLine {
+        // Paper defaults: p = 10, B = 600, τ = 1 s, t_fetch = 0.4 s,
+        // t_hop = 0.05 s, l = 5.
+        UrgentLine::new(10.0, 600, 1.0, 0.4, 0.05, 5)
+    }
+
+    #[test]
+    fn initial_alpha_is_paper_value() {
+        let l = line();
+        // §5.2: α = 10/600 × max(1, 0.4) = 1/60.
+        assert!((l.alpha() - 1.0 / 60.0).abs() < 1e-12);
+        assert_eq!(l.alpha(), l.alpha_floor());
+    }
+
+    #[test]
+    fn urgent_id_matches_equation_4() {
+        let l = line();
+        // α·B = 10 → urgent line 10 segments past the head.
+        assert_eq!(l.urgent_id(100), 110);
+    }
+
+    #[test]
+    fn not_triggered_when_window_full() {
+        let l = line();
+        let mut buf = StreamBuffer::with_head(600, 100);
+        for id in 100..120 {
+            buf.insert(id);
+        }
+        assert_eq!(
+            l.decide(&buf, 100, 1000, |_| false),
+            PrefetchDecision::NotTriggered
+        );
+    }
+
+    #[test]
+    fn fetches_holes_within_urgent_window() {
+        let l = line();
+        let mut buf = StreamBuffer::with_head(600, 100);
+        for id in 100..120 {
+            if id != 103 && id != 107 {
+                buf.insert(id);
+            }
+        }
+        assert_eq!(
+            l.decide(&buf, 100, 1000, |_| false),
+            PrefetchDecision::Fetch(vec![103, 107])
+        );
+    }
+
+    #[test]
+    fn expected_segments_are_not_missed() {
+        let l = line();
+        let mut buf = StreamBuffer::with_head(600, 100);
+        for id in 100..120 {
+            if id != 103 && id != 107 {
+                buf.insert(id);
+            }
+        }
+        // 103 is already scheduled for this period: only 107 is missed.
+        assert_eq!(
+            l.decide(&buf, 100, 1000, |id| id == 103),
+            PrefetchDecision::Fetch(vec![107])
+        );
+    }
+
+    #[test]
+    fn too_many_suppresses_retrieval() {
+        let l = line();
+        let buf = StreamBuffer::with_head(600, 100); // nothing present
+        // All 10 in-window segments missing; l = 5 → suppressed.
+        match l.decide(&buf, 100, 1000, |_| false) {
+            PrefetchDecision::TooMany(n) => assert_eq!(n, 10),
+            other => panic!("expected TooMany, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn urgent_window_clamped_to_available_stream() {
+        // The source has only emitted up to segment 104: segments beyond
+        // cannot be "missed".
+        let l = line();
+        let buf = StreamBuffer::with_head(600, 100);
+        assert_eq!(
+            l.decide(&buf, 100, 104, |_| false),
+            PrefetchDecision::Fetch(vec![100, 101, 102, 103, 104])
+        );
+    }
+
+    #[test]
+    fn adaptation_moves_alpha_by_step() {
+        let mut l = line();
+        let a0 = l.alpha();
+        l.on_overdue();
+        assert!((l.alpha() - (a0 + l.step())).abs() < 1e-15);
+        l.on_repeated();
+        assert!((l.alpha() - a0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn alpha_never_below_floor() {
+        let mut l = line();
+        for _ in 0..100 {
+            l.on_repeated();
+        }
+        assert_eq!(l.alpha(), l.alpha_floor());
+    }
+
+    #[test]
+    fn alpha_capped_at_one() {
+        let mut l = line();
+        for _ in 0..100_000 {
+            l.on_overdue();
+        }
+        assert!(l.alpha() <= 1.0);
+    }
+
+    #[test]
+    fn step_is_paper_value() {
+        let l = line();
+        // p·t_hop/B = 10 × 0.05 / 600 = 1/1200.
+        assert!((l.step() - 1.0 / 1200.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn wider_alpha_widens_prediction() {
+        let mut l = line();
+        let buf = StreamBuffer::with_head(600, 100);
+        // Push α up so the urgent window covers 20 segments.
+        while l.urgent_id(100) < 120 {
+            l.on_overdue();
+        }
+        match l.decide(&buf, 100, 1000, |_| false) {
+            PrefetchDecision::TooMany(n) => assert!(n >= 20),
+            other => panic!("expected TooMany, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,478 @@
+//! A whole DHT overlay: every node's peer table plus ring membership.
+//!
+//! This is the substrate for the Figure 3 experiment and for the
+//! on-demand retrieval path of the full system. It deliberately stays
+//! *structural*: latencies are supplied by the caller (derived from trace
+//! ping times in the real experiments), and timing/byte accounting happens
+//! in the layers above.
+
+use std::collections::BTreeMap;
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use cs_sim::SimRng;
+
+use crate::id::{DhtId, IdSpace};
+use crate::peers::DhtPeerTable;
+use crate::placement::ResponsibilityRange;
+
+/// Per-node DHT state.
+#[derive(Debug, Clone)]
+pub struct DhtNodeState {
+    /// The node's level-constrained peer table.
+    pub peers: DhtPeerTable,
+}
+
+/// Errors joining a node into the network.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JoinError {
+    /// The ID is already taken.
+    IdTaken(DhtId),
+    /// The ID does not fit the network's ID space.
+    OutOfSpace(DhtId),
+}
+
+impl std::fmt::Display for JoinError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            JoinError::IdTaken(id) => write!(f, "DHT id {id} is already taken"),
+            JoinError::OutOfSpace(id) => write!(f, "DHT id {id} outside the ID space"),
+        }
+    }
+}
+
+impl std::error::Error for JoinError {}
+
+/// How many candidates per level the table-builder samples before keeping
+/// the lowest-latency one. Mirrors the paper's "much freedom in choosing
+/// its DHT peers": any in-range node is legal, we just prefer nearby ones.
+const CANDIDATES_PER_LEVEL: usize = 3;
+
+/// The DHT overlay network.
+#[derive(Debug, Clone)]
+pub struct DhtNetwork {
+    space: IdSpace,
+    nodes: BTreeMap<DhtId, DhtNodeState>,
+}
+
+impl DhtNetwork {
+    /// An empty network over the given ID space.
+    pub fn new(space: IdSpace) -> Self {
+        DhtNetwork {
+            space,
+            nodes: BTreeMap::new(),
+        }
+    }
+
+    /// Build a network over `ids`, populating every node's peer table from
+    /// the live membership: for each level, sample a few in-range
+    /// candidates and keep the lowest-latency one.
+    ///
+    /// # Panics
+    /// If `ids` contains duplicates or out-of-space values.
+    pub fn build(
+        space: IdSpace,
+        ids: &[DhtId],
+        latency_ms: &impl Fn(DhtId, DhtId) -> f64,
+        rng: &mut SimRng,
+    ) -> Self {
+        let mut net = DhtNetwork::new(space);
+        for &id in ids {
+            assert!(space.contains(id), "id {id} outside the ID space");
+            let prev = net.nodes.insert(
+                id,
+                DhtNodeState {
+                    peers: DhtPeerTable::new(space, id),
+                },
+            );
+            assert!(prev.is_none(), "duplicate id {id}");
+        }
+        let sorted: Vec<DhtId> = net.nodes.keys().copied().collect();
+        for &id in &sorted {
+            let table = net.build_table(id, &sorted, latency_ms, rng);
+            net.nodes.get_mut(&id).expect("just inserted").peers = table;
+        }
+        net
+    }
+
+    fn build_table(
+        &self,
+        owner: DhtId,
+        sorted_ids: &[DhtId],
+        latency_ms: &impl Fn(DhtId, DhtId) -> f64,
+        rng: &mut SimRng,
+    ) -> DhtPeerTable {
+        let mut table = DhtPeerTable::new(self.space, owner);
+        for level in 1..=self.space.bits() {
+            let (from, to) = self.space.level_interval(owner, level);
+            let in_range = ids_in_interval(self.space, sorted_ids, from, to, owner);
+            if in_range.is_empty() {
+                continue;
+            }
+            for &cand in in_range
+                .choose_multiple(rng, CANDIDATES_PER_LEVEL.min(in_range.len()))
+            {
+                table.offer(cand, latency_ms(owner, cand));
+            }
+        }
+        table
+    }
+
+    /// The ID space.
+    pub fn space(&self) -> IdSpace {
+        self.space
+    }
+
+    /// Number of live nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when no nodes are present.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Whether `id` is a live node.
+    pub fn contains(&self, id: DhtId) -> bool {
+        self.nodes.contains_key(&id)
+    }
+
+    /// Iterate over live node IDs in ring order.
+    pub fn ids(&self) -> impl Iterator<Item = DhtId> + '_ {
+        self.nodes.keys().copied()
+    }
+
+    /// Borrow a node's state.
+    pub fn node(&self, id: DhtId) -> Option<&DhtNodeState> {
+        self.nodes.get(&id)
+    }
+
+    /// Mutably borrow a node's state.
+    pub fn node_mut(&mut self, id: DhtId) -> Option<&mut DhtNodeState> {
+        self.nodes.get_mut(&id)
+    }
+
+    /// Ground truth: the node *counter-clockwise closest* to `key` — the
+    /// node that §4.3 makes responsible for ring position `key`. `None`
+    /// on an empty network.
+    pub fn responsible_of(&self, key: DhtId) -> Option<DhtId> {
+        debug_assert!(self.space.contains(key));
+        self.nodes
+            .range(..=key)
+            .next_back()
+            .or_else(|| self.nodes.iter().next_back())
+            .map(|(&id, _)| id)
+    }
+
+    /// The live successor of `id` on the ring (clockwise next node,
+    /// excluding `id` itself); `None` if `id` is alone or absent.
+    pub fn successor_of(&self, id: DhtId) -> Option<DhtId> {
+        if !self.nodes.contains_key(&id) || self.nodes.len() < 2 {
+            return None;
+        }
+        self.nodes
+            .range((
+                std::ops::Bound::Excluded(id),
+                std::ops::Bound::Unbounded,
+            ))
+            .next()
+            .or_else(|| self.nodes.iter().next())
+            .map(|(&s, _)| s)
+    }
+
+    /// The live predecessor of `id` on the ring (counter-clockwise next
+    /// node, excluding `id` itself); `None` if `id` is alone or absent.
+    pub fn predecessor_of(&self, id: DhtId) -> Option<DhtId> {
+        if !self.nodes.contains_key(&id) || self.nodes.len() < 2 {
+            return None;
+        }
+        self.nodes
+            .range(..id)
+            .next_back()
+            .or_else(|| self.nodes.iter().next_back())
+            .map(|(&p, _)| p)
+    }
+
+    /// The responsibility range of a live node, derived from its *actual*
+    /// ring successor (ground truth, used by tests and by the storage
+    /// layer when redistributing after churn).
+    pub fn responsibility_of(&self, id: DhtId) -> Option<ResponsibilityRange> {
+        let succ = self.successor_of(id).unwrap_or(id);
+        self.contains(id)
+            .then(|| ResponsibilityRange::new(self.space, id, succ))
+    }
+
+    /// Join a new node: build its table from the live membership and
+    /// advertise it to a handful of nodes that would file it (the nodes
+    /// whose level intervals contain it), mimicking the announcement the
+    /// join protocol sends to its close-ID contacts.
+    pub fn join(
+        &mut self,
+        id: DhtId,
+        latency_ms: &impl Fn(DhtId, DhtId) -> f64,
+        rng: &mut SimRng,
+    ) -> Result<(), JoinError> {
+        if !self.space.contains(id) {
+            return Err(JoinError::OutOfSpace(id));
+        }
+        if self.nodes.contains_key(&id) {
+            return Err(JoinError::IdTaken(id));
+        }
+        let sorted: Vec<DhtId> = self.nodes.keys().copied().collect();
+        self.nodes.insert(
+            id,
+            DhtNodeState {
+                peers: DhtPeerTable::new(self.space, id),
+            },
+        );
+        let table = self.build_table(id, &sorted, latency_ms, rng);
+        self.nodes.get_mut(&id).expect("just inserted").peers = table;
+
+        // The predecessor must learn its new closest-clockwise peer: that
+        // peer bounds the predecessor's backup range [n, n₁).
+        if let Some(pred) = self.predecessor_of(id) {
+            let lat = latency_ms(pred, id);
+            if let Some(state) = self.nodes.get_mut(&pred) {
+                state.peers.offer_closer(id, lat);
+            }
+        }
+        // Tell a sample of existing nodes about the newcomer; the rest
+        // will learn by overhearing routed messages.
+        let sample: Vec<DhtId> = sorted
+            .choose_multiple(rng, 16.min(sorted.len()))
+            .copied()
+            .collect();
+        for other in sample {
+            let lat = latency_ms(other, id);
+            if let Some(state) = self.nodes.get_mut(&other) {
+                state.peers.offer(id, lat);
+            }
+        }
+        Ok(())
+    }
+
+    /// Remove a node. Dangling references in other tables are repaired
+    /// lazily by the router. Returns `true` if the node was present.
+    pub fn leave(&mut self, id: DhtId) -> bool {
+        self.nodes.remove(&id).is_some()
+    }
+
+    /// Age every table by one maintenance period (stale entries become
+    /// replaceable by any overheard candidate).
+    pub fn tick_tables(&mut self) {
+        for state in self.nodes.values_mut() {
+            state.peers.tick();
+        }
+    }
+
+    /// A uniformly random live node ID.
+    pub fn random_id(&self, rng: &mut SimRng) -> Option<DhtId> {
+        if self.nodes.is_empty() {
+            return None;
+        }
+        let idx = rng.gen_range(0..self.nodes.len());
+        self.nodes.keys().nth(idx).copied()
+    }
+
+    /// Check every node's level invariant; `Err` describes the first
+    /// violation found.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        for (id, state) in &self.nodes {
+            state
+                .peers
+                .check_invariants()
+                .map_err(|e| format!("node {id}: {e}"))?;
+        }
+        Ok(())
+    }
+}
+
+/// All IDs from `sorted_ids` lying in the (possibly wrapping) clockwise
+/// interval `[from, to)`, excluding `exclude`.
+fn ids_in_interval(
+    space: IdSpace,
+    sorted_ids: &[DhtId],
+    from: DhtId,
+    to: DhtId,
+    exclude: DhtId,
+) -> Vec<DhtId> {
+    let mut out = Vec::new();
+    let mut push_range = |lo: DhtId, hi_excl: DhtId| {
+        // indices of ids in [lo, hi_excl)
+        let start = sorted_ids.partition_point(|&x| x < lo);
+        let end = sorted_ids.partition_point(|&x| x < hi_excl);
+        for &id in &sorted_ids[start..end] {
+            if id != exclude {
+                out.push(id);
+            }
+        }
+    };
+    if from < to {
+        push_range(from, to);
+    } else {
+        // Wraps: [from, N) ∪ [0, to).
+        push_range(from, space.size());
+        push_range(0, to);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cs_sim::RngTree;
+
+    fn flat_latency(_: DhtId, _: DhtId) -> f64 {
+        10.0
+    }
+
+    fn build_net(n: usize, bits: u32, seed: u64) -> DhtNetwork {
+        let mut rng = RngTree::new(seed).child("dht-net");
+        let space = IdSpace::new(bits);
+        // Random distinct IDs.
+        let mut ids: Vec<DhtId> = Vec::with_capacity(n);
+        let mut used = std::collections::HashSet::new();
+        while ids.len() < n {
+            let id = rng.gen_range(0..space.size());
+            if used.insert(id) {
+                ids.push(id);
+            }
+        }
+        DhtNetwork::build(space, &ids, &flat_latency, &mut rng)
+    }
+
+    #[test]
+    fn build_fills_reachable_levels() {
+        let net = build_net(500, 13, 1);
+        net.check_invariants().unwrap();
+        // With 500 nodes in 8192 positions most high levels must be
+        // filled; the very low levels (intervals of size 1 or 2) are
+        // usually empty.
+        let avg_filled: f64 = net
+            .ids()
+            .map(|id| net.node(id).unwrap().peers.filled() as f64)
+            .sum::<f64>()
+            / net.len() as f64;
+        assert!(
+            avg_filled >= 6.0,
+            "average filled levels {avg_filled} too low for n=500, N=8192"
+        );
+    }
+
+    #[test]
+    fn responsible_of_is_ccw_closest() {
+        let space = IdSpace::new(6);
+        let mut rng = RngTree::new(2).child("x");
+        let net = DhtNetwork::build(space, &[10, 20, 40], &flat_latency, &mut rng);
+        assert_eq!(net.responsible_of(10), Some(10));
+        assert_eq!(net.responsible_of(15), Some(10));
+        assert_eq!(net.responsible_of(39), Some(20));
+        assert_eq!(net.responsible_of(63), Some(40));
+        // Wrap: positions before the first node belong to the last node.
+        assert_eq!(net.responsible_of(5), Some(40));
+    }
+
+    #[test]
+    fn successor_wraps() {
+        let space = IdSpace::new(6);
+        let mut rng = RngTree::new(3).child("x");
+        let net = DhtNetwork::build(space, &[10, 20, 40], &flat_latency, &mut rng);
+        assert_eq!(net.successor_of(10), Some(20));
+        assert_eq!(net.successor_of(40), Some(10));
+        assert_eq!(net.successor_of(99), None);
+    }
+
+    #[test]
+    fn responsibility_partition_covers_ring() {
+        let net = build_net(50, 10, 4);
+        let space = net.space();
+        for key in (0..space.size()).step_by(7) {
+            let owner = net.responsible_of(key).unwrap();
+            let range = net.responsibility_of(owner).unwrap();
+            assert!(range.contains(key), "key {key} not in its owner's range");
+        }
+    }
+
+    #[test]
+    fn join_and_leave() {
+        let mut net = build_net(100, 10, 5);
+        let mut rng = RngTree::new(5).child("join");
+        // Find a free ID.
+        let free = (0..net.space().size())
+            .find(|&id| !net.contains(id))
+            .unwrap();
+        net.join(free, &flat_latency, &mut rng).unwrap();
+        assert!(net.contains(free));
+        assert!(net.node(free).unwrap().peers.filled() > 0);
+        assert_eq!(
+            net.join(free, &flat_latency, &mut rng),
+            Err(JoinError::IdTaken(free))
+        );
+        assert!(net.leave(free));
+        assert!(!net.leave(free));
+    }
+
+    #[test]
+    fn join_out_of_space_rejected() {
+        let mut net = build_net(10, 6, 6);
+        let mut rng = RngTree::new(6).child("join");
+        assert_eq!(
+            net.join(64, &flat_latency, &mut rng),
+            Err(JoinError::OutOfSpace(64))
+        );
+    }
+
+    #[test]
+    fn newcomer_is_advertised() {
+        let mut net = build_net(200, 10, 7);
+        let mut rng = RngTree::new(7).child("join");
+        let free = (0..net.space().size())
+            .find(|&id| !net.contains(id))
+            .unwrap();
+        let pred = {
+            let mut tmp = net.clone();
+            tmp.join(free, &flat_latency, &mut rng).unwrap();
+            tmp.predecessor_of(free).unwrap()
+        };
+        net.join(free, &flat_latency, &mut RngTree::new(7).child("join2"))
+            .unwrap();
+        // At minimum the ring predecessor must have filed the newcomer:
+        // its backup-responsibility range depends on it.
+        assert!(
+            net.node(pred)
+                .unwrap()
+                .peers
+                .peers()
+                .any(|p| p.id == free),
+            "predecessor {pred} should have filed the newcomer {free}"
+        );
+    }
+
+    #[test]
+    fn ids_in_interval_wrapping() {
+        let space = IdSpace::new(6);
+        let ids = [1u64, 5, 20, 60, 62];
+        // Wrapping interval: the [from, N) segment comes first.
+        let v = ids_in_interval(space, &ids, 58, 6, 999);
+        assert_eq!(v, vec![60, 62, 1, 5]);
+        let v2 = ids_in_interval(space, &ids, 58, 6, 62);
+        assert_eq!(v2, vec![60, 1, 5]);
+        let v3 = ids_in_interval(space, &ids, 2, 21, 999);
+        assert_eq!(v3, vec![5, 20]);
+    }
+
+    #[test]
+    fn random_id_is_live() {
+        let net = build_net(30, 8, 8);
+        let mut rng = RngTree::new(8).child("r");
+        for _ in 0..20 {
+            let id = net.random_id(&mut rng).unwrap();
+            assert!(net.contains(id));
+        }
+        let empty = DhtNetwork::new(IdSpace::new(4));
+        let mut rng2 = RngTree::new(8).child("r2");
+        assert!(empty.random_id(&mut rng2).is_none());
+    }
+}

@@ -1,0 +1,341 @@
+//! The "DHT Peers" part of the Peer Table (§4.1, Figure 2).
+//!
+//! One optional peer per level `1..=log₂N`. The *only* restriction is
+//! that the level-`i` peer lies in `[n + 2^(i-1), n + 2^i)`; within the
+//! interval the node is free to pick whichever candidate it likes — the
+//! implementation prefers lower latency, matching Figure 2's latency
+//! column and the paper's neighbour-selection style. Entries are refreshed
+//! from overheard nodes, so a table fills up (and heals after churn)
+//! without any dedicated maintenance traffic.
+
+use crate::id::{DhtId, IdSpace};
+
+/// One DHT peer: identity plus the latency estimate used to choose among
+/// candidates for the same level.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DhtPeerEntry {
+    /// The peer's DHT identifier.
+    pub id: DhtId,
+    /// Estimated one-way latency to the peer in milliseconds (RTT/2, as
+    /// measured by the PING probe of the join protocol).
+    pub latency_ms: f64,
+    /// Age counter: bumped by [`DhtPeerTable::tick`], reset on refresh.
+    /// Stale entries lose to fresh candidates even at higher latency.
+    pub age: u32,
+}
+
+/// Age after which an entry is considered stale and replaced by any fresh
+/// candidate for its level regardless of latency.
+pub const STALE_AGE: u32 = 8;
+
+/// The level-indexed DHT peer table of a single node.
+#[derive(Debug, Clone)]
+pub struct DhtPeerTable {
+    space: IdSpace,
+    owner: DhtId,
+    /// `levels[i - 1]` holds the level-`i` peer.
+    levels: Vec<Option<DhtPeerEntry>>,
+}
+
+impl DhtPeerTable {
+    /// An empty table for node `owner`.
+    pub fn new(space: IdSpace, owner: DhtId) -> Self {
+        assert!(space.contains(owner), "owner must live in the ID space");
+        DhtPeerTable {
+            space,
+            owner,
+            levels: vec![None; space.bits() as usize],
+        }
+    }
+
+    /// The owning node's ID.
+    pub fn owner(&self) -> DhtId {
+        self.owner
+    }
+
+    /// The ID space this table lives in.
+    pub fn space(&self) -> IdSpace {
+        self.space
+    }
+
+    /// The current level-`i` peer (1-based), if any.
+    pub fn level(&self, i: u32) -> Option<DhtPeerEntry> {
+        self.levels[(i - 1) as usize]
+    }
+
+    /// Number of filled levels.
+    pub fn filled(&self) -> usize {
+        self.levels.iter().filter(|e| e.is_some()).count()
+    }
+
+    /// Iterate over all current peers.
+    pub fn peers(&self) -> impl Iterator<Item = DhtPeerEntry> + '_ {
+        self.levels.iter().filter_map(|e| *e)
+    }
+
+    /// Offer a candidate (typically an overheard node). Files it at its
+    /// level if the slot is empty, the incumbent is stale, or the
+    /// candidate's latency is lower. Returns `true` if the table changed.
+    pub fn offer(&mut self, id: DhtId, latency_ms: f64) -> bool {
+        if id == self.owner || !self.space.contains(id) {
+            return false;
+        }
+        let level = self
+            .space
+            .level_of(self.owner, id)
+            .expect("non-owner id always has a level") as usize
+            - 1;
+        let slot = &mut self.levels[level];
+        let replace = match slot {
+            None => true,
+            Some(cur) => {
+                cur.id == id // refresh of the same peer: always take it
+                    || cur.age >= STALE_AGE
+                    || latency_ms < cur.latency_ms
+            }
+        };
+        if replace {
+            *slot = Some(DhtPeerEntry {
+                id,
+                latency_ms,
+                age: 0,
+            });
+        }
+        replace
+    }
+
+    /// Offer a candidate that should win on *ring proximity* rather than
+    /// latency: replaces the incumbent of its level when the candidate is
+    /// clockwise-closer to the owner. Used when a joining node announces
+    /// itself to its predecessor — the predecessor's closest-clockwise
+    /// peer bounds its backup-responsibility range (§4.3), so it must
+    /// learn about closer successors promptly. Returns `true` on change.
+    pub fn offer_closer(&mut self, id: DhtId, latency_ms: f64) -> bool {
+        if id == self.owner || !self.space.contains(id) {
+            return false;
+        }
+        let level = self
+            .space
+            .level_of(self.owner, id)
+            .expect("non-owner id always has a level") as usize
+            - 1;
+        let slot = &mut self.levels[level];
+        let replace = match slot {
+            None => true,
+            Some(cur) => {
+                self.space.clockwise_dist(self.owner, id)
+                    <= self.space.clockwise_dist(self.owner, cur.id)
+            }
+        };
+        if replace {
+            *slot = Some(DhtPeerEntry {
+                id,
+                latency_ms,
+                age: 0,
+            });
+        }
+        replace
+    }
+
+    /// Remove a peer known to have failed. Returns `true` if it was
+    /// present.
+    pub fn remove(&mut self, id: DhtId) -> bool {
+        for slot in &mut self.levels {
+            if slot.map(|e| e.id) == Some(id) {
+                *slot = None;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Age all entries by one maintenance period.
+    pub fn tick(&mut self) {
+        for slot in self.levels.iter_mut().flatten() {
+            slot.age = slot.age.saturating_add(1);
+        }
+    }
+
+    /// The peer whose ID is clockwise-closest to `target` without the
+    /// distance exceeding the owner's own clockwise distance — the greedy
+    /// next hop of §4.1. `None` when no peer is strictly closer than the
+    /// owner (routing terminates at the owner).
+    pub fn next_hop(&self, target: DhtId) -> Option<DhtPeerEntry> {
+        let own_dist = self.space.clockwise_dist(self.owner, target);
+        // A peer p "gets closer" when clockwise_dist(p, target) < own
+        // remaining clockwise distance; ties do not progress.
+        self.peers()
+            .filter_map(|p| {
+                let d = self.space.clockwise_dist(p.id, target);
+                (d < own_dist).then_some((d, p))
+            })
+            .min_by(|a, b| a.0.cmp(&b.0).then(a.1.id.cmp(&b.1.id)))
+            .map(|(_, p)| p)
+    }
+
+    /// The owner's *closest clockwise* DHT peer, i.e. the `n₁` of the
+    /// backup-responsibility interval `[n, n₁)` (§4.3).
+    pub fn closest_clockwise(&self) -> Option<DhtPeerEntry> {
+        self.peers()
+            .min_by(|a, b| {
+                let da = self.space.clockwise_dist(self.owner, a.id);
+                let db = self.space.clockwise_dist(self.owner, b.id);
+                da.cmp(&db)
+            })
+    }
+
+    /// Verify the level invariant for every entry; used by tests and debug
+    /// assertions in the network layer.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        for (idx, entry) in self.levels.iter().enumerate() {
+            if let Some(e) = entry {
+                let level = idx as u32 + 1;
+                let (from, to) = self.space.level_interval(self.owner, level);
+                if !self.space.in_interval(e.id, from, to) {
+                    return Err(format!(
+                        "level {level} peer {} outside [{from}, {to})",
+                        e.id
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table() -> DhtPeerTable {
+        DhtPeerTable::new(IdSpace::new(6), 10) // N = 64, owner 10
+    }
+
+    #[test]
+    fn offer_files_at_correct_level() {
+        let mut t = table();
+        // dist(10, 11) = 1 → level 1; dist(10, 30) = 20 → level 5.
+        assert!(t.offer(11, 5.0));
+        assert!(t.offer(30, 9.0));
+        assert_eq!(t.level(1).unwrap().id, 11);
+        assert_eq!(t.level(5).unwrap().id, 30);
+        assert_eq!(t.filled(), 2);
+        t.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn lower_latency_wins() {
+        let mut t = table();
+        assert!(t.offer(30, 9.0));
+        // Same level (dist 16..31), higher latency: rejected.
+        assert!(!t.offer(27, 12.0));
+        assert_eq!(t.level(5).unwrap().id, 30);
+        // Lower latency: accepted.
+        assert!(t.offer(27, 3.0));
+        assert_eq!(t.level(5).unwrap().id, 27);
+    }
+
+    #[test]
+    fn same_peer_refreshes() {
+        let mut t = table();
+        t.offer(30, 9.0);
+        for _ in 0..3 {
+            t.tick();
+        }
+        assert_eq!(t.level(5).unwrap().age, 3);
+        // Re-offering the same peer resets age even at worse latency.
+        assert!(t.offer(30, 20.0));
+        assert_eq!(t.level(5).unwrap().age, 0);
+        assert_eq!(t.level(5).unwrap().latency_ms, 20.0);
+    }
+
+    #[test]
+    fn stale_entries_are_replaced() {
+        let mut t = table();
+        t.offer(30, 1.0);
+        for _ in 0..STALE_AGE {
+            t.tick();
+        }
+        // Fresh candidate with much worse latency still wins: incumbent
+        // may be long gone.
+        assert!(t.offer(27, 50.0));
+        assert_eq!(t.level(5).unwrap().id, 27);
+    }
+
+    #[test]
+    fn own_id_rejected() {
+        let mut t = table();
+        assert!(!t.offer(10, 0.1));
+        assert_eq!(t.filled(), 0);
+    }
+
+    #[test]
+    fn out_of_space_rejected() {
+        let mut t = table();
+        assert!(!t.offer(64, 1.0));
+        assert!(!t.offer(1000, 1.0));
+    }
+
+    #[test]
+    fn remove_clears_slot() {
+        let mut t = table();
+        t.offer(11, 5.0);
+        assert!(t.remove(11));
+        assert!(!t.remove(11));
+        assert_eq!(t.filled(), 0);
+    }
+
+    #[test]
+    fn next_hop_greedy_clockwise() {
+        let mut t = table();
+        t.offer(11, 1.0); // level 1
+        t.offer(13, 1.0); // level 2
+        t.offer(16, 1.0); // level 3 (dist 6)
+        t.offer(20, 1.0); // level 4 (dist 10)
+        t.offer(40, 1.0); // level 5 (dist 30)
+        // Target 42: peer 40 has dist 2, best.
+        assert_eq!(t.next_hop(42).unwrap().id, 40);
+        // Target 15: peer 13 has dist 2; 16 overshoots (dist 63). 13 wins.
+        assert_eq!(t.next_hop(15).unwrap().id, 13);
+        // Target 10 is the owner itself: dist 0, nobody is closer.
+        assert!(t.next_hop(10).is_none());
+        // Target 11: peer 11 has dist 0 — delivered there.
+        assert_eq!(t.next_hop(11).unwrap().id, 11);
+    }
+
+    #[test]
+    fn next_hop_never_overshoots() {
+        // Overshooting (going clockwise past the target) would give a huge
+        // wrapped distance, so it can never be selected while a closer
+        // non-overshooting option exists; and when *all* peers overshoot,
+        // routing must stop.
+        let mut t = table();
+        t.offer(40, 1.0);
+        // Target 20: owner dist 10; peer 40 dist = 44 (wraps) → stop.
+        assert!(t.next_hop(20).is_none());
+    }
+
+    #[test]
+    fn closest_clockwise_is_successor_like() {
+        let mut t = table();
+        t.offer(13, 1.0);
+        t.offer(11, 1.0);
+        t.offer(40, 1.0);
+        assert_eq!(t.closest_clockwise().unwrap().id, 11);
+        let empty = table();
+        assert!(empty.closest_clockwise().is_none());
+    }
+
+    #[test]
+    fn invariant_check_catches_corruption() {
+        let mut t = table();
+        t.offer(11, 1.0);
+        // Manually corrupt: put a level-1 peer in the level-3 slot.
+        t.levels[2] = Some(DhtPeerEntry {
+            id: 11,
+            latency_ms: 1.0,
+            age: 0,
+        });
+        assert!(t.check_invariants().is_err());
+    }
+}

@@ -1,0 +1,228 @@
+//! Traffic accounting for the overhead metrics (§5.3).
+//!
+//! * **Control overhead** — "the ratio of communication cost for buffer
+//!   information exchange over the real communication cost for data
+//!   segments transfer."
+//! * **Pre-fetch overhead** — "the ratio of [DHT routing messages plus
+//!   transfer cost for the missed data segment] over the real
+//!   communication cost for data segments transfer."
+//!
+//! Counters accumulate bits per traffic class; snapshots can be taken per
+//! scheduling round (for the Figure 10 track) or over a whole stable
+//! phase (Figures 9 and 11).
+
+/// The traffic classes the paper distinguishes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TrafficClass {
+    /// Buffer-map exchanges between connected neighbours.
+    Control,
+    /// Segment payloads delivered by the gossip scheduler.
+    Data,
+    /// DHT routing messages issued by on-demand retrieval.
+    PrefetchRouting,
+    /// Segment payloads delivered by on-demand retrieval.
+    PrefetchData,
+    /// Join-protocol probes (PING/PONG, RP contact). Not part of either
+    /// paper overhead metric, tracked for completeness.
+    Membership,
+}
+
+/// Accumulated bits per class.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TrafficCounter {
+    control_bits: u64,
+    data_bits: u64,
+    prefetch_routing_bits: u64,
+    prefetch_data_bits: u64,
+    membership_bits: u64,
+}
+
+/// A derived overhead report.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OverheadReport {
+    /// Control bits / data bits (Figure 9's y-axis). `None` when no data
+    /// has flowed yet.
+    pub control_overhead: Option<f64>,
+    /// (Pre-fetch routing + pre-fetch data) bits / data bits
+    /// (Figures 10–11's y-axis). `None` when no data has flowed yet.
+    pub prefetch_overhead: Option<f64>,
+    /// Total bits moved across all classes.
+    pub total_bits: u64,
+}
+
+impl TrafficCounter {
+    /// A zeroed counter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record `bits` of traffic in `class`.
+    pub fn add(&mut self, class: TrafficClass, bits: u64) {
+        let slot = match class {
+            TrafficClass::Control => &mut self.control_bits,
+            TrafficClass::Data => &mut self.data_bits,
+            TrafficClass::PrefetchRouting => &mut self.prefetch_routing_bits,
+            TrafficClass::PrefetchData => &mut self.prefetch_data_bits,
+            TrafficClass::Membership => &mut self.membership_bits,
+        };
+        *slot = slot
+            .checked_add(bits)
+            .expect("traffic counter overflow: u64 bits exceeded");
+    }
+
+    /// Bits recorded for a class.
+    pub fn bits(&self, class: TrafficClass) -> u64 {
+        match class {
+            TrafficClass::Control => self.control_bits,
+            TrafficClass::Data => self.data_bits,
+            TrafficClass::PrefetchRouting => self.prefetch_routing_bits,
+            TrafficClass::PrefetchData => self.prefetch_data_bits,
+            TrafficClass::Membership => self.membership_bits,
+        }
+    }
+
+    /// Total bits over all classes.
+    pub fn total_bits(&self) -> u64 {
+        self.control_bits
+            + self.data_bits
+            + self.prefetch_routing_bits
+            + self.prefetch_data_bits
+            + self.membership_bits
+    }
+
+    /// The paper's two overhead ratios. The denominator of both is the
+    /// *gossip-delivered* data traffic ("the real communication cost for
+    /// data segments transfer").
+    pub fn report(&self) -> OverheadReport {
+        let denom = self.data_bits;
+        let ratio = |num: u64| (denom > 0).then(|| num as f64 / denom as f64);
+        OverheadReport {
+            control_overhead: ratio(self.control_bits),
+            prefetch_overhead: ratio(self.prefetch_routing_bits + self.prefetch_data_bits),
+            total_bits: self.total_bits(),
+        }
+    }
+
+    /// `self − earlier`, for per-interval overhead tracks.
+    ///
+    /// # Panics
+    /// If `earlier` is not component-wise ≤ `self`.
+    pub fn since(&self, earlier: &TrafficCounter) -> TrafficCounter {
+        TrafficCounter {
+            control_bits: checked_sub(self.control_bits, earlier.control_bits),
+            data_bits: checked_sub(self.data_bits, earlier.data_bits),
+            prefetch_routing_bits: checked_sub(
+                self.prefetch_routing_bits,
+                earlier.prefetch_routing_bits,
+            ),
+            prefetch_data_bits: checked_sub(self.prefetch_data_bits, earlier.prefetch_data_bits),
+            membership_bits: checked_sub(self.membership_bits, earlier.membership_bits),
+        }
+    }
+
+    /// Merge another counter into this one (e.g. per-node counters into a
+    /// system total).
+    pub fn merge(&mut self, other: &TrafficCounter) {
+        self.control_bits += other.control_bits;
+        self.data_bits += other.data_bits;
+        self.prefetch_routing_bits += other.prefetch_routing_bits;
+        self.prefetch_data_bits += other.prefetch_data_bits;
+        self.membership_bits += other.membership_bits;
+    }
+}
+
+fn checked_sub(a: u64, b: u64) -> u64 {
+    a.checked_sub(b)
+        .expect("TrafficCounter::since: earlier counter is ahead of later one")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulates_by_class() {
+        let mut c = TrafficCounter::new();
+        c.add(TrafficClass::Control, 620);
+        c.add(TrafficClass::Control, 620);
+        c.add(TrafficClass::Data, 30 * 1024);
+        assert_eq!(c.bits(TrafficClass::Control), 1240);
+        assert_eq!(c.bits(TrafficClass::Data), 30 * 1024);
+        assert_eq!(c.total_bits(), 1240 + 30 * 1024);
+    }
+
+    #[test]
+    fn report_ratios() {
+        let mut c = TrafficCounter::new();
+        // 10 segments delivered by gossip, 5 bufmap exchanges, one
+        // pre-fetch (25 routing messages + payload).
+        for _ in 0..10 {
+            c.add(TrafficClass::Data, 30 * 1024);
+        }
+        for _ in 0..5 {
+            c.add(TrafficClass::Control, 620);
+        }
+        c.add(TrafficClass::PrefetchRouting, 25 * 80);
+        c.add(TrafficClass::PrefetchData, 30 * 1024);
+        let r = c.report();
+        let data = (10 * 30 * 1024) as f64;
+        assert!((r.control_overhead.unwrap() - 5.0 * 620.0 / data).abs() < 1e-12);
+        assert!(
+            (r.prefetch_overhead.unwrap() - (25.0 * 80.0 + 30.0 * 1024.0) / data).abs() < 1e-12
+        );
+    }
+
+    #[test]
+    fn empty_report_has_no_ratios() {
+        let c = TrafficCounter::new();
+        let r = c.report();
+        assert!(r.control_overhead.is_none());
+        assert!(r.prefetch_overhead.is_none());
+        assert_eq!(r.total_bits, 0);
+    }
+
+    #[test]
+    fn membership_not_in_either_ratio() {
+        let mut c = TrafficCounter::new();
+        c.add(TrafficClass::Data, 1000);
+        c.add(TrafficClass::Membership, 1_000_000);
+        let r = c.report();
+        assert_eq!(r.control_overhead.unwrap(), 0.0);
+        assert_eq!(r.prefetch_overhead.unwrap(), 0.0);
+        assert_eq!(r.total_bits, 1_001_000);
+    }
+
+    #[test]
+    fn since_gives_interval_counts() {
+        let mut c = TrafficCounter::new();
+        c.add(TrafficClass::Data, 100);
+        let snapshot = c;
+        c.add(TrafficClass::Data, 50);
+        c.add(TrafficClass::Control, 7);
+        let d = c.since(&snapshot);
+        assert_eq!(d.bits(TrafficClass::Data), 50);
+        assert_eq!(d.bits(TrafficClass::Control), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "ahead of later")]
+    fn since_rejects_reversed_order() {
+        let mut c = TrafficCounter::new();
+        c.add(TrafficClass::Data, 100);
+        let later = c;
+        let earlier = TrafficCounter::new();
+        let _ = earlier.since(&later);
+    }
+
+    #[test]
+    fn merge_sums_components() {
+        let mut a = TrafficCounter::new();
+        a.add(TrafficClass::Data, 10);
+        let mut b = TrafficCounter::new();
+        b.add(TrafficClass::Data, 5);
+        b.add(TrafficClass::PrefetchRouting, 80);
+        a.merge(&b);
+        assert_eq!(a.bits(TrafficClass::Data), 15);
+        assert_eq!(a.bits(TrafficClass::PrefetchRouting), 80);
+    }
+}

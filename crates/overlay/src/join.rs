@@ -1,0 +1,262 @@
+//! The join protocol (§4.1).
+//!
+//! "Assuming A gets a list {B, C, D, E}, A will try to send them PING
+//! messages (e.g. in UDP packets) to detect which is the nearest alive
+//! node. The latency is approximately estimated as RTT/2. If B, C, D are
+//! alive and B is nearest to A, then A gets B's Peer Table as the base of
+//! its own Peer Table, notifies B, C, D his joining, and tells the RP
+//! server E's failure."
+
+use cs_dht::DhtId;
+use cs_sim::SimRng;
+
+use crate::peer_table::PeerTable;
+use crate::rp::RpServer;
+
+/// How many close-ID candidates the RP server hands to a joiner.
+pub const CLOSE_LIST_LEN: usize = 4;
+
+/// Errors a join can hit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JoinProtocolError {
+    /// The RP server knew no (alive) nodes besides the joiner: the node
+    /// must bootstrap as the first member.
+    NoAliveContact,
+}
+
+impl std::fmt::Display for JoinProtocolError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            JoinProtocolError::NoAliveContact => {
+                write!(f, "no alive contact available from the RP server")
+            }
+        }
+    }
+}
+
+impl std::error::Error for JoinProtocolError {}
+
+/// What happened during a join.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JoinOutcome {
+    /// The ID the RP server assigned.
+    pub id: DhtId,
+    /// The nearest alive contact whose Peer Table was adopted.
+    pub base: DhtId,
+    /// Every candidate that was PINGed (alive or not).
+    pub pinged: Vec<DhtId>,
+    /// Alive candidates that were notified of the join.
+    pub notified: Vec<DhtId>,
+    /// Dead candidates reported back to the RP server.
+    pub failures_reported: Vec<DhtId>,
+}
+
+/// Run the §4.1 join protocol for one new node.
+///
+/// * `rp` — the rendezvous server (the new ID is registered, reported
+///   failures are removed).
+/// * `alive` — liveness oracle (in the simulator: membership of the node
+///   map).
+/// * `latency_ms` — pairwise latency (RTT/2 is what a PING measures).
+/// * `table_of` — access to an alive node's Peer Table for adoption.
+///
+/// On success the returned Peer Table is fully initialised for the
+/// newcomer.
+pub fn simulate_join(
+    rp: &mut RpServer,
+    rng: &mut SimRng,
+    m: usize,
+    h: usize,
+    alive: impl Fn(DhtId) -> bool,
+    latency_ms: impl Fn(DhtId, DhtId) -> f64,
+    table_of: impl Fn(DhtId) -> PeerTable,
+) -> Result<(DhtId, PeerTable, JoinOutcome), JoinProtocolError> {
+    let id = rp.assign_id(rng);
+    let candidates = rp.close_list(id, CLOSE_LIST_LEN);
+
+    let mut alive_candidates: Vec<(DhtId, f64)> = Vec::new();
+    let mut failures = Vec::new();
+    for &c in &candidates {
+        if alive(c) {
+            alive_candidates.push((c, latency_ms(id, c)));
+        } else {
+            failures.push(c);
+        }
+    }
+    for &f in &failures {
+        rp.report_failure(f);
+    }
+
+    let Some(&(base, _)) = alive_candidates
+        .iter()
+        .min_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)))
+    else {
+        // Nobody reachable: undo the registration so a retry can get a
+        // fresh start, and surface the bootstrap case to the caller.
+        rp.report_failure(id);
+        return Err(JoinProtocolError::NoAliveContact);
+    };
+
+    let mut table = PeerTable::new(rp.space(), id, m, h);
+    table.adopt(&table_of(base), |other| latency_ms(id, other));
+    // Candidates the joiner probed are also the first overheard nodes.
+    for &(c, lat) in &alive_candidates {
+        table.overhear(c, lat);
+    }
+    table.fill_neighbors();
+
+    let outcome = JoinOutcome {
+        id,
+        base,
+        pinged: candidates,
+        notified: alive_candidates.iter().map(|&(c, _)| c).collect(),
+        failures_reported: failures,
+    };
+    Ok((id, table, outcome))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cs_dht::IdSpace;
+    use cs_sim::RngTree;
+    use std::collections::HashMap;
+
+    fn setup(n_alive: usize, seed: u64) -> (RpServer, HashMap<DhtId, PeerTable>, SimRng) {
+        let space = IdSpace::new(10);
+        let mut rp = RpServer::new(space);
+        let mut rng = RngTree::new(seed).child("join");
+        let mut tables = HashMap::new();
+        for _ in 0..n_alive {
+            let id = rp.assign_id(&mut rng);
+            tables.insert(id, PeerTable::new(space, id, 5, 20));
+        }
+        (rp, tables, rng)
+    }
+
+    fn lat(a: DhtId, b: DhtId) -> f64 {
+        ((a as f64 - b as f64).abs() % 97.0) + 1.0
+    }
+
+    #[test]
+    fn join_adopts_nearest_alive() {
+        let (mut rp, tables, mut rng) = setup(50, 1);
+        let (id, table, outcome) = simulate_join(
+            &mut rp,
+            &mut rng,
+            5,
+            20,
+            |c| tables.contains_key(&c),
+            lat,
+            |c| tables[&c].clone(),
+        )
+        .unwrap();
+        assert_eq!(table.owner(), id);
+        assert!(outcome.pinged.contains(&outcome.base));
+        // The base must be the lowest-latency alive candidate.
+        let best = outcome
+            .notified
+            .iter()
+            .copied()
+            .min_by(|&a, &b| lat(id, a).total_cmp(&lat(id, b)))
+            .unwrap();
+        assert_eq!(outcome.base, best);
+        // The joiner got neighbours (at least the base node).
+        assert!(!table.connected.is_empty());
+        assert!(rp.knows(id));
+    }
+
+    #[test]
+    fn dead_candidates_reported() {
+        let (mut rp, mut tables, mut rng) = setup(30, 2);
+        // Kill a third of the nodes without telling the RP server.
+        let victims: Vec<DhtId> = tables.keys().copied().take(10).collect();
+        for v in &victims {
+            tables.remove(v);
+        }
+        let mut reported_any = false;
+        for _ in 0..20 {
+            let r = simulate_join(
+                &mut rp,
+                &mut rng,
+                5,
+                20,
+                |c| tables.contains_key(&c),
+                lat,
+                |c| tables[&c].clone(),
+            );
+            if let Ok((id, table, outcome)) = r {
+                for f in &outcome.failures_reported {
+                    reported_any = true;
+                    assert!(!rp.knows(*f), "reported failure must be deregistered");
+                }
+                tables.insert(id, table);
+            }
+        }
+        assert!(reported_any, "some join should have hit a dead candidate");
+    }
+
+    #[test]
+    fn empty_network_is_bootstrap_case() {
+        let space = IdSpace::new(8);
+        let mut rp = RpServer::new(space);
+        let mut rng = RngTree::new(3).child("join");
+        let r = simulate_join(
+            &mut rp,
+            &mut rng,
+            5,
+            20,
+            |_| false,
+            lat,
+            |_| unreachable!("no table can be fetched from an empty network"),
+        );
+        assert_eq!(r.unwrap_err(), JoinProtocolError::NoAliveContact);
+        assert!(rp.is_empty(), "failed join must not leak its registration");
+    }
+
+    #[test]
+    fn all_candidates_dead_rolls_back() {
+        let (mut rp, _tables, mut rng) = setup(4, 4);
+        // All four existing nodes are dead.
+        let r = simulate_join(
+            &mut rp,
+            &mut rng,
+            5,
+            20,
+            |_| false,
+            lat,
+            |_| unreachable!(),
+        );
+        assert_eq!(r.unwrap_err(), JoinProtocolError::NoAliveContact);
+    }
+
+    #[test]
+    fn joiner_fills_neighbors_from_adopted_table() {
+        let (mut rp, mut tables, mut rng) = setup(40, 5);
+        // Give every table some overheard entries so adoption has
+        // material to fill from.
+        let ids: Vec<DhtId> = tables.keys().copied().collect();
+        for t in tables.values_mut() {
+            for &o in ids.iter().take(8) {
+                if o != t.owner() {
+                    t.overhear(o, lat(t.owner(), o));
+                }
+            }
+        }
+        let (_, table, _) = simulate_join(
+            &mut rp,
+            &mut rng,
+            5,
+            20,
+            |c| tables.contains_key(&c),
+            lat,
+            |c| tables[&c].clone(),
+        )
+        .unwrap();
+        assert!(
+            table.connected.len() >= 2,
+            "adoption + fill should yield several neighbours, got {}",
+            table.connected.len()
+        );
+    }
+}

@@ -1,0 +1,251 @@
+//! The complete Peer Table (§4.1, Figure 2): connected neighbours + DHT
+//! peers + overheard nodes, with the renewal flows between them.
+//!
+//! "Clearly the Connected Neighbors and DHT Peers are both updated
+//! according to Overheard Nodes, and Overheard Nodes are updated by local
+//! overhearing which requires no extra communication overhead. Therefore,
+//! the P2P overlay we design needs low maintenance cost."
+
+use cs_dht::{DhtId, DhtPeerTable, IdSpace};
+
+use crate::neighbors::{ConnectedNeighbors, NeighborEntry};
+use crate::overheard::OverheardList;
+
+/// One node's full Peer Table.
+#[derive(Debug, Clone)]
+pub struct PeerTable {
+    owner: DhtId,
+    /// Part 1: the `M` gossip partners.
+    pub connected: ConnectedNeighbors,
+    /// Part 2: the `log N` level-constrained DHT peers.
+    pub dht: DhtPeerTable,
+    /// Part 3: the `H` most recently overheard nodes.
+    pub overheard: OverheardList,
+}
+
+impl PeerTable {
+    /// A fresh table for node `owner` with capacities `m` (connected) and
+    /// `h` (overheard).
+    pub fn new(space: IdSpace, owner: DhtId, m: usize, h: usize) -> Self {
+        PeerTable {
+            owner,
+            connected: ConnectedNeighbors::new(m),
+            dht: DhtPeerTable::new(space, owner),
+            overheard: OverheardList::new(h),
+        }
+    }
+
+    /// The owning node.
+    pub fn owner(&self) -> DhtId {
+        self.owner
+    }
+
+    /// Adopt another node's table as the base of this one (the join
+    /// protocol: "A gets B's Peer Table as the base of its own Peer
+    /// Table"). Connected neighbours and overheard entries are copied
+    /// (minus the owner itself); DHT peers are re-filed because levels are
+    /// relative to the owner's own ID.
+    pub fn adopt(&mut self, base: &PeerTable, latency_to: impl Fn(DhtId) -> f64) {
+        for e in base.connected.entries() {
+            if e.id != self.owner && !self.connected.is_full() {
+                self.connected.add(NeighborEntry {
+                    id: e.id,
+                    latency_ms: latency_to(e.id),
+                    recent_supply_kbps: 0.0,
+                });
+            }
+        }
+        // The base node itself is a prime first neighbour.
+        if !self.connected.is_full() && base.owner() != self.owner {
+            self.connected.add(NeighborEntry {
+                id: base.owner(),
+                latency_ms: latency_to(base.owner()),
+                recent_supply_kbps: 0.0,
+            });
+        }
+        for e in base.overheard.entries() {
+            if e.id != self.owner {
+                self.overheard.record(e.id, latency_to(e.id));
+            }
+        }
+        for p in base.dht.peers() {
+            if p.id != self.owner {
+                self.dht.offer(p.id, latency_to(p.id));
+            }
+        }
+    }
+
+    /// Overhear a node (from a routing message passing by): records it in
+    /// the overheard list and opportunistically offers it to the DHT
+    /// levels — both renewal flows of Figure 2 in one call.
+    pub fn overhear(&mut self, id: DhtId, latency_ms: f64) {
+        if id == self.owner {
+            return;
+        }
+        self.overheard.record(id, latency_ms);
+        self.dht.offer(id, latency_ms);
+    }
+
+    /// Replace a failed or weak connected neighbour with the best
+    /// overheard candidate. Returns the id of the new neighbour, if a
+    /// replacement happened.
+    pub fn replace_neighbor(&mut self, failed: DhtId) -> Option<DhtId> {
+        let had = self.connected.remove(failed);
+        self.overheard.remove(failed);
+        self.dht.remove(failed);
+        if !had && self.connected.is_full() {
+            return None;
+        }
+        let candidate = self
+            .overheard
+            .best_candidate(|id| id == self.owner || self.connected.contains(id))?;
+        self.connected.add(NeighborEntry {
+            id: candidate.id,
+            latency_ms: candidate.latency_ms,
+            recent_supply_kbps: 0.0,
+        });
+        Some(candidate.id)
+    }
+
+    /// Top up the connected set to capacity from the overheard list.
+    /// Returns the ids added.
+    pub fn fill_neighbors(&mut self) -> Vec<DhtId> {
+        let mut added = Vec::new();
+        while !self.connected.is_full() {
+            let Some(c) = self
+                .overheard
+                .best_candidate(|id| {
+                    id == self.owner || self.connected.contains(id) || added.contains(&id)
+                })
+            else {
+                break;
+            };
+            self.connected.add(NeighborEntry {
+                id: c.id,
+                latency_ms: c.latency_ms,
+                recent_supply_kbps: 0.0,
+            });
+            added.push(c.id);
+        }
+        added
+    }
+
+    /// Periodic maintenance: age DHT entries so stale peers become
+    /// replaceable.
+    pub fn tick(&mut self) {
+        self.dht.tick();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table(owner: DhtId) -> PeerTable {
+        PeerTable::new(IdSpace::new(10), owner, 3, 5)
+    }
+
+    #[test]
+    fn overhear_feeds_both_lists() {
+        let mut t = table(100);
+        t.overhear(200, 12.0);
+        assert_eq!(t.overheard.len(), 1);
+        assert!(t.dht.peers().any(|p| p.id == 200));
+        // Own id is ignored.
+        t.overhear(100, 1.0);
+        assert_eq!(t.overheard.len(), 1);
+    }
+
+    #[test]
+    fn adopt_copies_neighbors_and_base() {
+        let mut base = table(1);
+        base.connected.add(NeighborEntry {
+            id: 2,
+            latency_ms: 5.0,
+            recent_supply_kbps: 50.0,
+        });
+        base.overheard.record(3, 8.0);
+        base.dht.offer(500, 7.0);
+
+        let mut fresh = table(10);
+        fresh.adopt(&base, |_| 9.0);
+        assert!(fresh.connected.contains(2));
+        assert!(fresh.connected.contains(1), "base node becomes a neighbour");
+        assert!(fresh.overheard.entries().any(|e| e.id == 3));
+        assert!(fresh.dht.peers().any(|p| p.id == 500));
+        // Supply rates start fresh, not copied.
+        assert!(fresh
+            .connected
+            .entries()
+            .iter()
+            .all(|e| e.recent_supply_kbps == 0.0));
+    }
+
+    #[test]
+    fn adopt_skips_own_id() {
+        let mut base = table(1);
+        base.connected.add(NeighborEntry {
+            id: 10,
+            latency_ms: 5.0,
+            recent_supply_kbps: 0.0,
+        });
+        let mut fresh = table(10);
+        fresh.adopt(&base, |_| 9.0);
+        assert!(!fresh.connected.contains(10), "own id must not self-connect");
+    }
+
+    #[test]
+    fn replace_neighbor_uses_best_overheard() {
+        let mut t = table(100);
+        t.connected.add(NeighborEntry {
+            id: 1,
+            latency_ms: 5.0,
+            recent_supply_kbps: 0.0,
+        });
+        t.overhear(2, 30.0);
+        t.overhear(3, 10.0);
+        let new = t.replace_neighbor(1);
+        assert_eq!(new, Some(3), "lowest-latency overheard node wins");
+        assert!(!t.connected.contains(1));
+        assert!(t.connected.contains(3));
+    }
+
+    #[test]
+    fn replace_neighbor_purges_failed_everywhere() {
+        let mut t = table(100);
+        t.connected.add(NeighborEntry {
+            id: 7,
+            latency_ms: 5.0,
+            recent_supply_kbps: 0.0,
+        });
+        t.overhear(7, 5.0);
+        let _ = t.replace_neighbor(7);
+        assert!(!t.connected.contains(7));
+        assert!(!t.overheard.entries().any(|e| e.id == 7));
+        assert!(!t.dht.peers().any(|p| p.id == 7));
+    }
+
+    #[test]
+    fn replace_without_candidates_returns_none() {
+        let mut t = table(100);
+        t.connected.add(NeighborEntry {
+            id: 1,
+            latency_ms: 5.0,
+            recent_supply_kbps: 0.0,
+        });
+        assert_eq!(t.replace_neighbor(1), None);
+        assert!(t.connected.is_empty());
+    }
+
+    #[test]
+    fn fill_neighbors_tops_up() {
+        let mut t = table(100);
+        t.overhear(1, 30.0);
+        t.overhear(2, 10.0);
+        t.overhear(3, 20.0);
+        t.overhear(4, 40.0);
+        let added = t.fill_neighbors();
+        assert_eq!(added, vec![2, 3, 1], "lowest latency first");
+        assert!(t.connected.is_full());
+    }
+}

@@ -1,0 +1,322 @@
+//! The event-loop engine.
+//!
+//! [`Engine`] owns the clock and the pending-event queue and repeatedly
+//! hands the earliest event to a caller-supplied handler. The handler gets
+//! a [`Scheduler`] through which it may push follow-up events — but never
+//! in the past, which the engine enforces. This is the entire contract;
+//! model state lives in the caller.
+
+use crate::event::{EventEntry, EventQueue};
+use crate::time::{SimDuration, SimTime};
+
+/// Statistics the engine keeps about a run; useful in tests and for sanity
+/// checks in the experiment harness ("did this run actually do work?").
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Events delivered to the handler.
+    pub processed: u64,
+    /// Events scheduled (including initial ones).
+    pub scheduled: u64,
+}
+
+/// The scheduling face of the engine, passed to event handlers.
+pub struct Scheduler<'a, E> {
+    queue: &'a mut EventQueue<E>,
+    now: SimTime,
+    horizon: SimTime,
+}
+
+impl<'a, E> Scheduler<'a, E> {
+    /// The current simulated instant.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Schedule `payload` at the absolute instant `at`.
+    ///
+    /// # Panics
+    /// If `at` is earlier than the current instant: causality violations
+    /// are always bugs in the model, so they fail loudly.
+    pub fn schedule_at(&mut self, at: SimTime, payload: E) {
+        assert!(
+            at >= self.now,
+            "attempted to schedule an event in the past: now={}, at={}",
+            self.now,
+            at
+        );
+        self.queue.push(at, payload);
+    }
+
+    /// Schedule `payload` after a relative delay.
+    pub fn schedule_after(&mut self, delay: SimDuration, payload: E) {
+        let at = self.now + delay;
+        self.queue.push(at, payload);
+    }
+
+    /// Schedule `payload` at the current instant (fires after all events
+    /// already pending for this instant).
+    pub fn schedule_now(&mut self, payload: E) {
+        self.queue.push(self.now, payload);
+    }
+
+    /// The horizon the current run was started with ([`SimTime::MAX`] if
+    /// unbounded). Events scheduled past the horizon are accepted but will
+    /// not fire during this run.
+    pub fn horizon(&self) -> SimTime {
+        self.horizon
+    }
+
+    /// Number of events currently pending.
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+}
+
+/// A deterministic discrete-event engine, generic over the event payload.
+///
+/// ```
+/// use cs_sim::{Engine, SimDuration, SimTime};
+///
+/// // Count ticks of a 10 ms periodic process over one simulated second.
+/// let mut engine: Engine<&str> = Engine::new();
+/// engine.schedule(SimTime::ZERO, "tick");
+/// let mut ticks = 0u32;
+/// engine.run_until(SimTime::from_secs(1), |ev, sched| {
+///     assert_eq!(ev.payload, "tick");
+///     ticks += 1;
+///     sched.schedule_after(SimDuration::from_millis(10), "tick");
+/// });
+/// assert_eq!(ticks, 100); // t = 0ms, 10ms, …, 990ms; 1000ms is past horizon
+/// assert_eq!(engine.now(), SimTime::from_secs(1));
+/// ```
+#[derive(Debug)]
+pub struct Engine<E> {
+    queue: EventQueue<E>,
+    now: SimTime,
+    stats: EngineStats,
+}
+
+impl<E> Default for Engine<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> Engine<E> {
+    /// A fresh engine at t = 0 with nothing scheduled.
+    pub fn new() -> Self {
+        Engine {
+            queue: EventQueue::new(),
+            now: SimTime::ZERO,
+            stats: EngineStats::default(),
+        }
+    }
+
+    /// A fresh engine with pre-allocated queue capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        Engine {
+            queue: EventQueue::with_capacity(cap),
+            now: SimTime::ZERO,
+            stats: EngineStats::default(),
+        }
+    }
+
+    /// The current simulated instant.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Run statistics so far.
+    pub fn stats(&self) -> EngineStats {
+        self.stats
+    }
+
+    /// Number of pending events.
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Schedule an event before (or between) runs.
+    ///
+    /// # Panics
+    /// If `at` is earlier than the current instant.
+    pub fn schedule(&mut self, at: SimTime, payload: E) {
+        assert!(
+            at >= self.now,
+            "attempted to schedule an event in the past: now={}, at={}",
+            self.now,
+            at
+        );
+        self.queue.push(at, payload);
+        self.stats.scheduled += 1;
+    }
+
+    /// Process events in order until the queue is empty or the next event
+    /// would fire at or after `horizon`. On return the clock reads
+    /// `min(horizon, time-of-last-event)` — i.e. exactly `horizon` if the
+    /// run was horizon-limited.
+    ///
+    /// The handler receives each event and a [`Scheduler`] for follow-ups.
+    pub fn run_until<F>(&mut self, horizon: SimTime, mut handler: F)
+    where
+        F: FnMut(EventEntry<E>, &mut Scheduler<'_, E>),
+    {
+        while let Some(t) = self.queue.peek_time() {
+            if t >= horizon {
+                break;
+            }
+            let entry = self.queue.pop().expect("peeked event must pop");
+            self.now = entry.time;
+            let before = self.queue.pushed();
+            let mut sched = Scheduler {
+                queue: &mut self.queue,
+                now: self.now,
+                horizon,
+            };
+            handler(entry, &mut sched);
+            self.stats.processed += 1;
+            self.stats.scheduled += self.queue.pushed() - before;
+        }
+        if horizon != SimTime::MAX {
+            self.now = self.now.max(horizon);
+        }
+    }
+
+    /// Process every pending event (including ones scheduled by handlers)
+    /// until the queue drains.
+    pub fn run_to_completion<F>(&mut self, handler: F)
+    where
+        F: FnMut(EventEntry<E>, &mut Scheduler<'_, E>),
+    {
+        self.run_until(SimTime::MAX, handler);
+    }
+
+    /// Pop a single event and hand it to `handler`. Returns `false` when
+    /// the queue is empty. Useful for lock-step co-simulation in tests.
+    pub fn step<F>(&mut self, mut handler: F) -> bool
+    where
+        F: FnMut(EventEntry<E>, &mut Scheduler<'_, E>),
+    {
+        match self.queue.pop() {
+            None => false,
+            Some(entry) => {
+                self.now = entry.time;
+                let before = self.queue.pushed();
+                let mut sched = Scheduler {
+                    queue: &mut self.queue,
+                    now: self.now,
+                    horizon: SimTime::MAX,
+                };
+                handler(entry, &mut sched);
+                self.stats.processed += 1;
+                self.stats.scheduled += self.queue.pushed() - before;
+                true
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn processes_in_order_across_handler_pushes() {
+        let mut engine: Engine<u32> = Engine::new();
+        engine.schedule(SimTime::from_secs(1), 1);
+        engine.schedule(SimTime::from_secs(3), 3);
+        let mut seen = Vec::new();
+        engine.run_to_completion(|ev, sched| {
+            seen.push((ev.time.as_secs(), ev.payload));
+            if ev.payload == 1 {
+                sched.schedule_at(SimTime::from_secs(2), 2);
+            }
+        });
+        assert_eq!(seen, vec![(1, 1), (2, 2), (3, 3)]);
+    }
+
+    #[test]
+    fn horizon_is_exclusive_and_clock_advances_to_it() {
+        let mut engine: Engine<()> = Engine::new();
+        engine.schedule(SimTime::from_secs(5), ());
+        engine.schedule(SimTime::from_secs(10), ());
+        let mut n = 0;
+        engine.run_until(SimTime::from_secs(10), |_, _| n += 1);
+        assert_eq!(n, 1, "event at the horizon must not fire");
+        assert_eq!(engine.now(), SimTime::from_secs(10));
+        assert_eq!(engine.pending(), 1);
+        // A later run picks up the leftover event.
+        engine.run_until(SimTime::from_secs(11), |_, _| n += 1);
+        assert_eq!(n, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "in the past")]
+    fn scheduling_in_the_past_panics() {
+        let mut engine: Engine<u8> = Engine::new();
+        engine.schedule(SimTime::from_secs(2), 0);
+        engine.run_to_completion(|_, sched| {
+            sched.schedule_at(SimTime::from_secs(1), 1);
+        });
+    }
+
+    #[test]
+    fn schedule_now_runs_after_pending_same_instant_events() {
+        let mut engine: Engine<&str> = Engine::new();
+        let t = SimTime::from_secs(1);
+        engine.schedule(t, "first");
+        engine.schedule(t, "second");
+        let mut seen = Vec::new();
+        engine.run_to_completion(|ev, sched| {
+            seen.push(ev.payload);
+            if ev.payload == "first" {
+                sched.schedule_now("injected");
+            }
+        });
+        assert_eq!(seen, vec!["first", "second", "injected"]);
+    }
+
+    #[test]
+    fn stats_count_processed_and_scheduled() {
+        let mut engine: Engine<u32> = Engine::new();
+        engine.schedule(SimTime::ZERO, 0);
+        engine.run_to_completion(|ev, sched| {
+            if ev.payload < 4 {
+                sched.schedule_after(SimDuration::from_millis(1), ev.payload + 1);
+            }
+        });
+        let stats = engine.stats();
+        assert_eq!(stats.processed, 5);
+        assert_eq!(stats.scheduled, 5);
+    }
+
+    #[test]
+    fn step_processes_one_event() {
+        let mut engine: Engine<u8> = Engine::new();
+        engine.schedule(SimTime::from_millis(1), 1);
+        engine.schedule(SimTime::from_millis(2), 2);
+        let mut got = None;
+        assert!(engine.step(|ev, _| got = Some(ev.payload)));
+        assert_eq!(got, Some(1));
+        assert_eq!(engine.pending(), 1);
+        assert!(engine.step(|_, _| {}));
+        assert!(!engine.step(|_, _| {}));
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        fn run(seed: u64) -> Vec<(u64, u64)> {
+            use rand::Rng;
+            let mut rng = crate::rng::RngTree::new(seed).child("engine-test");
+            let mut engine: Engine<u64> = Engine::new();
+            for i in 0..100 {
+                engine.schedule(SimTime::from_micros(rng.gen_range(0..1_000)), i);
+            }
+            let mut order = Vec::new();
+            engine.run_to_completion(|ev, _| order.push((ev.time.as_micros(), ev.payload)));
+            order
+        }
+        assert_eq!(run(11), run(11));
+        assert_ne!(run(11), run(12));
+    }
+}

@@ -1,0 +1,196 @@
+//! The pending-event set.
+//!
+//! A binary min-heap keyed on `(time, seq)`. The sequence number is a
+//! monotonically increasing insertion counter, which gives two properties
+//! the rest of the system relies on:
+//!
+//! * **Determinism** — two events scheduled for the same instant pop in the
+//!   order they were pushed, independent of heap internals.
+//! * **Stable FIFO semantics** — a handler that reschedules itself at the
+//!   current time cannot starve events pushed earlier for that time.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::time::SimTime;
+
+/// One scheduled event: when it fires and what it carries.
+#[derive(Debug, Clone)]
+pub struct EventEntry<E> {
+    /// The instant at which the event fires.
+    pub time: SimTime,
+    /// Insertion sequence number; the tie-breaker for simultaneous events.
+    pub seq: u64,
+    /// The caller's payload.
+    pub payload: E,
+}
+
+// Manual ordering implementations: the heap must never look at the payload,
+// both because payloads need not be Ord and because payload-dependent order
+// would silently change results when payload enums are refactored.
+impl<E> PartialEq for EventEntry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<E> Eq for EventEntry<E> {}
+impl<E> PartialOrd for EventEntry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for EventEntry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want the earliest first.
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A deterministic pending-event queue.
+///
+/// ```
+/// use cs_sim::{EventQueue, SimTime};
+///
+/// let mut q = EventQueue::new();
+/// q.push(SimTime::from_secs(2), "late");
+/// q.push(SimTime::from_secs(1), "early");
+/// q.push(SimTime::from_secs(1), "early-but-second");
+/// assert_eq!(q.pop().unwrap().payload, "early");
+/// assert_eq!(q.pop().unwrap().payload, "early-but-second");
+/// assert_eq!(q.pop().unwrap().payload, "late");
+/// assert!(q.pop().is_none());
+/// ```
+#[derive(Debug, Clone)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<EventEntry<E>>,
+    next_seq: u64,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// An empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+        }
+    }
+
+    /// An empty queue with room for `cap` events before reallocating.
+    pub fn with_capacity(cap: usize) -> Self {
+        EventQueue {
+            heap: BinaryHeap::with_capacity(cap),
+            next_seq: 0,
+        }
+    }
+
+    /// Schedule `payload` to fire at `time`. Returns the sequence number
+    /// assigned to the event.
+    pub fn push(&mut self, time: SimTime, payload: E) -> u64 {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(EventEntry { time, seq, payload });
+        seq
+    }
+
+    /// Remove and return the earliest event, if any.
+    pub fn pop(&mut self) -> Option<EventEntry<E>> {
+        self.heap.pop()
+    }
+
+    /// The firing time of the earliest pending event, if any.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.time)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Total number of events ever pushed (equals the next sequence number).
+    pub fn pushed(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Drop all pending events but keep the sequence counter monotone.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimTime;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        for &t in &[5u64, 1, 4, 2, 3] {
+            q.push(SimTime::from_secs(t), t);
+        }
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop().map(|e| e.payload)).collect();
+        assert_eq!(order, vec![1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn ties_break_by_insertion() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_millis(100);
+        for i in 0..50 {
+            q.push(t, i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|e| e.payload)).collect();
+        assert_eq!(order, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn interleaved_push_pop_is_stable() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_secs(1);
+        q.push(t, "a");
+        q.push(t, "b");
+        assert_eq!(q.pop().unwrap().payload, "a");
+        // Pushing at the same instant after a pop still lands after "b".
+        q.push(t, "c");
+        assert_eq!(q.pop().unwrap().payload, "b");
+        assert_eq!(q.pop().unwrap().payload, "c");
+    }
+
+    #[test]
+    fn peek_and_len() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        assert_eq!(q.peek_time(), None);
+        q.push(SimTime::from_secs(7), ());
+        q.push(SimTime::from_secs(3), ());
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.peek_time(), Some(SimTime::from_secs(3)));
+    }
+
+    #[test]
+    fn clear_keeps_sequence_monotone() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::ZERO, 1);
+        q.push(SimTime::ZERO, 2);
+        q.clear();
+        assert!(q.is_empty());
+        let seq = q.push(SimTime::ZERO, 3);
+        assert_eq!(seq, 2, "sequence numbers must not be reused after clear");
+        assert_eq!(q.pushed(), 3);
+    }
+}

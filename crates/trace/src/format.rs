@@ -1,0 +1,277 @@
+//! Plain-text trace serialisation.
+//!
+//! The Clip2 crawls were distributed as flat text files; we use a simple,
+//! diff-friendly equivalent so traces generated for the experiments can be
+//! committed and re-read:
+//!
+//! ```text
+//! # continustreaming-trace v1
+//! # nodes <n> edges <m>
+//! N <id> <ip> <port> <ping_ms> <speed_kbps>
+//! ...
+//! E <id_a> <id_b>
+//! ...
+//! ```
+//!
+//! Edges reference trace IDs (not dense indices) so files remain valid
+//! under record reordering.
+
+use std::fmt::Write as _;
+use std::net::Ipv4Addr;
+use std::str::FromStr;
+
+use crate::record::NodeRecord;
+use crate::topology::Topology;
+
+/// Errors from [`parse_trace`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceParseError {
+    /// The header line was missing or malformed.
+    BadHeader,
+    /// A line did not start with a known record tag.
+    UnknownTag { line: usize },
+    /// A node or edge line had the wrong number of fields or an
+    /// unparsable field.
+    BadField { line: usize, what: &'static str },
+    /// An edge referenced an unknown node ID.
+    UnknownNode { line: usize, id: u32 },
+    /// The trace contained a duplicate node ID or an invalid edge.
+    Structural { line: usize, message: String },
+}
+
+impl std::fmt::Display for TraceParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceParseError::BadHeader => write!(f, "missing or malformed trace header"),
+            TraceParseError::UnknownTag { line } => write!(f, "line {line}: unknown record tag"),
+            TraceParseError::BadField { line, what } => {
+                write!(f, "line {line}: bad or missing field `{what}`")
+            }
+            TraceParseError::UnknownNode { line, id } => {
+                write!(f, "line {line}: edge references unknown node id {id}")
+            }
+            TraceParseError::Structural { line, message } => {
+                write!(f, "line {line}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TraceParseError {}
+
+const HEADER: &str = "# continustreaming-trace v1";
+
+/// Serialise a topology to the v1 text format.
+pub fn write_trace(topo: &Topology) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{HEADER}");
+    let _ = writeln!(out, "# nodes {} edges {}", topo.len(), topo.edge_count());
+    for r in topo.records() {
+        let _ = writeln!(
+            out,
+            "N {} {} {} {:.3} {}",
+            r.id, r.ip, r.port, r.ping_ms, r.speed_kbps
+        );
+    }
+    for (a, b) in topo.edges() {
+        let _ = writeln!(out, "E {} {}", topo.record(a).id, topo.record(b).id);
+    }
+    out
+}
+
+/// Parse the v1 text format back into a topology.
+pub fn parse_trace(text: &str) -> Result<Topology, TraceParseError> {
+    let mut lines = text.lines().enumerate();
+
+    // Header must be the first non-empty line.
+    let header_ok = lines
+        .by_ref()
+        .find(|(_, l)| !l.trim().is_empty())
+        .map(|(_, l)| l.trim() == HEADER)
+        .unwrap_or(false);
+    if !header_ok {
+        return Err(TraceParseError::BadHeader);
+    }
+
+    let mut records: Vec<NodeRecord> = Vec::new();
+    let mut edges: Vec<(usize, u32, u32)> = Vec::new();
+
+    for (i, raw) in lines {
+        let line_no = i + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut fields = line.split_whitespace();
+        match fields.next() {
+            Some("N") => {
+                let id = parse_field::<u32>(fields.next(), line_no, "id")?;
+                let ip = parse_field::<Ipv4Addr>(fields.next(), line_no, "ip")?;
+                let port = parse_field::<u16>(fields.next(), line_no, "port")?;
+                let ping_ms = parse_field::<f64>(fields.next(), line_no, "ping_ms")?;
+                let speed_kbps = parse_field::<u32>(fields.next(), line_no, "speed_kbps")?;
+                if fields.next().is_some() {
+                    return Err(TraceParseError::BadField {
+                        line: line_no,
+                        what: "trailing fields",
+                    });
+                }
+                records.push(NodeRecord {
+                    id,
+                    ip,
+                    port,
+                    ping_ms,
+                    speed_kbps,
+                });
+            }
+            Some("E") => {
+                let a = parse_field::<u32>(fields.next(), line_no, "edge endpoint")?;
+                let b = parse_field::<u32>(fields.next(), line_no, "edge endpoint")?;
+                if fields.next().is_some() {
+                    return Err(TraceParseError::BadField {
+                        line: line_no,
+                        what: "trailing fields",
+                    });
+                }
+                edges.push((line_no, a, b));
+            }
+            _ => return Err(TraceParseError::UnknownTag { line: line_no }),
+        }
+    }
+
+    let mut topo = Topology::new(records).map_err(|e| TraceParseError::Structural {
+        line: 0,
+        message: e.to_string(),
+    })?;
+    for (line_no, a, b) in edges {
+        let ia = topo
+            .index_of(a)
+            .ok_or(TraceParseError::UnknownNode { line: line_no, id: a })?;
+        let ib = topo
+            .index_of(b)
+            .ok_or(TraceParseError::UnknownNode { line: line_no, id: b })?;
+        topo.add_edge(ia, ib)
+            .map_err(|e| TraceParseError::Structural {
+                line: line_no,
+                message: e.to_string(),
+            })?;
+    }
+    Ok(topo)
+}
+
+fn parse_field<T: FromStr>(
+    field: Option<&str>,
+    line: usize,
+    what: &'static str,
+) -> Result<T, TraceParseError> {
+    field
+        .ok_or(TraceParseError::BadField { line, what })?
+        .parse()
+        .map_err(|_| TraceParseError::BadField { line, what })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::{TraceGenConfig, TraceGenerator};
+    use cs_sim::RngTree;
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let mut rng = RngTree::new(21).child("fmt");
+        let topo = TraceGenerator::new(TraceGenConfig::with_nodes(150)).generate(&mut rng);
+        let text = write_trace(&topo);
+        let back = parse_trace(&text).unwrap();
+        assert_eq!(back.len(), topo.len());
+        assert_eq!(back.edge_count(), topo.edge_count());
+        assert_eq!(back.edges(), topo.edges());
+        for (a, b) in topo.records().iter().zip(back.records()) {
+            assert_eq!(a.id, b.id);
+            assert_eq!(a.ip, b.ip);
+            assert_eq!(a.port, b.port);
+            assert_eq!(a.speed_kbps, b.speed_kbps);
+            assert!((a.ping_ms - b.ping_ms).abs() < 1e-3, "ping within 3 decimals");
+        }
+    }
+
+    #[test]
+    fn missing_header_rejected() {
+        assert!(matches!(
+            parse_trace("N 0 10.0.0.1 6346 50.0 1000"),
+            Err(TraceParseError::BadHeader)
+        ));
+        assert!(matches!(parse_trace(""), Err(TraceParseError::BadHeader)));
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let text = format!("{HEADER}\n\n# a comment\nN 0 10.0.0.1 6346 50.0 1000\n");
+        let topo = parse_trace(&text).unwrap();
+        assert_eq!(topo.len(), 1);
+    }
+
+    #[test]
+    fn unknown_tag_rejected() {
+        let text = format!("{HEADER}\nX what is this\n");
+        assert!(matches!(
+            parse_trace(&text),
+            Err(TraceParseError::UnknownTag { line: 2 })
+        ));
+    }
+
+    #[test]
+    fn bad_field_rejected() {
+        let text = format!("{HEADER}\nN zero 10.0.0.1 6346 50.0 1000\n");
+        assert!(matches!(
+            parse_trace(&text),
+            Err(TraceParseError::BadField { line: 2, what: "id" })
+        ));
+        let text = format!("{HEADER}\nN 0 10.0.0.1 6346 50.0\n");
+        assert!(matches!(
+            parse_trace(&text),
+            Err(TraceParseError::BadField { .. })
+        ));
+    }
+
+    #[test]
+    fn edge_to_unknown_node_rejected() {
+        let text = format!("{HEADER}\nN 0 10.0.0.1 6346 50.0 1000\nE 0 7\n");
+        assert!(matches!(
+            parse_trace(&text),
+            Err(TraceParseError::UnknownNode { id: 7, .. })
+        ));
+    }
+
+    #[test]
+    fn self_loop_edge_rejected() {
+        let text = format!("{HEADER}\nN 0 10.0.0.1 6346 50.0 1000\nE 0 0\n");
+        assert!(matches!(
+            parse_trace(&text),
+            Err(TraceParseError::Structural { .. })
+        ));
+    }
+
+    #[test]
+    fn duplicate_node_rejected() {
+        let text = format!(
+            "{HEADER}\nN 0 10.0.0.1 6346 50.0 1000\nN 0 10.0.0.2 6346 60.0 1000\n"
+        );
+        assert!(matches!(
+            parse_trace(&text),
+            Err(TraceParseError::Structural { .. })
+        ));
+    }
+
+    #[test]
+    fn edges_use_trace_ids_not_indices() {
+        // Records with non-sequential IDs; the edge references IDs.
+        let text = format!(
+            "{HEADER}\nN 100 10.0.0.1 6346 50.0 1000\nN 7 10.0.0.2 6346 60.0 1000\nE 100 7\n"
+        );
+        let topo = parse_trace(&text).unwrap();
+        assert_eq!(topo.edge_count(), 1);
+        let i100 = topo.index_of(100).unwrap();
+        let i7 = topo.index_of(7).unwrap();
+        assert!(topo.has_edge(i100, i7));
+    }
+}

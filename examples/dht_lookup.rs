@@ -1,0 +1,89 @@
+//! Drive the loose DHT directly: build a sparse overlay in an 8192-slot
+//! ID space, route lookups, watch the hop counts against the paper's
+//! appendix bound, and place segment backups.
+//!
+//! ```text
+//! cargo run --release --example dht_lookup
+//! ```
+
+use continustreaming::dht::{backup_targets, route, DhtNetwork};
+use continustreaming::prelude::*;
+use rand::Rng;
+
+fn main() {
+    let space = IdSpace::new(13); // N = 8192
+    let n = 1200;
+    let tree = RngTree::new(2008);
+    let mut rng = tree.child("build");
+
+    // Random distinct node IDs, as the RP server would assign.
+    let mut used = std::collections::HashSet::new();
+    let mut ids = Vec::with_capacity(n);
+    while ids.len() < n {
+        let id = rng.gen_range(0..space.size());
+        if used.insert(id) {
+            ids.push(id);
+        }
+    }
+    let latency = |a: DhtId, b: DhtId| 30.0 + ((a ^ b) % 41) as f64;
+    let mut net = DhtNetwork::build(space, &ids, &latency, &mut rng);
+    println!("built a loose DHT: {} nodes in an ID space of {}", net.len(), space.size());
+
+    // Route a few lookups.
+    let mut lrng = tree.child("lookups");
+    let bound = continustreaming::analysis::routing_hop_upper_bound(space.bits());
+    println!("\nlookups (appendix hop bound = {bound:.1}):");
+    for _ in 0..8 {
+        let src = net.random_id(&mut lrng).expect("non-empty network");
+        let key = lrng.gen_range(0..space.size());
+        let out = route(&mut net, src, key, &latency, true);
+        println!(
+            "  {src:>4} → key {key:>4}: {} hops, {:.0} ms, {}",
+            out.hops(),
+            out.latency_ms,
+            if out.succeeded() { "correct owner" } else { "WRONG owner" }
+        );
+    }
+
+    // Backup placement for a run of consecutive segments.
+    println!("\nbackup targets (k = 4) for segments 100..105 — note the dispersion:");
+    for seg in 100..105u64 {
+        let targets = backup_targets(space, seg, 4);
+        let owners: Vec<String> = targets
+            .iter()
+            .map(|&t| {
+                net.responsible_of(t)
+                    .map(|o| o.to_string())
+                    .unwrap_or_else(|| "-".into())
+            })
+            .collect();
+        println!("  segment {seg}: ring positions {targets:?} → owners {owners:?}");
+    }
+
+    // Kill 10% of the nodes and show lazy repair keeping lookups alive.
+    let victims: Vec<DhtId> = {
+        let all: Vec<DhtId> = net.ids().collect();
+        let mut vrng = tree.child("kill");
+        all.into_iter().filter(|_| vrng.gen_bool(0.10)).collect()
+    };
+    for v in &victims {
+        net.leave(*v);
+    }
+    let mut ok = 0;
+    let trials = 400;
+    let mut repaired = 0;
+    for _ in 0..trials {
+        let src = net.random_id(&mut lrng).expect("non-empty");
+        let key = lrng.gen_range(0..space.size());
+        let out = route(&mut net, src, key, &latency, true);
+        ok += u32::from(out.succeeded());
+        repaired += out.repaired;
+    }
+    println!(
+        "\nafter abruptly killing {} nodes: {}/{} lookups still correct ({} dead entries lazily repaired)",
+        victims.len(),
+        ok,
+        trials,
+        repaired
+    );
+}

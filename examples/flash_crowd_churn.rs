@@ -1,0 +1,62 @@
+//! Flash-crowd and churn scenario: a live broadcast under the paper's
+//! dynamic environment (5 % of nodes leave and 5 % join every scheduling
+//! period), plus a mid-run flash crowd simulated by tripling the join
+//! rate for a stretch of rounds.
+//!
+//! Shows how ContinuStreaming's membership machinery (RP joins, overheard
+//! lists, neighbour replacement, VoD-backup handover) absorbs heavy
+//! turnover, and what it costs.
+//!
+//! ```text
+//! cargo run --release --example flash_crowd_churn
+//! ```
+
+use continustreaming::prelude::*;
+
+fn main() {
+    let nodes = 300;
+
+    // Phase 1: paper churn. Phase 2 (flash crowd): join rate x3.
+    for (label, churn) in [
+        ("paper dynamic churn (5% leave + 5% join)", ChurnConfig::DYNAMIC),
+        (
+            "flash crowd (5% leave + 15% join)",
+            ChurnConfig {
+                leave_fraction: 0.05,
+                join_fraction: 0.15,
+                graceful_fraction: 0.5,
+            },
+        ),
+    ] {
+        let config = SystemConfig {
+            nodes,
+            rounds: 30,
+            churn,
+            ..SystemConfig::continustreaming(nodes, 99)
+        };
+        let report = SystemSim::new(config).run();
+        let total_joins: usize = report.rounds.iter().map(|r| r.joins).sum();
+        let total_leaves: usize = report.rounds.iter().map(|r| r.leaves).sum();
+        let final_size = report.rounds.last().expect("rounds recorded").alive;
+        println!("== {label} ==");
+        println!(
+            "  membership: {total_joins} joins, {total_leaves} leaves, final size {final_size}"
+        );
+        println!(
+            "  continuity: mean {:.3}, stable-phase {:.3}",
+            report.summary.mean_continuity, report.summary.stable_continuity
+        );
+        println!(
+            "  prefetch: {} attempts, {} successes, overhead {:.3}",
+            report.summary.prefetch_attempts,
+            report.summary.prefetch_successes,
+            report.summary.prefetch_overhead
+        );
+        println!();
+    }
+    println!(
+        "note: sustained 5%-per-second churn is an extreme regime — the mean node\n\
+         session is only ~14 s. See EXPERIMENTS.md for how this reproduction's\n\
+         contended-bandwidth substrate behaves there vs the paper's claims."
+    );
+}

@@ -1,0 +1,60 @@
+//! # ContinuStreaming — reproduction of Li, Cao & Chen (IPDPS 2008)
+//!
+//! A full-system reproduction of **"ContinuStreaming: Achieving High
+//! Playback Continuity of Gossip-based Peer-to-Peer Streaming"**: a
+//! gossip-based P2P live-streaming system whose missing-segment stragglers
+//! are rescued by on-demand retrieval over a loosely organised DHT.
+//!
+//! This facade crate re-exports the workspace's public API:
+//!
+//! | module | crate | contents |
+//! |---|---|---|
+//! | [`sim`] | `cs-sim` | deterministic discrete-event kernel |
+//! | [`trace`] | `cs-trace` | Clip2-style overlay traces |
+//! | [`net`] | `cs-net` | bandwidth, message sizes, traffic accounting |
+//! | [`dht`] | `cs-dht` | the loose DHT: peers, routing, placement |
+//! | [`overlay`] | `cs-overlay` | peer tables, RP server, join, churn |
+//! | [`core`] | `cs-core` | buffers, schedulers, urgent line, Algorithm 2, full-system simulator |
+//! | [`analysis`] | `cs-analysis` | the paper's closed-form models |
+//!
+//! ## Quick start
+//!
+//! ```
+//! use continustreaming::prelude::*;
+//!
+//! let config = SystemConfig {
+//!     nodes: 50,
+//!     rounds: 15,
+//!     startup_segments: 20,
+//!     seed: 7,
+//!     ..SystemConfig::default()
+//! };
+//! let report = SystemSim::new(config).run();
+//! println!("stable continuity: {:.3}", report.summary.stable_continuity);
+//! # assert!(report.summary.stable_continuity > 0.0);
+//! ```
+//!
+//! See `examples/` for runnable scenarios and `crates/bench/src/bin/` for
+//! the per-figure experiment harness.
+
+pub use cs_analysis as analysis;
+pub use cs_core as core;
+pub use cs_dht as dht;
+pub use cs_net as net;
+pub use cs_overlay as overlay;
+pub use cs_sim as sim;
+pub use cs_trace as trace;
+
+/// The most commonly used types, importable in one line.
+pub mod prelude {
+    pub use cs_analysis::{ContinuityModel, ContinuityPrediction};
+    pub use cs_core::{
+        BufferMap, PriorityPolicy, RoundRecord, RunReport, RunSummary, SchedulerKind,
+        SegmentId, StreamBuffer, SystemConfig, SystemSim,
+    };
+    pub use cs_dht::{DhtId, DhtNetwork, IdSpace};
+    pub use cs_net::{BandwidthProfile, TrafficClass, TrafficCounter};
+    pub use cs_overlay::ChurnConfig;
+    pub use cs_sim::{RngTree, SimDuration, SimTime};
+    pub use cs_trace::{TraceGenConfig, TraceGenerator, Topology};
+}

@@ -1,0 +1,132 @@
+//! Integration tests of the §4.1 membership machinery across crates: RP
+//! joins with Peer Table adoption, overhearing-driven renewal, and churn
+//! plans feeding the DHT's handover path.
+
+use std::collections::HashMap;
+
+use continustreaming::dht::DhtId;
+use continustreaming::overlay::{plan_churn, simulate_join, ChurnConfig, PeerTable, RpServer};
+use continustreaming::prelude::*;
+
+fn latency(a: DhtId, b: DhtId) -> f64 {
+    1.0 + ((a ^ b) % 89) as f64
+}
+
+/// Grow an overlay from one bootstrap node to 150 members purely through
+/// the paper's join protocol, then check structural health.
+#[test]
+fn overlay_grows_by_joins_alone() {
+    let space = IdSpace::new(12);
+    let mut rp = RpServer::new(space);
+    let mut rng = RngTree::new(404).child("joins");
+    let mut tables: HashMap<DhtId, PeerTable> = HashMap::new();
+
+    // Bootstrap member.
+    let first = rp.assign_id(&mut rng);
+    tables.insert(first, PeerTable::new(space, first, 5, 20));
+
+    let mut adopted_bases = 0;
+    while tables.len() < 150 {
+        let result = simulate_join(
+            &mut rp,
+            &mut rng,
+            5,
+            20,
+            |c| tables.contains_key(&c),
+            latency,
+            |c| tables[&c].clone(),
+        );
+        let (id, table, outcome) = result.expect("network is non-empty");
+        assert_eq!(outcome.base, {
+            // base must be the nearest alive candidate
+            let mut best = outcome.notified.clone();
+            best.sort_by(|&a, &b| latency(id, a).total_cmp(&latency(id, b)).then(a.cmp(&b)));
+            best[0]
+        });
+        adopted_bases += 1;
+        tables.insert(id, table);
+    }
+    assert_eq!(adopted_bases, 149);
+
+    // Every member (except possibly the bootstrap) has neighbours, and
+    // all referenced neighbours exist or existed (ids from the RP space).
+    let connected_count = tables
+        .values()
+        .filter(|t| !t.connected.is_empty())
+        .count();
+    assert!(
+        connected_count >= 149,
+        "{connected_count}/150 members should have neighbours"
+    );
+}
+
+/// Overhearing renews both the overheard list and the DHT levels without
+/// any dedicated maintenance traffic.
+#[test]
+fn overhearing_renews_peer_table() {
+    let space = IdSpace::new(10);
+    let mut table = PeerTable::new(space, 100, 5, 20);
+    for id in [200u64, 300, 400, 500, 600, 700] {
+        table.overhear(id, latency(100, id));
+    }
+    assert!(table.overheard.len() == 6);
+    assert!(table.dht.filled() > 0, "overhearing fills DHT levels");
+    let added = table.fill_neighbors();
+    assert_eq!(added.len(), 5, "connected set fills from overheard");
+}
+
+/// Churn plans compose with graceful DHT handover: every graceful leaver
+/// has a live predecessor to inherit its backups.
+#[test]
+fn churn_plans_support_handover() {
+    let space = IdSpace::new(12);
+    let mut rng = RngTree::new(77).child("net");
+    let mut used = std::collections::HashSet::new();
+    let mut ids: Vec<DhtId> = Vec::new();
+    while ids.len() < 200 {
+        let id = rand::Rng::gen_range(&mut rng, 0..space.size());
+        if used.insert(id) {
+            ids.push(id);
+        }
+    }
+    let mut net = continustreaming::dht::DhtNetwork::build(space, &ids, &latency, &mut rng);
+    let mut order = ids.clone();
+    order.sort_unstable();
+
+    let mut crng = RngTree::new(77).child("churn");
+    let source = order[0];
+    for _ in 0..10 {
+        let members: Vec<DhtId> = net.ids().collect();
+        let plan = plan_churn(&ChurnConfig::DYNAMIC, &members, source, &mut crng);
+        for &leaver in &plan.graceful_leaves {
+            let heir = net.predecessor_of(leaver);
+            assert!(heir.is_some(), "a >1-node ring always has a predecessor");
+            assert_ne!(heir, Some(leaver));
+            net.leave(leaver);
+        }
+        for &f in &plan.failures {
+            net.leave(f);
+        }
+        assert!(net.contains(source), "the source never leaves");
+    }
+    net.check_invariants().expect("tables stay level-consistent");
+}
+
+/// The churn driver's rates integrate correctly over a long horizon.
+#[test]
+fn churn_rates_integrate() {
+    let members: Vec<DhtId> = (0..500).collect();
+    let mut rng = RngTree::new(5).child("churn");
+    let mut leavers = 0usize;
+    let mut joins = 0usize;
+    let rounds = 200;
+    for _ in 0..rounds {
+        let plan = plan_churn(&ChurnConfig::DYNAMIC, &members, 0, &mut rng);
+        leavers += plan.leavers();
+        joins += plan.joins;
+    }
+    let leave_rate = leavers as f64 / (rounds * 500) as f64;
+    let join_rate = joins as f64 / (rounds * 500) as f64;
+    assert!((leave_rate - 0.05).abs() < 0.01, "leave rate {leave_rate}");
+    assert!((join_rate - 0.05).abs() < 0.01, "join rate {join_rate}");
+}

@@ -1,0 +1,171 @@
+//! Property-based tests (proptest) for the core data structures and the
+//! paper's invariants.
+
+use proptest::prelude::*;
+
+use continustreaming::analysis::ContinuityModel;
+use continustreaming::dht::{route, DhtNetwork, ResponsibilityRange};
+use continustreaming::prelude::*;
+use rand::Rng as _;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The stream buffer behaves like a set restricted to a sliding
+    /// window: everything inserted and not yet evicted is present; length
+    /// matches a reference model.
+    #[test]
+    fn buffer_matches_reference_model(
+        capacity in 1u64..300,
+        ids in proptest::collection::vec(1u64..2_000, 0..400),
+    ) {
+        let mut buf = StreamBuffer::new(capacity);
+        let mut reference: std::collections::BTreeSet<u64> = Default::default();
+        for &id in &ids {
+            buf.insert(id);
+            reference.insert(id);
+            let head = buf.head();
+            reference.retain(|&x| x >= head);
+        }
+        prop_assert_eq!(buf.len(), reference.len() as u64);
+        for &id in &reference {
+            prop_assert!(buf.contains(id), "missing {}", id);
+        }
+        let listed: Vec<u64> = buf.iter().collect();
+        prop_assert_eq!(listed, reference.iter().copied().collect::<Vec<_>>());
+    }
+
+    /// Sliding a buffer never lets stale IDs survive and never invents
+    /// segments.
+    #[test]
+    fn buffer_slide_is_monotone(
+        capacity in 1u64..200,
+        fill in 0u64..200,
+        slide in 1u64..400,
+    ) {
+        let mut buf = StreamBuffer::new(capacity);
+        for id in 1..=fill {
+            buf.insert(id);
+        }
+        let before: Vec<u64> = buf.iter().collect();
+        buf.slide_to(slide);
+        for id in buf.iter() {
+            prop_assert!(id >= slide);
+            prop_assert!(before.contains(&id));
+        }
+    }
+
+    /// ID-space levels partition the ring: every non-owner ID belongs to
+    /// exactly one level interval.
+    #[test]
+    fn dht_levels_partition(bits in 2u32..12, owner_seed in any::<u64>(), p_seed in any::<u64>()) {
+        let space = IdSpace::new(bits);
+        let owner = owner_seed % space.size();
+        let p = p_seed % space.size();
+        if p != owner {
+            let level = space.level_of(owner, p).expect("non-owner has a level");
+            let mut containing = 0;
+            for l in 1..=bits {
+                let (from, to) = space.level_interval(owner, l);
+                if space.in_interval(p, from, to) {
+                    containing += 1;
+                    prop_assert_eq!(l, level);
+                }
+            }
+            prop_assert_eq!(containing, 1);
+        }
+    }
+
+    /// Responsibility ranges over a full partition cover every key exactly
+    /// once.
+    #[test]
+    fn responsibility_partition(
+        bits in 3u32..10,
+        raw_ids in proptest::collection::btree_set(0u64..1024, 2..12),
+        key_seed in any::<u64>(),
+    ) {
+        let space = IdSpace::new(bits);
+        let ids: Vec<u64> = raw_ids.iter().map(|&x| x % space.size()).collect::<std::collections::BTreeSet<_>>().into_iter().collect();
+        prop_assume!(ids.len() >= 2);
+        let key = key_seed % space.size();
+        let mut owners = 0;
+        for (i, &id) in ids.iter().enumerate() {
+            let succ = ids[(i + 1) % ids.len()];
+            if ResponsibilityRange::new(space, id, succ).contains(key) {
+                owners += 1;
+            }
+        }
+        prop_assert_eq!(owners, 1, "key {} must have exactly one owner", key);
+    }
+
+    /// The §5.1 model is internally consistent for any sane parameters:
+    /// PC_new ≥ PC_old, both in [0, 1], Δ = difference.
+    #[test]
+    fn continuity_model_invariants(
+        lambda in 0.0f64..60.0,
+        p in 1u32..30,
+        k in 0u32..8,
+    ) {
+        let m = ContinuityModel {
+            lambda,
+            playback_rate: p as f64,
+            period: 1.0,
+            replicas: k,
+        };
+        let pred = m.predict();
+        prop_assert!(pred.pc_old >= -1e-12 && pred.pc_old <= 1.0 + 1e-12);
+        prop_assert!(pred.pc_new >= pred.pc_old - 1e-12);
+        prop_assert!((pred.delta - (pred.pc_new - pred.pc_old)).abs() < 1e-9);
+    }
+
+    /// Backup targets are deterministic, inside the space, and replicas of
+    /// one segment never collide for real segment ids under the paper's
+    /// multiplicative hash (k ≤ 6, N ≥ 1024).
+    #[test]
+    fn placement_targets_valid(seg in 1u64..1_000_000, k in 1u32..6) {
+        let space = IdSpace::new(13);
+        let a = continustreaming::dht::backup_targets(space, seg, k);
+        let b = continustreaming::dht::backup_targets(space, seg, k);
+        prop_assert_eq!(&a, &b);
+        for &t in &a {
+            prop_assert!(space.contains(t));
+        }
+    }
+}
+
+/// Non-proptest property: every route in a well-built DHT terminates at
+/// the true owner within the appendix hop bound. Kept outside proptest!
+/// because network construction is expensive; the randomness comes from
+/// the seeded RNG tree.
+#[test]
+fn routing_bound_holds_over_many_networks() {
+    for seed in 0..4u64 {
+        let tree = RngTree::new(seed);
+        let mut rng = tree.child("net");
+        let space = IdSpace::new(11); // N = 2048
+        let mut used = std::collections::HashSet::new();
+        let mut ids = Vec::new();
+        while ids.len() < 400 {
+            let id = rng.gen_range(0..space.size());
+            if used.insert(id) {
+                ids.push(id);
+            }
+        }
+        let mut net = DhtNetwork::build(space, &ids, &|_, _| 10.0, &mut rng);
+        let bound = continustreaming::analysis::routing_hop_upper_bound(space.bits());
+        let mut lrng = tree.child("lookups");
+        let mut ok = 0;
+        for _ in 0..200 {
+            let src = net.random_id(&mut lrng).expect("non-empty");
+            let key = lrng.gen_range(0..space.size());
+            let out = route(&mut net, src, key, &|_, _| 10.0, false);
+            assert!(
+                (out.hops() as f64) <= bound,
+                "seed {seed}: {} hops exceeds the appendix bound {bound}",
+                out.hops()
+            );
+            ok += u32::from(out.succeeded());
+        }
+        assert!(ok >= 190, "seed {seed}: success rate too low: {ok}/200");
+    }
+}
