@@ -215,9 +215,7 @@ mod tests {
         let m = ContinuityModel::paper_defaults(15.0);
         let pois = Poisson::new(15.0);
         let ptau = 10u64;
-        let direct: f64 = (0..ptau)
-            .map(|n| (ptau - n) as f64 * pois.pmf(n))
-            .sum();
+        let direct: f64 = (0..ptau).map(|n| (ptau - n) as f64 * pois.pmf(n)).sum();
         assert!(close(m.expected_misses(), direct, 1e-12));
     }
 

@@ -131,7 +131,7 @@ pub fn ln_gamma(x: f64) -> f64 {
         return (pi / (pi * x).sin()).ln() - ln_gamma(1.0 - x);
     }
     let x = x - 1.0;
-    let mut a = 0.999_999_999_999_809_93_f64;
+    let mut a = 0.999_999_999_999_809_9_f64;
     for (i, &c) in COEFFS.iter().enumerate() {
         a += c / (x + i as f64 + 1.0);
     }
@@ -160,7 +160,11 @@ mod tests {
     fn pmf_known_values() {
         // P{N=0} for λ=1 is e^{-1}; P{N=2} for λ=2 is 2e^{-2}.
         assert!(close(Poisson::new(1.0).pmf(0), (-1.0f64).exp(), 1e-15));
-        assert!(close(Poisson::new(2.0).pmf(2), 2.0 * (-2.0f64).exp(), 1e-14));
+        assert!(close(
+            Poisson::new(2.0).pmf(2),
+            2.0 * (-2.0f64).exp(),
+            1e-14
+        ));
     }
 
     #[test]

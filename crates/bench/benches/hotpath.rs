@@ -1,0 +1,53 @@
+//! Micro-benchmark of the full-system round loop — the hot path every
+//! figure experiment spends its time in. Complements the `bench_hotpath`
+//! binary (which times whole runs and emits `BENCH_hotpath.json`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use cs_core::{SchedulerKind, SystemConfig, SystemSim};
+
+fn config(nodes: usize) -> SystemConfig {
+    SystemConfig {
+        nodes,
+        rounds: 40,
+        startup_segments: 40,
+        scheduler: SchedulerKind::ContinuStreaming,
+        prefetch_enabled: true,
+        seed: 20080414,
+        ..SystemConfig::default()
+    }
+}
+
+fn bench_hotpath(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hotpath");
+    group.sample_size(10);
+
+    for nodes in [200usize, 500] {
+        // One warmed-up scheduling round: build the simulator, advance it
+        // past the ramp-up so buffers and neighbourhoods are realistic,
+        // then time single rounds.
+        group.bench_with_input(BenchmarkId::new("round", nodes), &nodes, |b, &n| {
+            let mut sim = SystemSim::new(config(n));
+            let mut round = 0u32;
+            for _ in 0..15 {
+                sim.debug_step(round);
+                round += 1;
+            }
+            b.iter(|| {
+                sim.debug_step(round);
+                round += 1;
+                black_box(sim.alive())
+            })
+        });
+    }
+
+    group.bench_with_input(BenchmarkId::new("full_run", 200), &200usize, |b, &n| {
+        b.iter(|| black_box(SystemSim::new(config(n)).run()))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_hotpath);
+criterion_main!(benches);

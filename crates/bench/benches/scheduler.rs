@@ -48,7 +48,13 @@ fn bench_schedulers(c: &mut Criterion) {
         });
         group.bench_with_input(BenchmarkId::new("random", m), &m, |b, _| {
             let mut rng = RngTree::new(9).child("rand");
-            b.iter(|| black_box(schedule_random(black_box(&cands), black_box(&ctx), &mut rng)))
+            b.iter(|| {
+                black_box(schedule_random(
+                    black_box(&cands),
+                    black_box(&ctx),
+                    &mut rng,
+                ))
+            })
         });
     }
     group.finish();

@@ -61,8 +61,17 @@ fn main() {
         .collect();
     print_table(
         "Ablation A2 — urgent ratio α",
-        &["variant", "stable PC", "pf overhead", "overdue", "repeated", "mean alpha"],
+        &[
+            "variant",
+            "stable PC",
+            "pf overhead",
+            "overdue",
+            "repeated",
+            "mean alpha",
+        ],
         &rows,
     );
-    println!("\nexpected: narrow windows raise overdue events; wide windows raise repeated/pf cost.");
+    println!(
+        "\nexpected: narrow windows raise overdue events; wide windows raise repeated/pf cost."
+    );
 }

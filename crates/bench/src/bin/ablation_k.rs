@@ -43,7 +43,13 @@ fn main() {
         .collect();
     print_table(
         "Ablation A3 — backup replicas k",
-        &["k", "stable PC", "pf success rate", "pf overhead", "1-(1/2)^k"],
+        &[
+            "k",
+            "stable PC",
+            "pf success rate",
+            "pf overhead",
+            "1-(1/2)^k",
+        ],
         &rows,
     );
     println!("\nexpected: success rate and continuity rise with k, overhead grows ~linearly in k.");

@@ -23,7 +23,10 @@ fn main() {
 
     let mut rows = Vec::new();
     for (name, f) in [
-        ("hash(id*i) (paper)", backup_targets as fn(IdSpace, u64, u32) -> Vec<u64>),
+        (
+            "hash(id*i) (paper)",
+            backup_targets as fn(IdSpace, u64, u32) -> Vec<u64>,
+        ),
         ("hash(id+i) (strawman)", backup_targets_additive),
     ] {
         let mut counts = vec![0u64; arcs];
@@ -35,8 +38,11 @@ fn main() {
         let total: u64 = counts.iter().sum();
         let mean = total as f64 / arcs as f64;
         let max = *counts.iter().max().expect("non-empty") as f64;
-        let variance =
-            counts.iter().map(|&c| (c as f64 - mean).powi(2)).sum::<f64>() / arcs as f64;
+        let variance = counts
+            .iter()
+            .map(|&c| (c as f64 - mean).powi(2))
+            .sum::<f64>()
+            / arcs as f64;
         // Jain's fairness index: 1.0 = perfectly balanced.
         let sum: f64 = counts.iter().map(|&c| c as f64).sum();
         let sumsq: f64 = counts.iter().map(|&c| (c as f64).powi(2)).sum();

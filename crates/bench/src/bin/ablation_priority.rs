@@ -18,7 +18,11 @@ fn main() {
     let n = arg_sizes(&[1000])[0];
     let rounds = arg_rounds(40);
     let variants: Vec<(&str, SchedulerKind, bool)> = vec![
-        ("continu (bounded rescue)", SchedulerKind::ContinuStreaming, true),
+        (
+            "continu (bounded rescue)",
+            SchedulerKind::ContinuStreaming,
+            true,
+        ),
         (
             "greedy urgency+rarity (raw eq.3)",
             SchedulerKind::GreedyWithPolicy(PriorityPolicy::UrgencyRarity),
@@ -39,7 +43,11 @@ fn main() {
             SchedulerKind::GreedyWithPolicy(PriorityPolicy::RarestFirst),
             true,
         ),
-        ("coolstreaming (no prefetch)", SchedulerKind::CoolStreaming, false),
+        (
+            "coolstreaming (no prefetch)",
+            SchedulerKind::CoolStreaming,
+            false,
+        ),
         ("random (no prefetch)", SchedulerKind::Random, false),
     ];
     let configs = variants
@@ -52,7 +60,10 @@ fn main() {
             ..Default::default()
         })
         .collect();
-    eprintln!("running {} variants (n = {n}, {rounds} rounds)…", variants.len());
+    eprintln!(
+        "running {} variants (n = {n}, {rounds} rounds)…",
+        variants.len()
+    );
     let reports = run_many(configs);
 
     let rows: Vec<Vec<String>> = variants

@@ -1,0 +1,109 @@
+//! Wall-clock benchmark of `SystemSim`'s round loop, emitting a
+//! `BENCH_hotpath.json` perf-trajectory record.
+//!
+//! The acceptance configuration is the default: 1,000 nodes × 200 rounds
+//! with the default (static) churn model. Pass `--baseline-ms X` to record
+//! a speedup against a previously measured baseline (the pre-refactor
+//! number is committed in the repository's `BENCH_hotpath.json`).
+//!
+//! ```text
+//! cargo run -p cs-bench --release --bin bench_hotpath
+//! cargo run -p cs-bench --release --bin bench_hotpath -- \
+//!     --nodes 1000 --rounds 200 --reps 3 --baseline-ms 61000 --json BENCH_hotpath.json
+//! ```
+
+use std::time::Instant;
+
+use cs_core::{SchedulerKind, SystemConfig, SystemSim};
+
+fn arg_u64(name: &str, default: u64) -> u64 {
+    let args: Vec<String> = std::env::args().collect();
+    for i in 0..args.len() {
+        if args[i] == name && i + 1 < args.len() {
+            return args[i + 1]
+                .parse()
+                .unwrap_or_else(|_| panic!("{name} takes an integer"));
+        }
+    }
+    default
+}
+
+fn arg_f64(name: &str) -> Option<f64> {
+    let args: Vec<String> = std::env::args().collect();
+    for i in 0..args.len() {
+        if args[i] == name && i + 1 < args.len() {
+            return Some(
+                args[i + 1]
+                    .parse()
+                    .unwrap_or_else(|_| panic!("{name} takes a number")),
+            );
+        }
+    }
+    None
+}
+
+fn arg_str(name: &str) -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    for i in 0..args.len() {
+        if args[i] == name && i + 1 < args.len() {
+            return Some(args[i + 1].clone());
+        }
+    }
+    None
+}
+
+fn main() {
+    let nodes = arg_u64("--nodes", 1000) as usize;
+    let rounds = arg_u64("--rounds", 200) as u32;
+    let reps = arg_u64("--reps", 3).max(1);
+    let baseline_ms = arg_f64("--baseline-ms");
+    let json_path = arg_str("--json");
+
+    let config = SystemConfig {
+        nodes,
+        rounds,
+        scheduler: SchedulerKind::ContinuStreaming,
+        prefetch_enabled: true,
+        seed: 20080414,
+        ..SystemConfig::default()
+    };
+
+    eprintln!("bench_hotpath: {nodes} nodes x {rounds} rounds, {reps} reps");
+    let mut times_ms: Vec<f64> = Vec::with_capacity(reps as usize);
+    let mut continuity = 0.0;
+    for rep in 0..reps {
+        let sim = SystemSim::new(config.clone());
+        let t0 = Instant::now();
+        let report = sim.run();
+        let took = t0.elapsed().as_secs_f64() * 1000.0;
+        continuity = report.summary.stable_continuity;
+        eprintln!(
+            "  rep {rep}: {took:.1} ms  (stable continuity {:.3})",
+            report.summary.stable_continuity
+        );
+        times_ms.push(took);
+    }
+    let min_ms = times_ms.iter().copied().fold(f64::INFINITY, f64::min);
+    let mean_ms = times_ms.iter().sum::<f64>() / times_ms.len() as f64;
+    let rounds_per_sec = rounds as f64 / (min_ms / 1000.0);
+    println!("hotpath: min {min_ms:.1} ms, mean {mean_ms:.1} ms, {rounds_per_sec:.1} rounds/s");
+    let speedup = baseline_ms.map(|b| b / min_ms);
+    if let Some(s) = speedup {
+        println!("speedup vs baseline: {s:.2}x");
+    }
+
+    if let Some(path) = json_path {
+        let times_json = times_ms
+            .iter()
+            .map(|t| format!("{t:.1}"))
+            .collect::<Vec<_>>()
+            .join(", ");
+        let json = format!(
+            "{{\n  \"bench\": \"hotpath\",\n  \"config\": {{ \"nodes\": {nodes}, \"rounds\": {rounds}, \"scheduler\": \"ContinuStreaming\", \"prefetch\": true, \"churn\": \"default-static\", \"seed\": 20080414 }},\n  \"reps\": {reps},\n  \"times_ms\": [{times_json}],\n  \"min_ms\": {min_ms:.1},\n  \"mean_ms\": {mean_ms:.1},\n  \"rounds_per_sec\": {rounds_per_sec:.1},\n  \"stable_continuity\": {continuity:.4},\n  \"baseline_min_ms\": {},\n  \"speedup_vs_baseline\": {}\n}}\n",
+            baseline_ms.map_or("null".to_string(), |b| format!("{b:.1}")),
+            speedup.map_or("null".to_string(), |s| format!("{s:.2}")),
+        );
+        std::fs::write(&path, json).expect("write json record");
+        eprintln!("wrote {path}");
+    }
+}

@@ -17,7 +17,11 @@ fn main() {
     let n = arg_sizes(&[1000])[0];
     let rounds = arg_rounds(40);
     let dynamic = has_arg("dynamic") || !has_arg("static");
-    let fig = if dynamic { "Figure 6 (dynamic)" } else { "Figure 5 (static)" };
+    let fig = if dynamic {
+        "Figure 6 (dynamic)"
+    } else {
+        "Figure 5 (static)"
+    };
 
     let mut configs = vec![
         SystemConfig::coolstreaming(n, 20080414),

@@ -20,11 +20,18 @@ fn main() {
     let sizes = arg_sizes(&[100, 200, 500, 1000, 2000]);
     let rounds = arg_rounds(40);
     let dynamic = has_arg("dynamic") || !has_arg("static");
-    let fig = if dynamic { "Figure 8 (dynamic)" } else { "Figure 7 (static)" };
+    let fig = if dynamic {
+        "Figure 8 (dynamic)"
+    } else {
+        "Figure 7 (static)"
+    };
 
     let mut configs = Vec::new();
     for &n in &sizes {
-        for scheduler in [SchedulerKind::CoolStreaming, SchedulerKind::ContinuStreaming] {
+        for scheduler in [
+            SchedulerKind::CoolStreaming,
+            SchedulerKind::ContinuStreaming,
+        ] {
             let mut c = SystemConfig {
                 nodes: n,
                 rounds,
@@ -38,7 +45,10 @@ fn main() {
             configs.push(c);
         }
     }
-    eprintln!("running {} simulations ({rounds} rounds each)…", configs.len());
+    eprintln!(
+        "running {} simulations ({rounds} rounds each)…",
+        configs.len()
+    );
     let reports = run_many(configs);
 
     let rows: Vec<Vec<String>> = sizes
@@ -55,7 +65,5 @@ fn main() {
         &["nodes", "CoolStreaming", "ContinuStreaming", "delta"],
         &rows,
     );
-    println!(
-        "\npaper: both fall with n, delta grows with n; dynamic lower than static."
-    );
+    println!("\npaper: both fall with n, delta grows with n; dynamic lower than static.");
 }

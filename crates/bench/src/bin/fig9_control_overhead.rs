@@ -39,7 +39,9 @@ fn main() {
     for (i, &n) in sizes.iter().enumerate() {
         let mut row = vec![n.to_string()];
         for (j, &_m) in ms.iter().enumerate() {
-            row.push(f4(reports[i * ms.len() + j].summary.stable_control_overhead));
+            row.push(f4(reports[i * ms.len() + j]
+                .summary
+                .stable_control_overhead));
         }
         row.push(f4(sizes_model.ideal_control_overhead(5, 10.0)));
         rows.push(row);

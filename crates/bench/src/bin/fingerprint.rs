@@ -1,0 +1,17 @@
+//! Print the behavioural fingerprint of every pinned scenario (see
+//! `cs_bench::fingerprint`). Run before and after a round-loop refactor:
+//! the hashes must not move.
+
+use cs_bench::fingerprint::{fingerprint, scenarios};
+use cs_core::SystemSim;
+
+fn main() {
+    for (name, config) in scenarios() {
+        let report = SystemSim::new(config).run();
+        println!(
+            "{name}: 0x{:016x}  (stable continuity {:.4})",
+            fingerprint(&report),
+            report.summary.stable_continuity
+        );
+    }
+}

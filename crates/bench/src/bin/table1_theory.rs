@@ -29,14 +29,19 @@ fn main() {
 
     let mut configs = Vec::new();
     let mut labels = Vec::new();
-    for (env_label, churn) in [("static", ChurnConfig::STATIC), ("dynamic", ChurnConfig::DYNAMIC)]
-    {
+    for (env_label, churn) in [
+        ("static", ChurnConfig::STATIC),
+        ("dynamic", ChurnConfig::DYNAMIC),
+    ] {
         for (bw_label, profile) in [
             ("Homogeneous", BandwidthProfile::Homogeneous),
             ("Heterogeneous", BandwidthProfile::Heterogeneous),
         ] {
             labels.push(format!("{bw_label} {env_label}"));
-            for scheduler in [SchedulerKind::CoolStreaming, SchedulerKind::ContinuStreaming] {
+            for scheduler in [
+                SchedulerKind::CoolStreaming,
+                SchedulerKind::ContinuStreaming,
+            ] {
                 configs.push(SystemConfig {
                     nodes: n,
                     rounds,
@@ -50,7 +55,10 @@ fn main() {
         }
     }
 
-    eprintln!("running {} full-system simulations (n = {n}, {rounds} rounds)…", configs.len());
+    eprintln!(
+        "running {} full-system simulations (n = {n}, {rounds} rounds)…",
+        configs.len()
+    );
     let reports = run_many(configs);
     for (i, label) in labels.iter().enumerate() {
         let old = reports[2 * i].summary.stable_continuity;

@@ -1,0 +1,131 @@
+//! Behavioural fingerprints of the full-system simulator.
+//!
+//! A fixed scenario set, each reduced to an FNV-1a hash of its
+//! `RunReport` debug serialisation. Used to prove that performance
+//! refactors of the round loop cause **no behavioural drift**: the hashes
+//! must be identical before and after a change (`tests/determinism.rs`
+//! in the facade crate pins the values this module produced before the
+//! node-arena refactor, which the refactored loop still reproduces).
+//!
+//! The Random scheduler is deliberately absent: its candidate order
+//! historically flowed through `HashMap` iteration order, which std
+//! randomises per process, so pre-refactor builds could not reproduce it
+//! across runs at all. (The arena refactor fixed that as a side effect —
+//! candidates are now built in ascending segment order.)
+
+use cs_core::{PriorityPolicy, RunReport, SchedulerKind, SystemConfig};
+use cs_net::BandwidthProfile;
+
+pub(crate) fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+pub fn fingerprint(report: &RunReport) -> u64 {
+    fnv1a(format!("{report:?}").as_bytes())
+}
+
+/// The pinned scenario set. Includes a homogeneous-bandwidth case on
+/// purpose: with every rate equal, scheduler tie-breaks are exercised
+/// constantly, which is exactly where an index-vs-id ordering slip in a
+/// refactor would surface.
+pub fn scenarios() -> Vec<(&'static str, SystemConfig)> {
+    vec![
+        (
+            "continustreaming_static",
+            SystemConfig {
+                nodes: 120,
+                rounds: 25,
+                startup_segments: 30,
+                scheduler: SchedulerKind::ContinuStreaming,
+                prefetch_enabled: true,
+                seed: 11,
+                ..SystemConfig::default()
+            },
+        ),
+        (
+            "continustreaming_dynamic",
+            SystemConfig {
+                nodes: 100,
+                rounds: 30,
+                startup_segments: 30,
+                scheduler: SchedulerKind::ContinuStreaming,
+                prefetch_enabled: true,
+                seed: 7,
+                ..SystemConfig::default()
+            }
+            .with_dynamic_churn(),
+        ),
+        (
+            "coolstreaming_static",
+            SystemConfig {
+                nodes: 80,
+                rounds: 20,
+                startup_segments: 30,
+                scheduler: SchedulerKind::CoolStreaming,
+                prefetch_enabled: false,
+                seed: 3,
+                ..SystemConfig::default()
+            },
+        ),
+        (
+            "greedy_rarest_first",
+            SystemConfig {
+                nodes: 60,
+                rounds: 15,
+                startup_segments: 20,
+                scheduler: SchedulerKind::GreedyWithPolicy(PriorityPolicy::RarestFirst),
+                prefetch_enabled: true,
+                seed: 9,
+                ..SystemConfig::default()
+            },
+        ),
+        (
+            "continustreaming_homogeneous",
+            SystemConfig {
+                nodes: 64,
+                rounds: 20,
+                startup_segments: 20,
+                bandwidth: BandwidthProfile::Homogeneous,
+                scheduler: SchedulerKind::ContinuStreaming,
+                prefetch_enabled: true,
+                seed: 5,
+                ..SystemConfig::default()
+            },
+        ),
+        (
+            // Above the `parallel` feature's 128-node fan-out threshold,
+            // so serial and parallel builds are compared on the same
+            // hash (they must match bit for bit).
+            "continustreaming_scale_200",
+            SystemConfig {
+                nodes: 200,
+                rounds: 25,
+                startup_segments: 30,
+                scheduler: SchedulerKind::ContinuStreaming,
+                prefetch_enabled: true,
+                seed: 17,
+                ..SystemConfig::default()
+            }
+            .with_dynamic_churn(),
+        ),
+        (
+            "coolstreaming_homogeneous_dynamic",
+            SystemConfig {
+                nodes: 70,
+                rounds: 20,
+                startup_segments: 20,
+                bandwidth: BandwidthProfile::Homogeneous,
+                scheduler: SchedulerKind::CoolStreaming,
+                prefetch_enabled: false,
+                seed: 13,
+                ..SystemConfig::default()
+            }
+            .with_dynamic_churn(),
+        ),
+    ]
+}

@@ -3,12 +3,14 @@
 //! One binary per table/figure of the paper (see DESIGN.md §5 for the
 //! index) plus Criterion micro-benchmarks. This library holds the shared
 //! machinery: parameter-sweep execution (parallelised across runs with
-//! crossbeam — each run is itself deterministic and single-threaded) and
-//! table formatting.
+//! scoped std threads — each run is itself deterministic and
+//! single-threaded) and table formatting.
 
-use parking_lot::Mutex;
+use std::sync::Mutex;
 
 use cs_core::{RunReport, SystemConfig, SystemSim};
+
+pub mod fingerprint;
 
 /// Default seeds used when an experiment averages over repetitions.
 pub const REPETITION_SEEDS: [u64; 3] = [20080414, 19700101, 42];
@@ -29,22 +31,22 @@ pub fn run_many(configs: Vec<SystemConfig>) -> Vec<RunReport> {
         .unwrap_or(4)
         .min(n.max(1));
 
-    crossbeam::scope(|scope| {
+    std::thread::scope(|scope| {
         for _ in 0..threads {
-            scope.spawn(|_| loop {
+            scope.spawn(|| loop {
                 let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                 if i >= n {
                     break;
                 }
                 let report = run_system(configs[i].clone());
-                results.lock()[i] = Some(report);
+                results.lock().expect("results mutex poisoned")[i] = Some(report);
             });
         }
-    })
-    .expect("worker thread panicked");
+    });
 
     results
         .into_inner()
+        .expect("results mutex poisoned")
         .into_iter()
         .map(|r| r.expect("every index was filled"))
         .collect()
@@ -93,7 +95,11 @@ pub fn arg_sizes(default: &[usize]) -> Vec<usize> {
         if args[i] == "--sizes" && i + 1 < args.len() {
             return args[i + 1]
                 .split(',')
-                .map(|s| s.trim().parse().expect("--sizes takes comma-separated node counts"))
+                .map(|s| {
+                    s.trim()
+                        .parse()
+                        .expect("--sizes takes comma-separated node counts")
+                })
                 .collect();
         }
     }

@@ -63,8 +63,7 @@ impl VodBackupStore {
     /// paper describes. Returns `true` if the segment was (newly) stored.
     pub fn maybe_store(&mut self, segment: SegmentId, successor: DhtId) -> bool {
         let range = ResponsibilityRange::new(self.space, self.owner, successor);
-        let responsible = (1..=self.replicas)
-            .any(|i| range.responsible_for_replica(segment, i));
+        let responsible = (1..=self.replicas).any(|i| range.responsible_for_replica(segment, i));
         if responsible {
             self.stored.insert(segment)
         } else {
@@ -124,7 +123,11 @@ mod tests {
             let expect = backup_targets(s, seg, 4)
                 .into_iter()
                 .any(|pos| s.in_interval(pos, owner, successor));
-            assert_eq!(did, expect && !stored_any_dup(&store, seg, did), "seg {seg}");
+            assert_eq!(
+                did,
+                expect && !stored_any_dup(&store, seg, did),
+                "seg {seg}"
+            );
             stored_any |= did;
         }
         assert!(stored_any, "some segment must land in a 100-wide range");
@@ -140,9 +143,7 @@ mod tests {
         // Find a segment this range must store (owner 0, successor 512 =
         // half the ring: very likely for k = 4).
         let seg = (1..200u64)
-            .find(|&seg| {
-                (1..=4u32).any(|i| s.wrap(common_hash(seg * i as u64)) < 512)
-            })
+            .find(|&seg| (1..=4u32).any(|i| s.wrap(common_hash(seg * i as u64)) < 512))
             .unwrap();
         assert!(store.maybe_store(seg, 512));
         assert!(!store.maybe_store(seg, 512), "already stored");

@@ -18,7 +18,7 @@ use crate::SegmentId;
 ///
 /// The window covers `[head, head + capacity)`. Inserting an ID at or past
 /// the end slides the window forward (FIFO eviction of the oldest IDs).
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone)]
 pub struct StreamBuffer {
     head: SegmentId,
     capacity: u64,
@@ -26,6 +26,10 @@ pub struct StreamBuffer {
     words: Vec<u64>,
     /// Number of present segments (kept incrementally).
     len: u64,
+    /// Mutation counter: bumped on every change to the window contents or
+    /// position. Lets snapshot consumers (the round loop's buffer-map
+    /// exchange) skip re-copying bitmaps of unchanged buffers.
+    epoch: u64,
 }
 
 impl StreamBuffer {
@@ -44,7 +48,16 @@ impl StreamBuffer {
             capacity,
             words,
             len: 0,
+            epoch: 0,
         }
+    }
+
+    /// The buffer's mutation epoch: changes whenever the contents or the
+    /// window position change. Equal epochs on the same buffer guarantee
+    /// an identical bitmap, so snapshots can be reused across rounds.
+    #[inline]
+    pub fn epoch(&self) -> u64 {
+        self.epoch
     }
 
     /// The buffer capacity `B`.
@@ -108,6 +121,7 @@ impl StreamBuffer {
         }
         self.words[w] |= mask;
         self.len += 1;
+        self.epoch += 1;
         true
     }
 
@@ -117,6 +131,7 @@ impl StreamBuffer {
         if new_head <= self.head {
             return;
         }
+        self.epoch += 1;
         let shift = new_head - self.head;
         if shift >= self.capacity {
             self.words.fill(0);
@@ -196,17 +211,59 @@ impl StreamBuffer {
     }
 
     /// The length of the contiguous present run starting at `from`.
+    ///
+    /// Word-level: scans 64 segments per step instead of one bit at a
+    /// time. Runs never extend past the window end (bits beyond
+    /// `capacity` are kept zero by `mask_tail`).
     pub fn contiguous_from(&self, from: SegmentId) -> u64 {
-        let mut n = 0;
-        while self.contains(from + n) {
-            n += 1;
+        if from < self.head || from >= self.end() {
+            return 0;
         }
-        n
+        let start = from - self.head;
+        let mut off = start;
+        while off < self.capacity {
+            let w = (off / 64) as usize;
+            let b = (off % 64) as u32;
+            // Ones of this word starting at bit `b`, as trailing ones.
+            let inv = !(self.words[w] >> b);
+            let avail = 64 - b as u64;
+            let run = (inv.trailing_zeros() as u64).min(avail);
+            off += run;
+            if run < avail {
+                break;
+            }
+        }
+        off - start
     }
 
     /// Whether all of `[from, from + count)` is present.
+    ///
+    /// Word-level: compares whole 64-bit masks instead of per-bit probes.
     pub fn has_range(&self, from: SegmentId, count: u64) -> bool {
-        (0..count).all(|i| self.contains(from + i))
+        if count == 0 {
+            return true;
+        }
+        if from < self.head || count > self.capacity || from + count > self.end() {
+            return false;
+        }
+        let mut off = from - self.head;
+        let mut rem = count;
+        while rem > 0 {
+            let w = (off / 64) as usize;
+            let b = off % 64;
+            let take = (64 - b).min(rem);
+            let mask = if take == 64 {
+                !0u64
+            } else {
+                ((1u64 << take) - 1) << b
+            };
+            if self.words[w] & mask != mask {
+                return false;
+            }
+            off += take;
+            rem -= take;
+        }
+        true
     }
 
     /// Snapshot the availability bitmap for the wire.
@@ -217,7 +274,25 @@ impl StreamBuffer {
             words: self.words.clone(),
         }
     }
+
+    /// Refresh an existing snapshot in place, reusing its word buffer —
+    /// the allocation-free path the round loop's buffer-map exchange uses.
+    pub fn snapshot_into(&self, out: &mut BufferMap) {
+        out.head = self.head;
+        out.capacity = self.capacity;
+        out.words.clear();
+        out.words.extend_from_slice(&self.words);
+    }
 }
+
+// Logical equality: two buffers are equal when they cover the same window
+// with the same contents. The mutation epoch is bookkeeping, not state.
+impl PartialEq for StreamBuffer {
+    fn eq(&self, other: &Self) -> bool {
+        self.head == other.head && self.capacity == other.capacity && self.words == other.words
+    }
+}
+impl Eq for StreamBuffer {}
 
 /// Iterator over set bits of one word.
 struct BitIter(u64);
@@ -245,6 +320,17 @@ pub struct BufferMap {
 }
 
 impl BufferMap {
+    /// An empty placeholder map (window `[1, 1)`), for pre-allocating
+    /// snapshot slots that are later filled by
+    /// [`StreamBuffer::snapshot_into`].
+    pub fn placeholder() -> Self {
+        BufferMap {
+            head: 1,
+            capacity: 0,
+            words: Vec::new(),
+        }
+    }
+
     /// The window start carried in the map header.
     pub fn head(&self) -> SegmentId {
         self.head
@@ -299,15 +385,42 @@ impl BufferMap {
 
     /// IDs present in this map but absent from `buffer`, within
     /// `[lo, hi)` — the "fresh to the local node" candidate set of §4.2.
-    pub fn fresh_for(
-        &self,
-        buffer: &StreamBuffer,
+    ///
+    /// Borrows both sides (no clones) and only visits the words of this
+    /// map that overlap the clamped window, so a narrow exchange window
+    /// over a wide buffer skips most of the bitmap.
+    pub fn fresh_for<'a>(
+        &'a self,
+        buffer: &'a StreamBuffer,
         lo: SegmentId,
         hi: SegmentId,
-    ) -> impl Iterator<Item = SegmentId> + '_ {
-        let buf = buffer.clone();
-        self.iter()
-            .filter(move |&id| id >= lo && id < hi && !buf.contains(id))
+    ) -> impl Iterator<Item = SegmentId> + 'a {
+        let lo = lo.max(self.head);
+        let hi = hi.min(self.end());
+        let (w0, w1) = if lo >= hi {
+            (0, 0) // empty
+        } else {
+            (
+                ((lo - self.head) / 64) as usize,
+                ((hi - 1 - self.head) / 64) as usize + 1,
+            )
+        };
+        let head = self.head;
+        (w0..w1)
+            .flat_map(move |wi| {
+                let mut word = self.words[wi];
+                let base = head + wi as u64 * 64;
+                // Mask out bits below `lo` / at-or-above `hi` in edge words.
+                if base < lo {
+                    word &= !0u64 << (lo - base);
+                }
+                if base + 64 > hi {
+                    let keep = hi - base; // in (0, 64)
+                    word &= (1u64 << keep) - 1;
+                }
+                BitIter(word).map(move |b| base + b as u64)
+            })
+            .filter(move |&id| !buffer.contains(id))
     }
 }
 
@@ -502,5 +615,165 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn zero_capacity_panics() {
         let _ = StreamBuffer::new(0);
+    }
+
+    // ---- regression pins for the word-level rewrites ---------------------
+    //
+    // `has_range` and `contiguous_from` were originally per-bit loops;
+    // these tests pin the word-level versions against that reference
+    // semantics, with special attention to word boundaries (offsets around
+    // 63/64/65), the window edges, and ranges that wrap past the window.
+
+    /// The original per-bit implementations, kept as the oracle.
+    fn has_range_ref(b: &StreamBuffer, from: SegmentId, count: u64) -> bool {
+        (0..count).all(|i| b.contains(from + i))
+    }
+
+    fn contiguous_from_ref(b: &StreamBuffer, from: SegmentId) -> u64 {
+        let mut n = 0;
+        while b.contains(from + n) {
+            n += 1;
+        }
+        n
+    }
+
+    #[test]
+    fn word_level_ops_match_per_bit_reference() {
+        // A deterministic pseudo-random fill over several window shapes,
+        // including capacities off and on word boundaries.
+        for (capacity, head) in [
+            (10u64, 1u64),
+            (63, 1),
+            (64, 1),
+            (65, 1),
+            (128, 50),
+            (600, 1),
+            (600, 1000),
+            (130, 7),
+        ] {
+            let mut b = StreamBuffer::with_head(capacity, head);
+            let mut x = capacity.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ head;
+            for off in 0..capacity {
+                x = cs_sim::splitmix64(x);
+                if x % 3 != 0 {
+                    b.insert(head + off);
+                }
+            }
+            // Probe every in-window offset plus both out-of-window edges.
+            for from in (head.saturating_sub(2))..(head + capacity + 2) {
+                assert_eq!(
+                    b.contiguous_from(from),
+                    contiguous_from_ref(&b, from),
+                    "contiguous_from({from}) cap={capacity} head={head}"
+                );
+                for count in [0u64, 1, 2, 9, 10, 63, 64, 65, capacity, capacity + 1] {
+                    assert_eq!(
+                        b.has_range(from, count),
+                        has_range_ref(&b, from, count),
+                        "has_range({from}, {count}) cap={capacity} head={head}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn word_level_ops_full_and_empty_windows() {
+        let empty = StreamBuffer::with_head(600, 100);
+        assert_eq!(empty.contiguous_from(100), 0);
+        assert!(!empty.has_range(100, 1));
+        assert!(empty.has_range(100, 0), "empty range is trivially present");
+
+        let mut full = StreamBuffer::with_head(600, 100);
+        for id in 100..700 {
+            full.insert(id);
+        }
+        // The full window is one contiguous run that stops at the end.
+        assert_eq!(full.contiguous_from(100), 600);
+        assert_eq!(full.contiguous_from(163), 537); // crosses word boundary
+        assert!(full.has_range(100, 600));
+        assert!(
+            !full.has_range(100, 601),
+            "range wrapping past the window end must fail"
+        );
+        assert!(
+            !full.has_range(99, 2),
+            "range starting below head must fail"
+        );
+        // Runs crossing exactly one word boundary.
+        assert!(full.has_range(100 + 63, 2));
+        assert!(full.has_range(100 + 60, 10));
+    }
+
+    #[test]
+    fn word_level_ops_hole_at_word_boundary() {
+        let mut b = StreamBuffer::with_head(256, 1);
+        for id in 1..=256u64 {
+            b.insert(id);
+        }
+        // Punch a hole exactly at the start of the second word (offset 64
+        // = segment 65) by rebuilding without it.
+        let mut holed = StreamBuffer::with_head(256, 1);
+        for id in (1..=256u64).filter(|&i| i != 65) {
+            holed.insert(id);
+        }
+        assert_eq!(holed.contiguous_from(1), 64);
+        assert_eq!(holed.contiguous_from(66), 191);
+        assert!(holed.has_range(1, 64));
+        assert!(!holed.has_range(1, 65));
+        assert!(holed.has_range(66, 191));
+        assert!(!holed.has_range(64, 3));
+    }
+
+    #[test]
+    fn epoch_tracks_mutations() {
+        let mut b = StreamBuffer::new(100);
+        let e0 = b.epoch();
+        assert!(!b.insert(0), "below-window insert is rejected");
+        assert_eq!(b.epoch(), e0, "rejected insert must not bump the epoch");
+        b.insert(5);
+        let e1 = b.epoch();
+        assert_ne!(e0, e1);
+        assert!(!b.insert(5), "duplicate");
+        assert_eq!(b.epoch(), e1, "duplicate insert must not bump the epoch");
+        b.slide_to(50);
+        assert_ne!(b.epoch(), e1);
+        let e2 = b.epoch();
+        b.slide_to(40); // backwards: no-op
+        assert_eq!(b.epoch(), e2);
+    }
+
+    #[test]
+    fn snapshot_into_matches_to_map() {
+        let mut b = StreamBuffer::new(600);
+        for id in (1..=600u64).filter(|i| i % 5 == 0) {
+            b.insert(id);
+        }
+        let mut reused = BufferMap::placeholder();
+        b.snapshot_into(&mut reused);
+        assert_eq!(reused, b.to_map());
+        // Refreshing after mutations keeps it in sync.
+        b.insert(1200);
+        b.snapshot_into(&mut reused);
+        assert_eq!(reused, b.to_map());
+    }
+
+    #[test]
+    fn fresh_for_masks_edge_words() {
+        let mut theirs = StreamBuffer::new(600);
+        for id in 1..=600 {
+            theirs.insert(id);
+        }
+        let mine = StreamBuffer::new(600);
+        let m = theirs.to_map();
+        // Window straddling word boundaries of the map.
+        let fresh: Vec<u64> = m.fresh_for(&mine, 60, 70).collect();
+        assert_eq!(fresh, (60..70).collect::<Vec<u64>>());
+        // Clamped below and above the map's window.
+        let clamped: Vec<u64> = m.fresh_for(&mine, 0, 2_000).collect();
+        assert_eq!(clamped.len(), 600);
+        // Empty and inverted windows.
+        assert_eq!(m.fresh_for(&mine, 50, 50).count(), 0);
+        assert_eq!(m.fresh_for(&mine, 70, 60).count(), 0);
     }
 }

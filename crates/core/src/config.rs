@@ -56,6 +56,12 @@ pub struct SystemConfig {
     /// playback.
     pub startup_segments: u64,
     /// Extra head room of the ID space: `N = next_pow2(nodes · this)`.
+    ///
+    /// The base capacity assumes *linear* join growth
+    /// (`nodes · join_fraction · rounds`); a run whose overlay grows
+    /// geometrically (join rate persistently above the leave rate, e.g. a
+    /// flash crowd) must raise this slack or the RP server's ID space
+    /// exhausts mid-run.
     pub id_space_slack: u32,
     /// Expected one-hop latency `t_hop` in seconds used to parameterise
     /// the urgent line (the realised latency comes from the trace).

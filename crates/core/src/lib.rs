@@ -57,7 +57,7 @@ pub use backup::VodBackupStore;
 pub use buffer::{BufferMap, StreamBuffer};
 pub use config::{SchedulerKind, SystemConfig};
 pub use metrics::{RoundRecord, RunReport, RunSummary};
-pub use priority::{PriorityInput, PriorityPolicy};
+pub use priority::{PriorityInput, PriorityPolicy, PriorityTerms};
 pub use rate::RateController;
 pub use scheduler::{Assignment, ScheduleContext, SegmentCandidate};
 pub use system::SystemSim;

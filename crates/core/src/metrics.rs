@@ -105,8 +105,7 @@ pub fn summarize(rounds: &[RoundRecord]) -> RunSummary {
     let tail_start = n - ((n as f64 * STABLE_TAIL_FRACTION).ceil() as usize).clamp(1, n);
 
     let stable = &rounds[tail_start..];
-    let stable_continuity =
-        stable.iter().map(|r| r.continuity).sum::<f64>() / stable.len() as f64;
+    let stable_continuity = stable.iter().map(|r| r.continuity).sum::<f64>() / stable.len() as f64;
     let mean_continuity = rounds.iter().map(|r| r.continuity).sum::<f64>() / n as f64;
 
     // Stabilisation: the first round from which continuity never drops
@@ -200,9 +199,7 @@ mod tests {
 
     #[test]
     fn stabilization_is_first_sustained_crossing() {
-        let mut rounds: Vec<RoundRecord> = (0..10)
-            .map(|i| record(i, 0.1 * i as f64))
-            .collect();
+        let mut rounds: Vec<RoundRecord> = (0..10).map(|i| record(i, 0.1 * i as f64)).collect();
         rounds.extend((10..30).map(|i| record(i, 0.9)));
         let s = summarize(&rounds);
         // Threshold = 0.95 × 0.9 = 0.855; first sustained round ≥ that is
@@ -217,7 +214,10 @@ mod tests {
         rounds[15] = record(15, 0.1); // transient collapse
         let s = summarize(&rounds);
         let t = s.stabilization_secs.unwrap();
-        assert!(t > 16.0, "stabilisation must restart after the dip, got {t}");
+        assert!(
+            t > 16.0,
+            "stabilisation must restart after the dip, got {t}"
+        );
     }
 
     #[test]

@@ -42,6 +42,73 @@ pub struct PriorityInput {
 }
 
 impl PriorityInput {
+    /// Fold this input into scalar [`PriorityTerms`]. The product runs
+    /// over `replacement_probs` in order, so the result is bit-identical
+    /// to multiplying them one by one while scanning suppliers.
+    pub fn terms(&self) -> PriorityTerms {
+        PriorityTerms {
+            id: self.id,
+            play_id: self.play_id,
+            playback_rate: self.playback_rate,
+            max_rate: self.max_rate,
+            rarity_product: self.replacement_probs.iter().product(),
+            supplier_count: self.replacement_probs.len(),
+        }
+    }
+
+    /// Equation (1): expected deadline slack `t_i` in seconds.
+    pub fn deadline_slack(&self) -> f64 {
+        self.terms().deadline_slack()
+    }
+
+    /// Equation (1): `urgency = 1/t_i`, saturated when `t_i ≤ 0`. Within
+    /// the saturated band, closer deadlines still rank higher (graded by
+    /// how little lead the segment has), so a supplier under contention
+    /// serves the most-overdue request first.
+    pub fn urgency(&self) -> f64 {
+        self.terms().urgency()
+    }
+
+    /// Equation (2): `rarity = Π_j (p_ij / B)`.
+    pub fn rarity(&self) -> f64 {
+        self.terms().rarity()
+    }
+
+    /// The traditional rarest-first metric `1/n_i` the paper compares
+    /// against (CoolStreaming's policy).
+    pub fn rarest_first(&self) -> f64 {
+        self.terms().rarest_first()
+    }
+
+    /// Equation (3): `priority = max(urgency, rarity)`.
+    pub fn priority(&self) -> f64 {
+        self.terms().priority()
+    }
+}
+
+/// The same §4.2 terms as [`PriorityInput`] with the per-supplier
+/// replacement probabilities pre-folded into their product — the
+/// allocation-free form the simulator's round loop computes while
+/// scanning a candidate's suppliers. All formulas live here;
+/// `PriorityInput` delegates, so the two can never drift apart.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PriorityTerms {
+    /// The candidate segment.
+    pub id: SegmentId,
+    /// The segment currently being played (`id_play`).
+    pub play_id: SegmentId,
+    /// Playback rate `p`, segments per second.
+    pub playback_rate: f64,
+    /// `R_i = max_j R_ij`, segments per second.
+    pub max_rate: f64,
+    /// `Π_j (p_ij / B)` over the candidate's suppliers, folded in
+    /// supplier order.
+    pub rarity_product: f64,
+    /// Number of suppliers advertising the segment (`n_i`).
+    pub supplier_count: usize,
+}
+
+impl PriorityTerms {
     /// Equation (1): expected deadline slack `t_i` in seconds.
     pub fn deadline_slack(&self) -> f64 {
         assert!(self.playback_rate > 0.0, "playback rate must be positive");
@@ -54,10 +121,7 @@ impl PriorityInput {
         lead - transfer
     }
 
-    /// Equation (1): `urgency = 1/t_i`, saturated when `t_i ≤ 0`. Within
-    /// the saturated band, closer deadlines still rank higher (graded by
-    /// how little lead the segment has), so a supplier under contention
-    /// serves the most-overdue request first.
+    /// Equation (1): `urgency = 1/t_i`, saturated when `t_i ≤ 0`.
     pub fn urgency(&self) -> f64 {
         let t = self.deadline_slack();
         if t <= 0.0 {
@@ -70,17 +134,15 @@ impl PriorityInput {
 
     /// Equation (2): `rarity = Π_j (p_ij / B)`.
     pub fn rarity(&self) -> f64 {
-        self.replacement_probs.iter().product()
+        self.rarity_product
     }
 
-    /// The traditional rarest-first metric `1/n_i` the paper compares
-    /// against (CoolStreaming's policy).
+    /// The traditional rarest-first metric `1/n_i`.
     pub fn rarest_first(&self) -> f64 {
-        let n = self.replacement_probs.len();
-        if n == 0 {
+        if self.supplier_count == 0 {
             URGENCY_SATURATION // no supplier at all: maximally rare
         } else {
-            1.0 / n as f64
+            1.0 / self.supplier_count as f64
         }
     }
 
@@ -109,11 +171,17 @@ pub enum PriorityPolicy {
 impl PriorityPolicy {
     /// Evaluate the policy on one candidate.
     pub fn evaluate(&self, input: &PriorityInput) -> f64 {
+        self.evaluate_terms(&input.terms())
+    }
+
+    /// Evaluate the policy on pre-folded terms (the simulator's
+    /// allocation-free path).
+    pub fn evaluate_terms(&self, terms: &PriorityTerms) -> f64 {
         match self {
-            PriorityPolicy::UrgencyRarity => input.priority(),
-            PriorityPolicy::UrgencyOnly => input.urgency(),
-            PriorityPolicy::RarityOnly => input.rarity(),
-            PriorityPolicy::RarestFirst => input.rarest_first(),
+            PriorityPolicy::UrgencyRarity => terms.priority(),
+            PriorityPolicy::UrgencyOnly => terms.urgency(),
+            PriorityPolicy::RarityOnly => terms.rarity(),
+            PriorityPolicy::RarestFirst => terms.rarest_first(),
             PriorityPolicy::Uniform => 0.0,
         }
     }

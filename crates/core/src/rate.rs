@@ -16,8 +16,6 @@
 //! (the neighbour may have head-room); when it under-delivered, the
 //! estimate averages down toward the observed rate.
 
-use std::collections::HashMap;
-
 use cs_dht::DhtId;
 
 /// Multiplicative probe factor applied when a supplier fully served a
@@ -35,19 +33,33 @@ const DOWN_ALPHA: f64 = 0.5;
 const MAX_RATE: f64 = 500.0;
 
 /// Per-neighbour receiving-rate estimator (segments per second).
+///
+/// Generic over the neighbour key `K` (default [`DhtId`]); the simulator
+/// uses its dense arena handles. A node tracks at most `M` (≈ 5)
+/// neighbours, so the three tables are flat vectors with linear probes —
+/// no hashing on the round loop's hottest read path
+/// (`rate()` is called once per candidate-supplier pair per round).
 #[derive(Debug, Clone)]
-pub struct RateController {
+pub struct RateController<K = DhtId> {
     /// Estimate used for neighbours never probed, segments/s.
     prior: f64,
     /// Current estimates.
-    rates: HashMap<DhtId, f64>,
+    rates: Vec<(K, f64)>,
     /// Segments requested from each neighbour this period.
-    requested: HashMap<DhtId, u32>,
+    requested: Vec<(K, u32)>,
     /// Segments delivered by each neighbour this period.
-    delivered: HashMap<DhtId, u32>,
+    delivered: Vec<(K, u32)>,
 }
 
-impl RateController {
+#[inline]
+fn bump<K: Copy + PartialEq>(table: &mut Vec<(K, u32)>, key: K) {
+    match table.iter_mut().find(|(k, _)| *k == key) {
+        Some(slot) => slot.1 += 1,
+        None => table.push((key, 1)),
+    }
+}
+
+impl<K: Copy + PartialEq + std::fmt::Debug> RateController<K> {
     /// A controller whose unprobed-neighbour estimate is `prior`
     /// segments/s (a sensible default is the node's inbound capacity
     /// divided by `M`).
@@ -55,20 +67,20 @@ impl RateController {
         assert!(prior > 0.0, "rate prior must be positive");
         RateController {
             prior,
-            rates: HashMap::new(),
-            requested: HashMap::new(),
-            delivered: HashMap::new(),
+            rates: Vec::new(),
+            requested: Vec::new(),
+            delivered: Vec::new(),
         }
     }
 
     /// Record one segment requested from `from` during this period.
-    pub fn record_request(&mut self, from: DhtId) {
-        *self.requested.entry(from).or_insert(0) += 1;
+    pub fn record_request(&mut self, from: K) {
+        bump(&mut self.requested, from);
     }
 
     /// Record one segment delivered by `from` during this period.
-    pub fn record_delivery(&mut self, from: DhtId) {
-        *self.delivered.entry(from).or_insert(0) += 1;
+    pub fn record_delivery(&mut self, from: K) {
+        bump(&mut self.delivered, from);
     }
 
     /// Close the current period of `period_secs` seconds. Only neighbours
@@ -77,13 +89,19 @@ impl RateController {
     /// under-served ones pull it down toward the observed rate.
     pub fn end_period(&mut self, period_secs: f64) {
         assert!(period_secs > 0.0);
-        for (&id, &asked) in &self.requested {
+        for i in 0..self.requested.len() {
+            let (id, asked) = self.requested[i];
             if asked == 0 {
                 continue;
             }
-            let got = self.delivered.get(&id).copied().unwrap_or(0);
+            let got = self
+                .delivered
+                .iter()
+                .find(|(k, _)| *k == id)
+                .map(|(_, g)| *g)
+                .unwrap_or(0);
             let observed = got as f64 / period_secs;
-            let current = self.rates.get(&id).copied().unwrap_or(self.prior);
+            let current = self.rate_or_prior(id);
             let next = if got >= asked {
                 if observed >= 0.5 * current {
                     // The estimate was genuinely exercised: probe upward.
@@ -96,29 +114,52 @@ impl RateController {
             } else {
                 (1.0 - DOWN_ALPHA) * current + DOWN_ALPHA * observed
             };
-            self.rates.insert(id, next.max(0.01));
+            self.set_rate(id, next.max(0.01));
         }
         self.requested.clear();
         self.delivered.clear();
     }
 
+    #[inline]
+    fn rate_or_prior(&self, id: K) -> f64 {
+        self.rates
+            .iter()
+            .find(|(k, _)| *k == id)
+            .map(|(_, r)| *r)
+            .unwrap_or(self.prior)
+    }
+
+    #[inline]
+    fn set_rate(&mut self, id: K, rate: f64) {
+        match self.rates.iter_mut().find(|(k, _)| *k == id) {
+            Some(slot) => slot.1 = rate,
+            None => self.rates.push((id, rate)),
+        }
+    }
+
     /// The estimated receiving rate from `id`, segments/s (`R_ij`).
-    pub fn rate(&self, id: DhtId) -> f64 {
-        self.rates.get(&id).copied().unwrap_or(self.prior)
+    #[inline]
+    pub fn rate(&self, id: K) -> f64 {
+        self.rate_or_prior(id)
     }
 
     /// Forget a departed neighbour.
-    pub fn forget(&mut self, id: DhtId) {
-        self.rates.remove(&id);
-        self.requested.remove(&id);
-        self.delivered.remove(&id);
+    pub fn forget(&mut self, id: K) {
+        self.rates.retain(|(k, _)| *k != id);
+        self.requested.retain(|(k, _)| *k != id);
+        self.delivered.retain(|(k, _)| *k != id);
     }
 
     /// The recent supply rate of `id` in the unit the Peer Table shows
     /// (Kbps), given the segment size. Unprobed neighbours report 0 —
     /// "recent supply" is an observation, not an estimate.
-    pub fn supply_kbps(&self, id: DhtId, segment_kbits: f64) -> f64 {
-        self.rates.get(&id).copied().unwrap_or(0.0) * segment_kbits
+    pub fn supply_kbps(&self, id: K, segment_kbits: f64) -> f64 {
+        self.rates
+            .iter()
+            .find(|(k, _)| *k == id)
+            .map(|(_, r)| *r)
+            .unwrap_or(0.0)
+            * segment_kbits
     }
 }
 
@@ -261,6 +302,6 @@ mod tests {
     #[test]
     #[should_panic(expected = "positive")]
     fn zero_prior_panics() {
-        let _ = RateController::new(0.0);
+        let _ = RateController::<DhtId>::new(0.0);
     }
 }

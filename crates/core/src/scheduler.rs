@@ -19,8 +19,14 @@
 //! All schedulers respect the same inbound budget `min(m, I·τ)` and the
 //! same per-supplier queue model, so measured differences are purely the
 //! policy.
-
-use std::collections::HashMap;
+//!
+//! Everything is generic over the supplier key `K` (default [`DhtId`]) so
+//! the full-system simulator can schedule against its dense node-arena
+//! handles without translating to DHT identifiers; stand-alone users and
+//! the benches keep using plain ids. With at most `M` (≈ 5) suppliers in
+//! play per node, the per-supplier queue and rate tables are flat vectors
+//! with linear probes — measurably faster than hashing at these sizes and
+//! free of per-call allocation when reused.
 
 use rand::seq::SliceRandom;
 use rand::Rng;
@@ -30,29 +36,40 @@ use cs_sim::SimRng;
 
 use crate::SegmentId;
 
+/// Key types a scheduler can address suppliers by.
+///
+/// `Ord` matters: every tie-break in the algorithms ("lower id wins")
+/// uses it, so the key's order must be deterministic and stable across
+/// runs. Implemented by `DhtId` and by the simulator's arena handles
+/// (which order by the underlying `DhtId` for exactly this reason).
+pub trait SupplierKey: Copy + PartialEq + Ord + std::fmt::Debug {}
+impl<T: Copy + PartialEq + Ord + std::fmt::Debug> SupplierKey for T {}
+
 /// One candidate segment, with its suppliers and computed priority.
 #[derive(Debug, Clone, PartialEq)]
-pub struct SegmentCandidate {
+pub struct SegmentCandidate<K = DhtId> {
     /// The wanted segment.
     pub id: SegmentId,
     /// Scheduling priority (larger = sooner); semantics depend on the
     /// [`crate::priority::PriorityPolicy`] that produced it.
     pub priority: f64,
-    /// Connected neighbours advertising this segment, in ascending-id
+    /// Connected neighbours advertising this segment, in ascending-key
     /// order (callers must keep this deterministic).
-    pub suppliers: Vec<DhtId>,
+    pub suppliers: Vec<K>,
 }
 
 /// Inputs shared by all scheduling policies.
 #[derive(Debug, Clone)]
-pub struct ScheduleContext {
+pub struct ScheduleContext<K = DhtId> {
     /// `I·τ` rounded down: how many segments the node can pull this
     /// period. Algorithm 1's loop bound is `min(m, inbound_budget)`.
     pub inbound_budget: u32,
     /// The scheduling period `τ` in seconds.
     pub period_secs: f64,
-    /// Estimated sending rate `R(j)` of each supplier, segments/s.
-    pub supplier_rates: HashMap<DhtId, f64>,
+    /// Estimated sending rate `R(j)` of each supplier, segments/s. A flat
+    /// list (one entry per connected neighbour, so ≤ M entries): linear
+    /// probes beat hashing at this size and the buffer is reusable.
+    pub supplier_rates: Vec<(K, f64)>,
     /// Segments below this id are deadline-critical (DONet schedules
     /// within deadline constraints before applying rarest-first; without
     /// this a freshly joined node pulls the rare frontier forever while
@@ -60,19 +77,23 @@ pub struct ScheduleContext {
     pub deadline_cutoff: Option<SegmentId>,
 }
 
-impl ScheduleContext {
-    fn rate(&self, j: DhtId) -> f64 {
-        self.supplier_rates.get(&j).copied().unwrap_or(0.0)
+impl<K: SupplierKey> ScheduleContext<K> {
+    fn rate(&self, j: K) -> f64 {
+        self.supplier_rates
+            .iter()
+            .find(|(k, _)| *k == j)
+            .map(|(_, r)| *r)
+            .unwrap_or(0.0)
     }
 }
 
 /// One scheduled request.
 #[derive(Debug, Clone, Copy, PartialEq)]
-pub struct Assignment {
+pub struct Assignment<K = DhtId> {
     /// The segment to request.
     pub segment: SegmentId,
     /// The chosen supplier.
-    pub supplier: DhtId,
+    pub supplier: K,
     /// The expected receive time within the period (`t_min`), seconds.
     pub expected_receive_secs: f64,
     /// The candidate's scheduling priority, forwarded so the supplier can
@@ -80,12 +101,39 @@ pub struct Assignment {
     pub priority: f64,
 }
 
+/// The per-supplier committed-time queue `τ(j)` of Algorithm 1, as a flat
+/// list (at most one entry per supplier in play).
+#[derive(Debug, Default)]
+struct SupplierQueue<K>(Vec<(K, f64)>);
+
+impl<K: SupplierKey> SupplierQueue<K> {
+    #[inline]
+    fn get(&self, j: K) -> f64 {
+        self.0
+            .iter()
+            .find(|(k, _)| *k == j)
+            .map(|(_, t)| *t)
+            .unwrap_or(0.0)
+    }
+
+    #[inline]
+    fn set(&mut self, j: K, t: f64) {
+        match self.0.iter_mut().find(|(k, _)| *k == j) {
+            Some(slot) => slot.1 = t,
+            None => self.0.push((j, t)),
+        }
+    }
+}
+
 /// Algorithm 1. `candidates` must already be sorted in **descending
 /// priority** (ties broken by ascending id for determinism — use
 /// [`sort_candidates`]).
-pub fn schedule_greedy(candidates: &[SegmentCandidate], ctx: &ScheduleContext) -> Vec<Assignment> {
+pub fn schedule_greedy<K: SupplierKey>(
+    candidates: &[SegmentCandidate<K>],
+    ctx: &ScheduleContext<K>,
+) -> Vec<Assignment<K>> {
     let budget = (candidates.len() as u32).min(ctx.inbound_budget) as usize;
-    let mut queue: HashMap<DhtId, f64> = HashMap::new();
+    let mut queue: SupplierQueue<K> = SupplierQueue(Vec::new());
     let mut out = Vec::with_capacity(budget);
     // The loop bound min(m, I·τ) caps *scheduled segments*: a candidate
     // with no feasible supplier does not consume an inbound slot, the
@@ -95,14 +143,14 @@ pub fn schedule_greedy(candidates: &[SegmentCandidate], ctx: &ScheduleContext) -
             break;
         }
         let mut t_min = f64::INFINITY;
-        let mut chosen: Option<DhtId> = None;
+        let mut chosen: Option<K> = None;
         for &j in &cand.suppliers {
             let rate = ctx.rate(j);
             if rate <= 0.0 {
                 continue;
             }
             let t_trans = 1.0 / rate;
-            let tau_j = queue.get(&j).copied().unwrap_or(0.0);
+            let tau_j = queue.get(j);
             let eta = t_trans + tau_j;
             if eta < t_min && eta < ctx.period_secs {
                 t_min = eta;
@@ -110,7 +158,7 @@ pub fn schedule_greedy(candidates: &[SegmentCandidate], ctx: &ScheduleContext) -
             }
         }
         if let Some(j) = chosen {
-            queue.insert(j, t_min);
+            queue.set(j, t_min);
             out.push(Assignment {
                 segment: cand.id,
                 supplier: j,
@@ -125,41 +173,40 @@ pub fn schedule_greedy(candidates: &[SegmentCandidate], ctx: &ScheduleContext) -
 /// The CoolStreaming baseline: candidates in rarest-first order (fewest
 /// suppliers first, ties by ascending id), supplier = highest-rate
 /// neighbour whose queue still fits the period.
-pub fn schedule_coolstreaming(
-    candidates: &[SegmentCandidate],
-    ctx: &ScheduleContext,
-) -> Vec<Assignment> {
-    let mut order: Vec<&SegmentCandidate> = candidates.iter().collect();
-    let critical = |c: &SegmentCandidate| {
-        ctx.deadline_cutoff.is_some_and(|cut| c.id < cut)
-    };
+pub fn schedule_coolstreaming<K: SupplierKey>(
+    candidates: &[SegmentCandidate<K>],
+    ctx: &ScheduleContext<K>,
+) -> Vec<Assignment<K>> {
+    let mut order: Vec<&SegmentCandidate<K>> = candidates.iter().collect();
+    let critical = |c: &SegmentCandidate<K>| ctx.deadline_cutoff.is_some_and(|cut| c.id < cut);
     order.sort_by(|a, b| {
         // Deadline-critical segments first (earliest deadline first),
         // rarest-first among the rest.
-        critical(b)
-            .cmp(&critical(a))
-            .then_with(|| {
-                if critical(a) && critical(b) {
-                    a.id.cmp(&b.id)
-                } else {
-                    a.suppliers.len().cmp(&b.suppliers.len()).then(a.id.cmp(&b.id))
-                }
-            })
+        critical(b).cmp(&critical(a)).then_with(|| {
+            if critical(a) && critical(b) {
+                a.id.cmp(&b.id)
+            } else {
+                a.suppliers
+                    .len()
+                    .cmp(&b.suppliers.len())
+                    .then(a.id.cmp(&b.id))
+            }
+        })
     });
     let budget = (order.len() as u32).min(ctx.inbound_budget) as usize;
-    let mut queue: HashMap<DhtId, f64> = HashMap::new();
+    let mut queue: SupplierQueue<K> = SupplierQueue(Vec::new());
     let mut out = Vec::with_capacity(budget);
     for cand in order.into_iter() {
         if out.len() >= budget {
             break;
         }
-        let mut best: Option<(f64, DhtId, f64)> = None; // (rate, id, eta)
+        let mut best: Option<(f64, K, f64)> = None; // (rate, key, eta)
         for &j in &cand.suppliers {
             let rate = ctx.rate(j);
             if rate <= 0.0 {
                 continue;
             }
-            let eta = 1.0 / rate + queue.get(&j).copied().unwrap_or(0.0);
+            let eta = 1.0 / rate + queue.get(j);
             if eta >= ctx.period_secs {
                 continue;
             }
@@ -172,7 +219,7 @@ pub fn schedule_coolstreaming(
             }
         }
         if let Some((_, j, eta)) = best {
-            queue.insert(j, eta);
+            queue.set(j, eta);
             out.push(Assignment {
                 segment: cand.id,
                 supplier: j,
@@ -190,21 +237,25 @@ pub fn schedule_coolstreaming(
 
 /// Naive gossip: shuffle the candidates, pick a random feasible supplier
 /// for each.
-pub fn schedule_random(
-    candidates: &[SegmentCandidate],
-    ctx: &ScheduleContext,
+///
+/// Callers must hand over `candidates` in a deterministic order (the
+/// simulator builds them in ascending segment order) — the shuffle is
+/// then a pure function of the RNG state, so runs reproduce.
+pub fn schedule_random<K: SupplierKey>(
+    candidates: &[SegmentCandidate<K>],
+    ctx: &ScheduleContext<K>,
     rng: &mut SimRng,
-) -> Vec<Assignment> {
-    let mut order: Vec<&SegmentCandidate> = candidates.iter().collect();
+) -> Vec<Assignment<K>> {
+    let mut order: Vec<&SegmentCandidate<K>> = candidates.iter().collect();
     order.shuffle(rng);
     let budget = (order.len() as u32).min(ctx.inbound_budget) as usize;
-    let mut queue: HashMap<DhtId, f64> = HashMap::new();
+    let mut queue: SupplierQueue<K> = SupplierQueue(Vec::new());
     let mut out = Vec::with_capacity(budget);
     for cand in order.into_iter() {
         if out.len() >= budget {
             break;
         }
-        let feasible: Vec<(DhtId, f64)> = cand
+        let feasible: Vec<(K, f64)> = cand
             .suppliers
             .iter()
             .filter_map(|&j| {
@@ -212,7 +263,7 @@ pub fn schedule_random(
                 if rate <= 0.0 {
                     return None;
                 }
-                let eta = 1.0 / rate + queue.get(&j).copied().unwrap_or(0.0);
+                let eta = 1.0 / rate + queue.get(j);
                 (eta < ctx.period_secs).then_some((j, eta))
             })
             .collect();
@@ -220,7 +271,7 @@ pub fn schedule_random(
             continue;
         }
         let &(j, eta) = &feasible[rng.gen_range(0..feasible.len())];
-        queue.insert(j, eta);
+        queue.set(j, eta);
         out.push(Assignment {
             segment: cand.id,
             supplier: j,
@@ -233,12 +284,8 @@ pub fn schedule_random(
 
 /// Sort candidates for [`schedule_greedy`]: descending priority, ties by
 /// ascending segment id (deterministic).
-pub fn sort_candidates(candidates: &mut [SegmentCandidate]) {
-    candidates.sort_by(|a, b| {
-        b.priority
-            .total_cmp(&a.priority)
-            .then(a.id.cmp(&b.id))
-    });
+pub fn sort_candidates<K>(candidates: &mut [SegmentCandidate<K>]) {
+    candidates.sort_by(|a, b| b.priority.total_cmp(&a.priority).then(a.id.cmp(&b.id)));
 }
 
 #[cfg(test)]
@@ -250,7 +297,7 @@ mod tests {
         ScheduleContext {
             inbound_budget: budget,
             period_secs: 1.0,
-            supplier_rates: rates.iter().copied().collect(),
+            supplier_rates: rates.to_vec(),
             deadline_cutoff: None,
         }
     }
@@ -290,7 +337,7 @@ mod tests {
         assert_eq!(a[0].supplier, 20);
         assert_eq!(a[1].supplier, 20);
         assert_eq!(a[2].supplier, 20); // 0.375 still < 0.5
-        // With a slower fast supplier the spill happens.
+                                       // With a slower fast supplier the spill happens.
         let ctx2 = ctx(5, &[(10, 2.0), (20, 3.0)]);
         let a2 = schedule_greedy(&c, &ctx2);
         assert_eq!(a2[0].supplier, 20); // 1/3 < 1/2
@@ -408,6 +455,43 @@ mod tests {
         assert!(schedule_greedy(&[], &ctx).is_empty());
         assert!(schedule_coolstreaming(&[], &ctx).is_empty());
         let mut rng = RngTree::new(1).child("s");
-        assert!(schedule_random(&[], &ctx, &mut rng).is_empty());
+        assert!(schedule_random::<DhtId>(&[], &ctx, &mut rng).is_empty());
+    }
+
+    #[test]
+    fn generic_key_type_schedules_identically() {
+        // The same scenario keyed by DhtId and by a newtype must produce
+        // the same assignments (modulo key mapping) — the simulator
+        // relies on this when scheduling over arena handles.
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+        struct Key(u64);
+        let by_id = [
+            cand(1, 3.0, &[10, 20]),
+            cand(2, 2.0, &[10, 20]),
+            cand(3, 1.0, &[20]),
+        ];
+        let by_key: Vec<SegmentCandidate<Key>> = by_id
+            .iter()
+            .map(|c| SegmentCandidate {
+                id: c.id,
+                priority: c.priority,
+                suppliers: c.suppliers.iter().map(|&s| Key(s)).collect(),
+            })
+            .collect();
+        let ctx_id = ctx(5, &[(10, 2.0), (20, 3.0)]);
+        let ctx_key = ScheduleContext {
+            inbound_budget: 5,
+            period_secs: 1.0,
+            supplier_rates: vec![(Key(10), 2.0), (Key(20), 3.0)],
+            deadline_cutoff: None,
+        };
+        let a = schedule_greedy(&by_id, &ctx_id);
+        let b = schedule_greedy(&by_key, &ctx_key);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.segment, y.segment);
+            assert_eq!(Key(x.supplier), y.supplier);
+            assert_eq!(x.expected_receive_secs, y.expected_receive_secs);
+        }
     }
 }

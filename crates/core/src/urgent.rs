@@ -60,12 +60,8 @@ impl UrgentLine {
         t_hop_secs: f64,
         max_per_period: usize,
     ) -> Self {
-        let floor = cs_analysis::alpha_lower_bound(
-            playback_rate,
-            buffer_size,
-            period_secs,
-            t_fetch_secs,
-        );
+        let floor =
+            cs_analysis::alpha_lower_bound(playback_rate, buffer_size, period_secs, t_fetch_secs);
         UrgentLine {
             alpha: floor,
             alpha_floor: floor,
@@ -215,7 +211,7 @@ mod tests {
     fn too_many_suppresses_retrieval() {
         let l = line();
         let buf = StreamBuffer::with_head(600, 100); // nothing present
-        // All 10 in-window segments missing; l = 5 → suppressed.
+                                                     // All 10 in-window segments missing; l = 5 → suppressed.
         match l.decide(&buf, 100, 1000, |_| false) {
             PrefetchDecision::TooMany(n) => assert_eq!(n, 10),
             other => panic!("expected TooMany, got {other:?}"),

@@ -1,0 +1,234 @@
+//! In-tree minimal stand-in for the `criterion` bench harness.
+//!
+//! The build environment has no crates.io access, so this crate provides
+//! the API surface the workspace's benches use — [`Criterion`],
+//! [`BenchmarkId`], benchmark groups, `Bencher::iter`, and the
+//! [`criterion_group!`]/[`criterion_main!`] macros — backed by a simple
+//! wall-clock measurement loop: a warm-up phase to size the batch, then a
+//! fixed number of timed samples whose median per-iteration time is
+//! printed as
+//!
+//! ```text
+//! group/name              median   1.234 µs/iter   (15 samples × 812 iters)
+//! ```
+//!
+//! Statistical niceties (outlier rejection, regression against a saved
+//! baseline, HTML reports) are intentionally out of scope; the point is
+//! that `cargo bench` runs and prints comparable numbers.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Target wall-clock time per measured sample.
+const TARGET_SAMPLE_TIME: Duration = Duration::from_millis(40);
+/// Warm-up budget per benchmark.
+const WARMUP_TIME: Duration = Duration::from_millis(120);
+
+/// Identifier for a parameterised benchmark (`name/param`).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    full: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`, as in upstream criterion.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            full: format!("{}/{}", name.into(), parameter),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.full)
+    }
+}
+
+/// The timing loop handed to benchmark closures.
+pub struct Bencher {
+    iters_per_sample: u64,
+    samples: Vec<Duration>,
+    sample_count: usize,
+}
+
+impl Bencher {
+    /// Time `f`, discarding its output via a black box.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up: find an iteration count that fills the target sample
+        // time, starting from one and doubling.
+        let mut iters: u64 = 1;
+        let warmup_end = Instant::now() + WARMUP_TIME;
+        loop {
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(f());
+            }
+            let took = t0.elapsed();
+            if took >= TARGET_SAMPLE_TIME || Instant::now() >= warmup_end {
+                if took < TARGET_SAMPLE_TIME && took.as_nanos() > 0 {
+                    let scale = TARGET_SAMPLE_TIME.as_nanos() / took.as_nanos().max(1);
+                    iters = iters.saturating_mul(scale.max(1) as u64).max(1);
+                }
+                break;
+            }
+            iters = iters.saturating_mul(2);
+        }
+        self.iters_per_sample = iters;
+        self.samples.clear();
+        for _ in 0..self.sample_count {
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(f());
+            }
+            self.samples.push(t0.elapsed());
+        }
+    }
+
+    fn median_per_iter_ns(&self) -> f64 {
+        let mut s: Vec<u128> = self.samples.iter().map(|d| d.as_nanos()).collect();
+        if s.is_empty() {
+            return 0.0;
+        }
+        s.sort_unstable();
+        let mid = s[s.len() / 2] as f64;
+        mid / self.iters_per_sample as f64
+    }
+}
+
+fn human_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.3} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.3} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_count: usize,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Reduce/increase the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_count = n.max(3);
+        self
+    }
+
+    fn run_one(&mut self, label: &str, mut f: impl FnMut(&mut Bencher)) {
+        let mut b = Bencher {
+            iters_per_sample: 1,
+            samples: Vec::with_capacity(self.sample_count),
+            sample_count: self.sample_count,
+        };
+        f(&mut b);
+        println!(
+            "{:<44} median {:>12}/iter   ({} samples x {} iters)",
+            format!("{}/{}", self.name, label),
+            human_ns(b.median_per_iter_ns()),
+            b.samples.len(),
+            b.iters_per_sample,
+        );
+    }
+
+    /// Benchmark a closure under `label`.
+    pub fn bench_function(
+        &mut self,
+        label: impl Display,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let label = label.to_string();
+        self.run_one(&label, f);
+        self
+    }
+
+    /// Benchmark a closure that receives an input value.
+    pub fn bench_with_input<I>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let label = id.to_string();
+        self.run_one(&label, |b| f(b, input));
+        self
+    }
+
+    /// End the group (drop-equivalent; kept for API parity).
+    pub fn finish(&mut self) {}
+}
+
+/// The bench-harness entry object.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Start a named group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("-- bench group: {name}");
+        BenchmarkGroup {
+            name,
+            sample_count: 15,
+            _parent: self,
+        }
+    }
+
+    /// Benchmark a closure outside any group.
+    pub fn bench_function(
+        &mut self,
+        label: impl Display,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        self.benchmark_group("crit").bench_function(label, f);
+        self
+    }
+}
+
+/// Re-export for benches that use `criterion::black_box`.
+pub use std::hint::black_box;
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("selftest");
+        g.sample_size(3);
+        let mut ran = 0u64;
+        g.bench_function("noop", |b| b.iter(|| ran = ran.wrapping_add(1)));
+        g.bench_with_input(BenchmarkId::new("with_input", 42), &42u32, |b, &x| {
+            b.iter(|| x * 2)
+        });
+        g.finish();
+        assert!(ran > 0);
+    }
+}

@@ -84,7 +84,7 @@ impl IdSpace {
         if d == 0 {
             None
         } else {
-            Some(63 - d.leading_zeros() as u32 + 1)
+            Some(63 - d.leading_zeros() + 1)
         }
     }
 

@@ -110,9 +110,7 @@ impl DhtNetwork {
             if in_range.is_empty() {
                 continue;
             }
-            for &cand in in_range
-                .choose_multiple(rng, CANDIDATES_PER_LEVEL.min(in_range.len()))
-            {
+            for &cand in in_range.choose_multiple(rng, CANDIDATES_PER_LEVEL.min(in_range.len())) {
                 table.offer(cand, latency_ms(owner, cand));
             }
         }
@@ -173,10 +171,7 @@ impl DhtNetwork {
             return None;
         }
         self.nodes
-            .range((
-                std::ops::Bound::Excluded(id),
-                std::ops::Bound::Unbounded,
-            ))
+            .range((std::ops::Bound::Excluded(id), std::ops::Bound::Unbounded))
             .next()
             .or_else(|| self.nodes.iter().next())
             .map(|(&s, _)| s)
@@ -441,11 +436,7 @@ mod tests {
         // At minimum the ring predecessor must have filed the newcomer:
         // its backup-responsibility range depends on it.
         assert!(
-            net.node(pred)
-                .unwrap()
-                .peers
-                .peers()
-                .any(|p| p.id == free),
+            net.node(pred).unwrap().peers.peers().any(|p| p.id == free),
             "predecessor {pred} should have filed the newcomer {free}"
         );
     }

@@ -176,12 +176,11 @@ impl DhtPeerTable {
     /// The owner's *closest clockwise* DHT peer, i.e. the `n₁` of the
     /// backup-responsibility interval `[n, n₁)` (§4.3).
     pub fn closest_clockwise(&self) -> Option<DhtPeerEntry> {
-        self.peers()
-            .min_by(|a, b| {
-                let da = self.space.clockwise_dist(self.owner, a.id);
-                let db = self.space.clockwise_dist(self.owner, b.id);
-                da.cmp(&db)
-            })
+        self.peers().min_by(|a, b| {
+            let da = self.space.clockwise_dist(self.owner, a.id);
+            let db = self.space.clockwise_dist(self.owner, b.id);
+            da.cmp(&db)
+        })
     }
 
     /// Verify the level invariant for every entry; used by tests and debug
@@ -293,7 +292,7 @@ mod tests {
         t.offer(16, 1.0); // level 3 (dist 6)
         t.offer(20, 1.0); // level 4 (dist 10)
         t.offer(40, 1.0); // level 5 (dist 30)
-        // Target 42: peer 40 has dist 2, best.
+                          // Target 42: peer 40 has dist 2, best.
         assert_eq!(t.next_hop(42).unwrap().id, 40);
         // Target 15: peer 13 has dist 2; 16 overshoots (dist 63). 13 wins.
         assert_eq!(t.next_hop(15).unwrap().id, 13);

@@ -127,7 +127,11 @@ mod tests {
         let s = space();
         let targets = backup_targets(s, 7777, 4);
         let distinct: std::collections::HashSet<_> = targets.iter().collect();
-        assert_eq!(distinct.len(), 4, "replicas should land on distinct positions");
+        assert_eq!(
+            distinct.len(),
+            4,
+            "replicas should land on distinct positions"
+        );
     }
 
     #[test]

@@ -131,7 +131,10 @@ impl BandwidthAssigner {
 /// Solve for μ such that the mean of Exp(μ) truncated to [0, w] equals
 /// `target`: mean(μ) = μ − w/(e^{w/μ} − 1). Monotone in μ; bisection.
 fn solve_truncated_exp_mu(target: f64, w: f64) -> f64 {
-    assert!(target > 0.0 && target < w / 2.0, "target must be below w/2 (exponential shape)");
+    assert!(
+        target > 0.0 && target < w / 2.0,
+        "target must be below w/2 (exponential shape)"
+    );
     let mean_of = |mu: f64| mu - w / ((w / mu).exp() - 1.0);
     let (mut lo, mut hi) = (1e-6, w * 50.0);
     for _ in 0..200 {

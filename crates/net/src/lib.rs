@@ -21,6 +21,6 @@ pub mod accounting;
 pub mod bandwidth;
 pub mod message;
 
-pub use accounting::{OverheadReport, TrafficCounter, TrafficClass};
+pub use accounting::{OverheadReport, TrafficClass, TrafficCounter};
 pub use bandwidth::{BandwidthAssigner, BandwidthProfile, NodeBandwidth, SOURCE_OUTBOUND_SEGMENTS};
 pub use message::{MessageSizes, SEGMENT_BITS_DEFAULT};

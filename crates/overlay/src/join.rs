@@ -218,15 +218,7 @@ mod tests {
     fn all_candidates_dead_rolls_back() {
         let (mut rp, _tables, mut rng) = setup(4, 4);
         // All four existing nodes are dead.
-        let r = simulate_join(
-            &mut rp,
-            &mut rng,
-            5,
-            20,
-            |_| false,
-            lat,
-            |_| unreachable!(),
-        );
+        let r = simulate_join(&mut rp, &mut rng, 5, 20, |_| false, lat, |_| unreachable!());
         assert_eq!(r.unwrap_err(), JoinProtocolError::NoAliveContact);
     }
 

@@ -8,10 +8,15 @@
 use cs_dht::DhtId;
 
 /// One connected neighbour (a row of Figure 2's first table).
+///
+/// Generic over the peer identifier `I` (default [`DhtId`]): the
+/// full-system simulator keys its tables by dense node-arena handles so
+/// that neighbour walks are index loads rather than hash probes, while
+/// stand-alone overlay users keep plain DHT ids.
 #[derive(Debug, Clone, Copy, PartialEq)]
-pub struct NeighborEntry {
-    /// The neighbour's overlay/DHT identifier.
-    pub id: DhtId,
+pub struct NeighborEntry<I = DhtId> {
+    /// The neighbour's overlay identifier.
+    pub id: I,
     /// Estimated one-way latency, milliseconds.
     pub latency_ms: f64,
     /// Recent supply rate from this neighbour, Kbps (Figure 2's last
@@ -21,12 +26,12 @@ pub struct NeighborEntry {
 
 /// The bounded connected-neighbour set of one node.
 #[derive(Debug, Clone)]
-pub struct ConnectedNeighbors {
-    entries: Vec<NeighborEntry>,
+pub struct ConnectedNeighbors<I = DhtId> {
+    entries: Vec<NeighborEntry<I>>,
     capacity: usize,
 }
 
-impl ConnectedNeighbors {
+impl<I: Copy + PartialEq + Ord> ConnectedNeighbors<I> {
     /// An empty set with room for `m` neighbours.
     pub fn new(m: usize) -> Self {
         assert!(m > 0, "a streaming node needs at least one neighbour");
@@ -57,23 +62,23 @@ impl ConnectedNeighbors {
     }
 
     /// The neighbour entries, in insertion order.
-    pub fn entries(&self) -> &[NeighborEntry] {
+    pub fn entries(&self) -> &[NeighborEntry<I>] {
         &self.entries
     }
 
     /// Neighbour IDs, in insertion order.
-    pub fn ids(&self) -> impl Iterator<Item = DhtId> + '_ {
+    pub fn ids(&self) -> impl Iterator<Item = I> + '_ {
         self.entries.iter().map(|e| e.id)
     }
 
     /// Whether `id` is a connected neighbour.
-    pub fn contains(&self, id: DhtId) -> bool {
+    pub fn contains(&self, id: I) -> bool {
         self.entries.iter().any(|e| e.id == id)
     }
 
     /// Connect a new neighbour. Returns `false` (and does nothing) if the
     /// set is full or the id is already present.
-    pub fn add(&mut self, entry: NeighborEntry) -> bool {
+    pub fn add(&mut self, entry: NeighborEntry<I>) -> bool {
         if self.is_full() || self.contains(entry.id) {
             return false;
         }
@@ -82,7 +87,7 @@ impl ConnectedNeighbors {
     }
 
     /// Disconnect a neighbour. Returns `true` if it was present.
-    pub fn remove(&mut self, id: DhtId) -> bool {
+    pub fn remove(&mut self, id: I) -> bool {
         let before = self.entries.len();
         self.entries.retain(|e| e.id != id);
         self.entries.len() != before
@@ -90,7 +95,7 @@ impl ConnectedNeighbors {
 
     /// Record the supply rate observed from `id` this period (the Rate
     /// Controller's job). Returns `false` for unknown ids.
-    pub fn record_supply(&mut self, id: DhtId, kbps: f64) -> bool {
+    pub fn record_supply(&mut self, id: I, kbps: f64) -> bool {
         match self.entries.iter_mut().find(|e| e.id == id) {
             Some(e) => {
                 // Exponentially weighted so one idle period does not
@@ -104,21 +109,18 @@ impl ConnectedNeighbors {
 
     /// The weakest neighbour: lowest recent supply rate, ties broken by
     /// higher latency then id. `None` when empty.
-    pub fn weakest(&self) -> Option<NeighborEntry> {
-        self.entries
-            .iter()
-            .copied()
-            .min_by(|a, b| {
-                a.recent_supply_kbps
-                    .total_cmp(&b.recent_supply_kbps)
-                    .then(b.latency_ms.total_cmp(&a.latency_ms))
-                    .then(a.id.cmp(&b.id))
-            })
+    pub fn weakest(&self) -> Option<NeighborEntry<I>> {
+        self.entries.iter().copied().min_by(|a, b| {
+            a.recent_supply_kbps
+                .total_cmp(&b.recent_supply_kbps)
+                .then(b.latency_ms.total_cmp(&a.latency_ms))
+                .then(a.id.cmp(&b.id))
+        })
     }
 
     /// Replace neighbour `old` with `new`. Returns `false` if `old` is
     /// absent or `new.id` already connected.
-    pub fn replace(&mut self, old: DhtId, new: NeighborEntry) -> bool {
+    pub fn replace(&mut self, old: I, new: NeighborEntry<I>) -> bool {
         if self.contains(new.id) || !self.contains(old) {
             return false;
         }
@@ -129,7 +131,7 @@ impl ConnectedNeighbors {
 
     /// Drop every neighbour not satisfying `alive`, returning the ids
     /// dropped — the failure-detection sweep run each period.
-    pub fn retain_alive(&mut self, alive: impl Fn(DhtId) -> bool) -> Vec<DhtId> {
+    pub fn retain_alive(&mut self, alive: impl Fn(I) -> bool) -> Vec<I> {
         let mut dropped = Vec::new();
         self.entries.retain(|e| {
             if alive(e.id) {
@@ -201,7 +203,7 @@ mod tests {
         n.add(entry(3, 5.0, 10.0));
         // 2 and 3 tie on supply; 2 has higher latency → weakest.
         assert_eq!(n.weakest().unwrap().id, 2);
-        assert!(ConnectedNeighbors::new(1).weakest().is_none());
+        assert!(ConnectedNeighbors::<DhtId>::new(1).weakest().is_none());
     }
 
     #[test]
@@ -232,6 +234,6 @@ mod tests {
     #[test]
     #[should_panic(expected = "at least one")]
     fn zero_capacity_panics() {
-        let _ = ConnectedNeighbors::new(0);
+        let _ = ConnectedNeighbors::<DhtId>::new(0);
     }
 }

@@ -15,10 +15,13 @@ use cs_dht::DhtId;
 pub const DEFAULT_H: usize = 20;
 
 /// One overheard node.
+///
+/// Generic over the peer identifier `I` (default [`DhtId`]), for the same
+/// reason as `NeighborEntry`: the simulator keys by arena handles.
 #[derive(Debug, Clone, Copy, PartialEq)]
-pub struct OverheardEntry {
+pub struct OverheardEntry<I = DhtId> {
     /// The overheard node's identifier.
-    pub id: DhtId,
+    pub id: I,
     /// Latency estimate, milliseconds (from the overheard message's
     /// timing or a subsequent probe).
     pub latency_ms: f64,
@@ -26,19 +29,19 @@ pub struct OverheardEntry {
 
 /// A bounded most-recently-overheard list.
 #[derive(Debug, Clone)]
-pub struct OverheardList {
+pub struct OverheardList<I = DhtId> {
     /// Front = most recent.
-    entries: VecDeque<OverheardEntry>,
+    entries: VecDeque<OverheardEntry<I>>,
     capacity: usize,
 }
 
-impl Default for OverheardList {
+impl<I: Copy + PartialEq + Ord> Default for OverheardList<I> {
     fn default() -> Self {
         Self::new(DEFAULT_H)
     }
 }
 
-impl OverheardList {
+impl<I: Copy + PartialEq + Ord> OverheardList<I> {
     /// An empty list with capacity `h`.
     pub fn new(h: usize) -> Self {
         assert!(h > 0, "overheard list needs positive capacity");
@@ -66,7 +69,7 @@ impl OverheardList {
     /// Record an overheard node. Re-hearing an already-listed node moves
     /// it to the front and refreshes its latency; otherwise the oldest
     /// entry falls off when at capacity.
-    pub fn record(&mut self, id: DhtId, latency_ms: f64) {
+    pub fn record(&mut self, id: I, latency_ms: f64) {
         if let Some(pos) = self.entries.iter().position(|e| e.id == id) {
             self.entries.remove(pos);
         } else if self.entries.len() >= self.capacity {
@@ -76,7 +79,7 @@ impl OverheardList {
     }
 
     /// Remove a node known to have failed. Returns `true` if present.
-    pub fn remove(&mut self, id: DhtId) -> bool {
+    pub fn remove(&mut self, id: I) -> bool {
         match self.entries.iter().position(|e| e.id == id) {
             Some(pos) => {
                 self.entries.remove(pos);
@@ -87,7 +90,7 @@ impl OverheardList {
     }
 
     /// Entries from most to least recent.
-    pub fn entries(&self) -> impl Iterator<Item = OverheardEntry> + '_ {
+    pub fn entries(&self) -> impl Iterator<Item = OverheardEntry<I>> + '_ {
         self.entries.iter().copied()
     }
 
@@ -95,7 +98,7 @@ impl OverheardList {
     /// replacement candidate for a failed or weak connected neighbour
     /// ("it will be replaced by an overheard node which has the lowest
     /// latency").
-    pub fn best_candidate(&self, exclude: impl Fn(DhtId) -> bool) -> Option<OverheardEntry> {
+    pub fn best_candidate(&self, exclude: impl Fn(I) -> bool) -> Option<OverheardEntry<I>> {
         self.entries
             .iter()
             .filter(|e| !exclude(e.id))
@@ -164,6 +167,6 @@ mod tests {
 
     #[test]
     fn default_capacity_is_paper_h() {
-        assert_eq!(OverheardList::default().capacity(), 20);
+        assert_eq!(OverheardList::<DhtId>::default().capacity(), 20);
     }
 }

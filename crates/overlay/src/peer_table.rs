@@ -112,12 +112,9 @@ impl PeerTable {
     pub fn fill_neighbors(&mut self) -> Vec<DhtId> {
         let mut added = Vec::new();
         while !self.connected.is_full() {
-            let Some(c) = self
-                .overheard
-                .best_candidate(|id| {
-                    id == self.owner || self.connected.contains(id) || added.contains(&id)
-                })
-            else {
+            let Some(c) = self.overheard.best_candidate(|id| {
+                id == self.owner || self.connected.contains(id) || added.contains(&id)
+            }) else {
                 break;
             };
             self.connected.add(NeighborEntry {
@@ -191,7 +188,10 @@ mod tests {
         });
         let mut fresh = table(10);
         fresh.adopt(&base, |_| 9.0);
-        assert!(!fresh.connected.contains(10), "own id must not self-connect");
+        assert!(
+            !fresh.connected.contains(10),
+            "own id must not self-connect"
+        );
     }
 
     #[test]

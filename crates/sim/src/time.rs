@@ -285,7 +285,10 @@ mod tests {
     fn constructors_agree() {
         assert_eq!(SimTime::from_secs(3), SimTime::from_millis(3_000));
         assert_eq!(SimTime::from_millis(3), SimTime::from_micros(3_000));
-        assert_eq!(SimDuration::from_secs(1), SimDuration::from_micros(1_000_000));
+        assert_eq!(
+            SimDuration::from_secs(1),
+            SimDuration::from_micros(1_000_000)
+        );
     }
 
     #[test]

@@ -118,8 +118,7 @@ mod tests {
         // random augmentation connects the graph with overwhelming
         // probability.
         let mut rng = RngTree::new(3).child("gen");
-        let mut topo =
-            TraceGenerator::new(TraceGenConfig::with_nodes(800)).generate(&mut rng);
+        let mut topo = TraceGenerator::new(TraceGenConfig::with_nodes(800)).generate(&mut rng);
         let mut arng = RngTree::new(3).child("augment");
         augment_to_min_degree(&mut topo, 5, &mut arng);
         assert!(topo.min_degree() >= 5);

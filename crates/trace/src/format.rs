@@ -144,12 +144,14 @@ pub fn parse_trace(text: &str) -> Result<Topology, TraceParseError> {
         message: e.to_string(),
     })?;
     for (line_no, a, b) in edges {
-        let ia = topo
-            .index_of(a)
-            .ok_or(TraceParseError::UnknownNode { line: line_no, id: a })?;
-        let ib = topo
-            .index_of(b)
-            .ok_or(TraceParseError::UnknownNode { line: line_no, id: b })?;
+        let ia = topo.index_of(a).ok_or(TraceParseError::UnknownNode {
+            line: line_no,
+            id: a,
+        })?;
+        let ib = topo.index_of(b).ok_or(TraceParseError::UnknownNode {
+            line: line_no,
+            id: b,
+        })?;
         topo.add_edge(ia, ib)
             .map_err(|e| TraceParseError::Structural {
                 line: line_no,
@@ -190,7 +192,10 @@ mod tests {
             assert_eq!(a.ip, b.ip);
             assert_eq!(a.port, b.port);
             assert_eq!(a.speed_kbps, b.speed_kbps);
-            assert!((a.ping_ms - b.ping_ms).abs() < 1e-3, "ping within 3 decimals");
+            assert!(
+                (a.ping_ms - b.ping_ms).abs() < 1e-3,
+                "ping within 3 decimals"
+            );
         }
     }
 
@@ -224,7 +229,10 @@ mod tests {
         let text = format!("{HEADER}\nN zero 10.0.0.1 6346 50.0 1000\n");
         assert!(matches!(
             parse_trace(&text),
-            Err(TraceParseError::BadField { line: 2, what: "id" })
+            Err(TraceParseError::BadField {
+                line: 2,
+                what: "id"
+            })
         ));
         let text = format!("{HEADER}\nN 0 10.0.0.1 6346 50.0\n");
         assert!(matches!(
@@ -253,9 +261,7 @@ mod tests {
 
     #[test]
     fn duplicate_node_rejected() {
-        let text = format!(
-            "{HEADER}\nN 0 10.0.0.1 6346 50.0 1000\nN 0 10.0.0.2 6346 60.0 1000\n"
-        );
+        let text = format!("{HEADER}\nN 0 10.0.0.1 6346 50.0 1000\nN 0 10.0.0.2 6346 60.0 1000\n");
         assert!(matches!(
             parse_trace(&text),
             Err(TraceParseError::Structural { .. })

@@ -104,9 +104,7 @@ impl TraceGenerator {
     /// identical traces.
     pub fn generate(&self, rng: &mut SimRng) -> Topology {
         let n = self.config.nodes;
-        let records: Vec<NodeRecord> = (0..n)
-            .map(|i| self.gen_record(i as u32, rng))
-            .collect();
+        let records: Vec<NodeRecord> = (0..n).map(|i| self.gen_record(i as u32, rng)).collect();
         let mut topo = Topology::new(records).expect("generated IDs are sequential and unique");
         self.lay_edges(&mut topo, rng);
         topo
@@ -232,7 +230,10 @@ mod tests {
         let mut rng = RngTree::new(1).child("sparse");
         let topo = TraceGenerator::new(cfg).generate(&mut rng);
         assert!(topo.average_degree() < 1.0);
-        assert!(topo.largest_component() < topo.len(), "should be disconnected");
+        assert!(
+            topo.largest_component() < topo.len(),
+            "should be disconnected"
+        );
     }
 
     #[test]

@@ -77,7 +77,7 @@ impl LatencyModel {
         let mut k = 0usize;
         for a in 0..n {
             for b in (a + 1)..n {
-                if k % stride == 0 {
+                if k.is_multiple_of(stride) {
                     sum += self.latency_ms(a, b);
                     count += 1;
                 }

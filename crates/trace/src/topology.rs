@@ -23,7 +23,9 @@ impl std::fmt::Display for TopologyError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             TopologyError::DuplicateNodeId(id) => write!(f, "duplicate node id {id} in trace"),
-            TopologyError::NodeOutOfRange(i) => write!(f, "edge references node index {i} out of range"),
+            TopologyError::NodeOutOfRange(i) => {
+                write!(f, "edge references node index {i} out of range")
+            }
             TopologyError::SelfLoop(i) => write!(f, "self-loop on node index {i}"),
         }
     }

@@ -27,7 +27,11 @@ fn main() {
     }
     let latency = |a: DhtId, b: DhtId| 30.0 + ((a ^ b) % 41) as f64;
     let mut net = DhtNetwork::build(space, &ids, &latency, &mut rng);
-    println!("built a loose DHT: {} nodes in an ID space of {}", net.len(), space.size());
+    println!(
+        "built a loose DHT: {} nodes in an ID space of {}",
+        net.len(),
+        space.size()
+    );
 
     // Route a few lookups.
     let mut lrng = tree.child("lookups");
@@ -41,7 +45,11 @@ fn main() {
             "  {src:>4} → key {key:>4}: {} hops, {:.0} ms, {}",
             out.hops(),
             out.latency_ms,
-            if out.succeeded() { "correct owner" } else { "WRONG owner" }
+            if out.succeeded() {
+                "correct owner"
+            } else {
+                "WRONG owner"
+            }
         );
     }
 

@@ -18,7 +18,10 @@ fn main() {
 
     // Phase 1: paper churn. Phase 2 (flash crowd): join rate x3.
     for (label, churn) in [
-        ("paper dynamic churn (5% leave + 5% join)", ChurnConfig::DYNAMIC),
+        (
+            "paper dynamic churn (5% leave + 5% join)",
+            ChurnConfig::DYNAMIC,
+        ),
         (
             "flash crowd (5% leave + 15% join)",
             ChurnConfig {
@@ -32,6 +35,13 @@ fn main() {
             nodes,
             rounds: 30,
             churn,
+            // The ID space is sized for *linear* join growth
+            // (`nodes × join_fraction × rounds`), but a sustained flash
+            // crowd compounds: 300 nodes at +10% net per round is ~5,200
+            // alive by round 30, overflowing the default headroom. Extra
+            // slack keeps the RP server's space comfortably larger than
+            // the peak membership.
+            id_space_slack: 8,
             ..SystemConfig::continustreaming(nodes, 99)
         };
         let report = SystemSim::new(config).run();

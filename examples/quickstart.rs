@@ -20,7 +20,10 @@ fn main() {
     let cool_report = SystemSim::new(cool).run();
     let cont_report = SystemSim::new(cont).run();
 
-    println!("{:>5} {:>14} {:>17} {:>11}", "t(s)", "CoolStreaming", "ContinuStreaming", "prefetches");
+    println!(
+        "{:>5} {:>14} {:>17} {:>11}",
+        "t(s)", "CoolStreaming", "ContinuStreaming", "prefetches"
+    );
     for (a, b) in cool_report.rounds.iter().zip(&cont_report.rounds) {
         println!(
             "{:>5.0} {:>14.3} {:>17.3} {:>11}",

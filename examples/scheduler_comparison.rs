@@ -11,14 +11,33 @@ fn main() {
     let nodes = 250;
     let rounds = 30;
     let variants: Vec<(&str, SchedulerKind, bool)> = vec![
-        ("ContinuStreaming (full)", SchedulerKind::ContinuStreaming, true),
-        ("ContinuStreaming, prefetch off", SchedulerKind::ContinuStreaming, false),
-        ("CoolStreaming (rarest-first)", SchedulerKind::CoolStreaming, false),
-        ("CoolStreaming + prefetch", SchedulerKind::CoolStreaming, true),
+        (
+            "ContinuStreaming (full)",
+            SchedulerKind::ContinuStreaming,
+            true,
+        ),
+        (
+            "ContinuStreaming, prefetch off",
+            SchedulerKind::ContinuStreaming,
+            false,
+        ),
+        (
+            "CoolStreaming (rarest-first)",
+            SchedulerKind::CoolStreaming,
+            false,
+        ),
+        (
+            "CoolStreaming + prefetch",
+            SchedulerKind::CoolStreaming,
+            true,
+        ),
         ("naive random gossip", SchedulerKind::Random, false),
     ];
 
-    println!("{:<34} {:>9} {:>9} {:>10} {:>10}", "policy", "stable", "mean", "ctrl oh", "pf oh");
+    println!(
+        "{:<34} {:>9} {:>9} {:>10} {:>10}",
+        "policy", "stable", "mean", "ctrl oh", "pf oh"
+    );
     for (name, scheduler, prefetch) in variants {
         let config = SystemConfig {
             nodes,

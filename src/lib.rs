@@ -36,6 +36,22 @@
 //!
 //! See `examples/` for runnable scenarios and `crates/bench/src/bin/` for
 //! the per-figure experiment harness.
+//!
+//! ## Performance
+//!
+//! The round loop keeps node state in a dense arena (index handles, no
+//! per-round hashing) and reuses all working memory across rounds; buffer
+//! bitmap operations are word-level. `BENCH_hotpath.json` records the
+//! reference measurement (1,000 nodes × 200 rounds), reproducible with:
+//!
+//! ```text
+//! cargo run -p cs-bench --release --bin bench_hotpath
+//! ```
+//!
+//! The optional `parallel` feature (`--features parallel`) fans the
+//! read-only scheduling phase out across OS threads with bit-identical
+//! results (the deterministic fingerprint suite in `tests/determinism.rs`
+//! pins this).
 
 pub use cs_analysis as analysis;
 pub use cs_core as core;
@@ -49,12 +65,12 @@ pub use cs_trace as trace;
 pub mod prelude {
     pub use cs_analysis::{ContinuityModel, ContinuityPrediction};
     pub use cs_core::{
-        BufferMap, PriorityPolicy, RoundRecord, RunReport, RunSummary, SchedulerKind,
-        SegmentId, StreamBuffer, SystemConfig, SystemSim,
+        BufferMap, PriorityPolicy, RoundRecord, RunReport, RunSummary, SchedulerKind, SegmentId,
+        StreamBuffer, SystemConfig, SystemSim,
     };
     pub use cs_dht::{DhtId, DhtNetwork, IdSpace};
     pub use cs_net::{BandwidthProfile, TrafficClass, TrafficCounter};
     pub use cs_overlay::ChurnConfig;
     pub use cs_sim::{RngTree, SimDuration, SimTime};
-    pub use cs_trace::{TraceGenConfig, TraceGenerator, Topology};
+    pub use cs_trace::{Topology, TraceGenConfig, TraceGenerator};
 }

@@ -1,0 +1,114 @@
+//! Same-seed determinism and no-behavioural-drift guarantees.
+//!
+//! Two layers:
+//!
+//! 1. **Reproducibility** — the same seed must produce byte-identical
+//!    `RunReport`s across two runs in the same process, for every
+//!    scheduler (including Random, whose candidate order is built in
+//!    ascending segment order precisely so this holds).
+//! 2. **Pinned fingerprints** — the exact `RunReport` hashes of a fixed
+//!    scenario set, recorded from the pre-arena (id-keyed `HashMap`)
+//!    implementation of the round loop. The arena/scratch refactor must
+//!    reproduce them bit for bit: any drift in scheduling order,
+//!    tie-breaks, or RNG consumption shows up here.
+//!
+//! The pinned values involve `f64` transcendentals (`ln`, `exp`, `cos`)
+//! whose last-bit behaviour depends on the platform libm, so the exact
+//! hashes are only asserted on x86_64 Linux (the reference platform);
+//! other platforms still get the reproducibility layer.
+
+use continustreaming::prelude::*;
+use cs_bench::fingerprint::{fingerprint, scenarios};
+
+/// Layer 1: same seed ⇒ identical report, different seed ⇒ different.
+#[test]
+fn same_seed_reports_are_byte_identical() {
+    for scheduler in [
+        SchedulerKind::ContinuStreaming,
+        SchedulerKind::CoolStreaming,
+        SchedulerKind::Random,
+    ] {
+        let config = |seed| SystemConfig {
+            nodes: 60,
+            rounds: 15,
+            startup_segments: 30,
+            scheduler,
+            prefetch_enabled: matches!(scheduler, SchedulerKind::ContinuStreaming),
+            seed,
+            ..SystemConfig::default()
+        };
+        let a = SystemSim::new(config(42)).run();
+        let b = SystemSim::new(config(42)).run();
+        assert_eq!(
+            a.rounds, b.rounds,
+            "{scheduler:?}: same seed must reproduce"
+        );
+        assert_eq!(a.summary, b.summary);
+        assert_eq!(
+            format!("{a:?}"),
+            format!("{b:?}"),
+            "{scheduler:?}: debug serialisation must be byte-identical"
+        );
+        let c = SystemSim::new(config(43)).run();
+        assert_ne!(
+            a.rounds, c.rounds,
+            "{scheduler:?}: different seed must differ"
+        );
+    }
+}
+
+/// Layer 1b: the dynamic environment (churn, joins, handovers) is just as
+/// reproducible.
+#[test]
+fn same_seed_reports_identical_under_churn() {
+    let config = SystemConfig {
+        nodes: 80,
+        rounds: 20,
+        startup_segments: 30,
+        seed: 7,
+        ..SystemConfig::default()
+    }
+    .with_dynamic_churn();
+    let a = SystemSim::new(config.clone()).run();
+    let b = SystemSim::new(config).run();
+    assert_eq!(a.rounds, b.rounds);
+    assert_eq!(a.summary, b.summary);
+}
+
+/// Layer 2: pinned fingerprints from the pre-refactor round loop.
+///
+/// These seven hashes were recorded from the implementation that kept
+/// `HashMap<DhtId, NodeSim>` state and re-snapshotted every buffer map
+/// each round, immediately before the node-arena / `RoundScratch`
+/// refactor landed. The refactored loop reproduces every one, proving
+/// the data-layout change altered no simulated behaviour.
+#[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+#[test]
+fn arena_refactor_causes_no_behavioural_drift() {
+    let pinned: &[(&str, u64)] = &[
+        ("continustreaming_static", 0xe477cc07219c469e),
+        ("continustreaming_dynamic", 0x8025028004085acc),
+        ("coolstreaming_static", 0xd0f5f39d4b96dca7),
+        ("greedy_rarest_first", 0xa2ed438909202a4f),
+        ("continustreaming_homogeneous", 0x206ebf4109454640),
+        // Recorded post-refactor (the scenario exceeds the `parallel`
+        // feature's 128-node threshold); pins serial ≡ parallel.
+        ("continustreaming_scale_200", 0xa5e310fb404f2576),
+        ("coolstreaming_homogeneous_dynamic", 0x203ffbaa2f7af79d),
+    ];
+    let computed = scenarios();
+    assert_eq!(
+        computed.len(),
+        pinned.len(),
+        "scenario set and pin list out of sync"
+    );
+    for ((name, config), &(pin_name, pin_hash)) in computed.into_iter().zip(pinned) {
+        assert_eq!(name, pin_name, "scenario order changed");
+        let report = SystemSim::new(config).run();
+        let hash = fingerprint(&report);
+        assert_eq!(
+            hash, pin_hash,
+            "behavioural drift in scenario `{name}`: 0x{hash:016x} != pinned 0x{pin_hash:016x}"
+        );
+    }
+}

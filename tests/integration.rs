@@ -69,8 +69,15 @@ fn traffic_accounting_is_consistent() {
     let deliveries: u64 = report.rounds.iter().map(|r| r.gossip_deliveries).sum();
     assert_eq!(total.bits(TrafficClass::Data), deliveries * 30 * 1024);
     // Prefetch payload bits must equal 30 Kb per successful prefetch.
-    let prefetches: u64 = report.rounds.iter().map(|r| r.prefetch_successes as u64).sum();
-    assert_eq!(total.bits(TrafficClass::PrefetchData), prefetches * 30 * 1024);
+    let prefetches: u64 = report
+        .rounds
+        .iter()
+        .map(|r| r.prefetch_successes as u64)
+        .sum();
+    assert_eq!(
+        total.bits(TrafficClass::PrefetchData),
+        prefetches * 30 * 1024
+    );
     // Control bits are whole buffer-map multiples (620 bits each).
     assert_eq!(total.bits(TrafficClass::Control) % 620, 0);
 }
@@ -88,7 +95,10 @@ fn dynamic_churn_is_survivable_at_small_scale() {
     let report = SystemSim::new(base(120, 11).with_dynamic_churn()).run();
     let joins: usize = report.rounds.iter().map(|r| r.joins).sum();
     let leaves: usize = report.rounds.iter().map(|r| r.leaves).sum();
-    assert!(joins > 10 && leaves > 10, "churn actually happened: {joins}/{leaves}");
+    assert!(
+        joins > 10 && leaves > 10,
+        "churn actually happened: {joins}/{leaves}"
+    );
     // The stream harness survives and someone keeps playing.
     assert!(report.summary.mean_continuity > 0.1);
     assert_eq!(report.rounds.len(), 30);

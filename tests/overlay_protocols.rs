@@ -50,10 +50,7 @@ fn overlay_grows_by_joins_alone() {
 
     // Every member (except possibly the bootstrap) has neighbours, and
     // all referenced neighbours exist or existed (ids from the RP space).
-    let connected_count = tables
-        .values()
-        .filter(|t| !t.connected.is_empty())
-        .count();
+    let connected_count = tables.values().filter(|t| !t.connected.is_empty()).count();
     assert!(
         connected_count >= 149,
         "{connected_count}/150 members should have neighbours"
@@ -109,7 +106,8 @@ fn churn_plans_support_handover() {
         }
         assert!(net.contains(source), "the source never leaves");
     }
-    net.check_invariants().expect("tables stay level-consistent");
+    net.check_invariants()
+        .expect("tables stay level-consistent");
 }
 
 /// The churn driver's rates integrate correctly over a long horizon.

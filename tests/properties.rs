@@ -1,24 +1,30 @@
-//! Property-based tests (proptest) for the core data structures and the
+//! Randomised property tests for the core data structures and the
 //! paper's invariants.
-
-use proptest::prelude::*;
+//!
+//! Originally written with `proptest`; this build environment is offline,
+//! so the same properties now run over seeded-RNG case loops (64 cases
+//! each, like the old `ProptestConfig::with_cases(64)`). Shrinking is
+//! lost, but every failure reports the case seed, which reproduces it
+//! exactly.
 
 use continustreaming::analysis::ContinuityModel;
 use continustreaming::dht::{route, DhtNetwork, ResponsibilityRange};
 use continustreaming::prelude::*;
 use rand::Rng as _;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+const CASES: u64 = 64;
 
-    /// The stream buffer behaves like a set restricted to a sliding
-    /// window: everything inserted and not yet evicted is present; length
-    /// matches a reference model.
-    #[test]
-    fn buffer_matches_reference_model(
-        capacity in 1u64..300,
-        ids in proptest::collection::vec(1u64..2_000, 0..400),
-    ) {
+/// The stream buffer behaves like a set restricted to a sliding window:
+/// everything inserted and not yet evicted is present; length matches a
+/// reference model.
+#[test]
+fn buffer_matches_reference_model() {
+    for case in 0..CASES {
+        let mut rng = RngTree::new(0xB0F).child_indexed("buffer-model", case);
+        let capacity = rng.gen_range(1u64..300);
+        let n_ids = rng.gen_range(0usize..400);
+        let ids: Vec<u64> = (0..n_ids).map(|_| rng.gen_range(1u64..2_000)).collect();
+
         let mut buf = StreamBuffer::new(capacity);
         let mut reference: std::collections::BTreeSet<u64> = Default::default();
         for &id in &ids {
@@ -27,22 +33,29 @@ proptest! {
             let head = buf.head();
             reference.retain(|&x| x >= head);
         }
-        prop_assert_eq!(buf.len(), reference.len() as u64);
+        assert_eq!(buf.len(), reference.len() as u64, "case {case}");
         for &id in &reference {
-            prop_assert!(buf.contains(id), "missing {}", id);
+            assert!(buf.contains(id), "case {case}: missing {id}");
         }
         let listed: Vec<u64> = buf.iter().collect();
-        prop_assert_eq!(listed, reference.iter().copied().collect::<Vec<_>>());
+        assert_eq!(
+            listed,
+            reference.iter().copied().collect::<Vec<_>>(),
+            "case {case}"
+        );
     }
+}
 
-    /// Sliding a buffer never lets stale IDs survive and never invents
-    /// segments.
-    #[test]
-    fn buffer_slide_is_monotone(
-        capacity in 1u64..200,
-        fill in 0u64..200,
-        slide in 1u64..400,
-    ) {
+/// Sliding a buffer never lets stale IDs survive and never invents
+/// segments.
+#[test]
+fn buffer_slide_is_monotone() {
+    for case in 0..CASES {
+        let mut rng = RngTree::new(0x51D).child_indexed("buffer-slide", case);
+        let capacity = rng.gen_range(1u64..200);
+        let fill = rng.gen_range(0u64..200);
+        let slide = rng.gen_range(1u64..400);
+
         let mut buf = StreamBuffer::new(capacity);
         for id in 1..=fill {
             buf.insert(id);
@@ -50,44 +63,58 @@ proptest! {
         let before: Vec<u64> = buf.iter().collect();
         buf.slide_to(slide);
         for id in buf.iter() {
-            prop_assert!(id >= slide);
-            prop_assert!(before.contains(&id));
+            assert!(id >= slide, "case {case}: stale id {id} survived");
+            assert!(before.contains(&id), "case {case}: invented id {id}");
         }
     }
+}
 
-    /// ID-space levels partition the ring: every non-owner ID belongs to
-    /// exactly one level interval.
-    #[test]
-    fn dht_levels_partition(bits in 2u32..12, owner_seed in any::<u64>(), p_seed in any::<u64>()) {
+/// ID-space levels partition the ring: every non-owner ID belongs to
+/// exactly one level interval.
+#[test]
+fn dht_levels_partition() {
+    for case in 0..CASES {
+        let mut rng = RngTree::new(0xD47).child_indexed("levels", case);
+        let bits = rng.gen_range(2u32..12);
         let space = IdSpace::new(bits);
-        let owner = owner_seed % space.size();
-        let p = p_seed % space.size();
-        if p != owner {
-            let level = space.level_of(owner, p).expect("non-owner has a level");
-            let mut containing = 0;
-            for l in 1..=bits {
-                let (from, to) = space.level_interval(owner, l);
-                if space.in_interval(p, from, to) {
-                    containing += 1;
-                    prop_assert_eq!(l, level);
-                }
+        let owner = rng.gen::<u64>() % space.size();
+        let p = rng.gen::<u64>() % space.size();
+        if p == owner {
+            continue;
+        }
+        let level = space.level_of(owner, p).expect("non-owner has a level");
+        let mut containing = 0;
+        for l in 1..=bits {
+            let (from, to) = space.level_interval(owner, l);
+            if space.in_interval(p, from, to) {
+                containing += 1;
+                assert_eq!(l, level, "case {case}");
             }
-            prop_assert_eq!(containing, 1);
         }
+        assert_eq!(containing, 1, "case {case}");
     }
+}
 
-    /// Responsibility ranges over a full partition cover every key exactly
-    /// once.
-    #[test]
-    fn responsibility_partition(
-        bits in 3u32..10,
-        raw_ids in proptest::collection::btree_set(0u64..1024, 2..12),
-        key_seed in any::<u64>(),
-    ) {
+/// Responsibility ranges over a full partition cover every key exactly
+/// once.
+#[test]
+fn responsibility_partition() {
+    for case in 0..CASES {
+        let mut rng = RngTree::new(0x9E5).child_indexed("responsibility", case);
+        let bits = rng.gen_range(3u32..10);
         let space = IdSpace::new(bits);
-        let ids: Vec<u64> = raw_ids.iter().map(|&x| x % space.size()).collect::<std::collections::BTreeSet<_>>().into_iter().collect();
-        prop_assume!(ids.len() >= 2);
-        let key = key_seed % space.size();
+        let n_ids = rng.gen_range(2usize..12);
+        let ids: Vec<u64> = {
+            let mut set = std::collections::BTreeSet::new();
+            for _ in 0..n_ids {
+                set.insert(rng.gen_range(0u64..1024) % space.size());
+            }
+            set.into_iter().collect()
+        };
+        if ids.len() < 2 {
+            continue;
+        }
+        let key = rng.gen::<u64>() % space.size();
         let mut owners = 0;
         for (i, &id) in ids.iter().enumerate() {
             let succ = ids[(i + 1) % ids.len()];
@@ -95,17 +122,22 @@ proptest! {
                 owners += 1;
             }
         }
-        prop_assert_eq!(owners, 1, "key {} must have exactly one owner", key);
+        assert_eq!(
+            owners, 1,
+            "case {case}: key {key} must have exactly one owner"
+        );
     }
+}
 
-    /// The §5.1 model is internally consistent for any sane parameters:
-    /// PC_new ≥ PC_old, both in [0, 1], Δ = difference.
-    #[test]
-    fn continuity_model_invariants(
-        lambda in 0.0f64..60.0,
-        p in 1u32..30,
-        k in 0u32..8,
-    ) {
+/// The §5.1 model is internally consistent for any sane parameters:
+/// PC_new ≥ PC_old, both in [0, 1], Δ = difference.
+#[test]
+fn continuity_model_invariants() {
+    for case in 0..CASES {
+        let mut rng = RngTree::new(0xC01).child_indexed("continuity", case);
+        let lambda = rng.gen_range(0.0f64..60.0);
+        let p = rng.gen_range(1u32..30);
+        let k = rng.gen_range(0u32..8);
         let m = ContinuityModel {
             lambda,
             playback_rate: p as f64,
@@ -113,30 +145,43 @@ proptest! {
             replicas: k,
         };
         let pred = m.predict();
-        prop_assert!(pred.pc_old >= -1e-12 && pred.pc_old <= 1.0 + 1e-12);
-        prop_assert!(pred.pc_new >= pred.pc_old - 1e-12);
-        prop_assert!((pred.delta - (pred.pc_new - pred.pc_old)).abs() < 1e-9);
+        assert!(
+            pred.pc_old >= -1e-12 && pred.pc_old <= 1.0 + 1e-12,
+            "case {case}: pc_old {}",
+            pred.pc_old
+        );
+        assert!(
+            pred.pc_new >= pred.pc_old - 1e-12,
+            "case {case}: pc_new {} < pc_old {}",
+            pred.pc_new,
+            pred.pc_old
+        );
+        assert!(
+            (pred.delta - (pred.pc_new - pred.pc_old)).abs() < 1e-9,
+            "case {case}"
+        );
     }
+}
 
-    /// Backup targets are deterministic, inside the space, and replicas of
-    /// one segment never collide for real segment ids under the paper's
-    /// multiplicative hash (k ≤ 6, N ≥ 1024).
-    #[test]
-    fn placement_targets_valid(seg in 1u64..1_000_000, k in 1u32..6) {
+/// Backup targets are deterministic and inside the space.
+#[test]
+fn placement_targets_valid() {
+    for case in 0..CASES {
+        let mut rng = RngTree::new(0x9AC).child_indexed("placement", case);
+        let seg = rng.gen_range(1u64..1_000_000);
+        let k = rng.gen_range(1u32..6);
         let space = IdSpace::new(13);
         let a = continustreaming::dht::backup_targets(space, seg, k);
         let b = continustreaming::dht::backup_targets(space, seg, k);
-        prop_assert_eq!(&a, &b);
+        assert_eq!(a, b, "case {case}");
         for &t in &a {
-            prop_assert!(space.contains(t));
+            assert!(space.contains(t), "case {case}: target {t}");
         }
     }
 }
 
-/// Non-proptest property: every route in a well-built DHT terminates at
-/// the true owner within the appendix hop bound. Kept outside proptest!
-/// because network construction is expensive; the randomness comes from
-/// the seeded RNG tree.
+/// Every route in a well-built DHT terminates at the true owner within
+/// the appendix hop bound. The randomness comes from the seeded RNG tree.
 #[test]
 fn routing_bound_holds_over_many_networks() {
     for seed in 0..4u64 {
