@@ -1,0 +1,237 @@
+//! Wall-clock benchmark of the loose-DHT lookup path, emitting a
+//! `BENCH_dht_lookup.json` perf-trajectory record.
+//!
+//! Two components:
+//!
+//! * **lookup** — the acceptance workload: a large network (4,000 nodes
+//!   in the paper's 8,192-slot ID space) serving a stream of greedy
+//!   lookups with overhearing on, interleaved with leave/join churn so
+//!   lazy repair and table healing stay on the measured path. This is the
+//!   pure DHT cost a pre-fetch-heavy run pays per missed segment.
+//! * **system** — a full `SystemSim` run shaped like the worst case for
+//!   the retrieval path: large net, constrained continuity, pre-fetch
+//!   on. Scheduling work (already arena-optimised in PR 1) dilutes the
+//!   DHT share here, so this component is context, not the gate.
+//!
+//! Pass `--baseline-lookup-ms` / `--baseline-sys-ms` to record speedups
+//! against previously measured numbers (the pre-arena measurements are
+//! committed in the repository's `BENCH_dht_lookup.json`).
+//!
+//! ```text
+//! cargo run -p cs-bench --release --bin bench_dht_lookup
+//! cargo run -p cs-bench --release --bin bench_dht_lookup -- \
+//!     --nodes 4000 --lookups 200000 --reps 3 \
+//!     --baseline-lookup-ms 12000 --json BENCH_dht_lookup.json
+//! ```
+
+use std::time::Instant;
+
+use cs_bench::fingerprint::dht::latency;
+use cs_core::{SchedulerKind, SystemConfig, SystemSim};
+use cs_dht::{route, DhtNetwork, IdSpace};
+use cs_sim::RngTree;
+use rand::Rng;
+
+fn arg_u64(name: &str, default: u64) -> u64 {
+    let args: Vec<String> = std::env::args().collect();
+    for i in 0..args.len() {
+        if args[i] == name && i + 1 < args.len() {
+            return args[i + 1]
+                .parse()
+                .unwrap_or_else(|_| panic!("{name} takes an integer"));
+        }
+    }
+    default
+}
+
+fn arg_f64(name: &str) -> Option<f64> {
+    let args: Vec<String> = std::env::args().collect();
+    for i in 0..args.len() {
+        if args[i] == name && i + 1 < args.len() {
+            return Some(
+                args[i + 1]
+                    .parse()
+                    .unwrap_or_else(|_| panic!("{name} takes a number")),
+            );
+        }
+    }
+    None
+}
+
+fn arg_str(name: &str) -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    for i in 0..args.len() {
+        if args[i] == name && i + 1 < args.len() {
+            return Some(args[i + 1].clone());
+        }
+    }
+    None
+}
+
+fn has_flag(name: &str) -> bool {
+    std::env::args().any(|a| a == name)
+}
+
+fn build_net(n: usize, space: IdSpace, rng: &mut cs_sim::SimRng) -> DhtNetwork {
+    let mut used = std::collections::HashSet::new();
+    let mut ids = Vec::with_capacity(n);
+    while ids.len() < n {
+        let id = rng.gen_range(0..space.size());
+        if used.insert(id) {
+            ids.push(id);
+        }
+    }
+    DhtNetwork::build(space, &ids, &latency, rng)
+}
+
+/// The lookup workload: `lookups` greedy routes with overhearing, one
+/// leave + one join every `churn_every` lookups. Returns
+/// `(elapsed_ms, correct_lookups, total_hops)`.
+fn run_lookup_workload(nodes: usize, lookups: u64, churn_every: u64, seed: u64) -> (f64, u64, u64) {
+    let tree = RngTree::new(seed);
+    let space = IdSpace::for_capacity((2 * nodes) as u64);
+    let mut net = build_net(nodes, space, &mut tree.child("build"));
+    let mut rng = tree.child("lookups");
+    let mut churn_rng = tree.child("churn");
+
+    let t0 = Instant::now();
+    let mut correct = 0u64;
+    let mut hops = 0u64;
+    for i in 0..lookups {
+        if churn_every > 0 && i > 0 && i % churn_every == 0 {
+            // One abrupt failure (lazy repair work) + one join.
+            if let Some(victim) = net.random_id(&mut churn_rng) {
+                net.leave(victim);
+            }
+            loop {
+                let id = churn_rng.gen_range(0..space.size());
+                if net.join(id, &latency, &mut churn_rng).is_ok() {
+                    break;
+                }
+            }
+        }
+        let src = net.random_id(&mut rng).expect("non-empty network");
+        let key = rng.gen_range(0..space.size());
+        let out = route(&mut net, src, key, &latency, true);
+        correct += u64::from(out.succeeded());
+        hops += out.hops() as u64;
+    }
+    (t0.elapsed().as_secs_f64() * 1000.0, correct, hops)
+}
+
+fn main() {
+    let nodes = arg_u64("--nodes", 4000) as usize;
+    let lookups = arg_u64("--lookups", 200_000);
+    let churn_every = arg_u64("--churn-every", 500);
+    let sys_nodes = arg_u64("--sys-nodes", 2000) as usize;
+    let sys_rounds = arg_u64("--sys-rounds", 40) as u32;
+    let reps = arg_u64("--reps", 3).max(1);
+    let baseline_lookup_ms = arg_f64("--baseline-lookup-ms");
+    let baseline_sys_ms = arg_f64("--baseline-sys-ms");
+    let json_path = arg_str("--json");
+    let skip_sys = has_flag("--skip-sys");
+
+    eprintln!(
+        "bench_dht_lookup: {nodes} nodes, {lookups} lookups (churn every {churn_every}), {reps} reps"
+    );
+    let mut lookup_times: Vec<f64> = Vec::with_capacity(reps as usize);
+    let mut correct = 0u64;
+    let mut hops = 0u64;
+    for rep in 0..reps {
+        let (ms, ok, h) = run_lookup_workload(nodes, lookups, churn_every, 20080414);
+        eprintln!(
+            "  lookup rep {rep}: {ms:.1} ms  ({:.1}% correct, {:.2} avg hops)",
+            100.0 * ok as f64 / lookups as f64,
+            h as f64 / lookups as f64
+        );
+        correct = ok;
+        hops = h;
+        lookup_times.push(ms);
+    }
+    let lookup_min = lookup_times.iter().copied().fold(f64::INFINITY, f64::min);
+    let lookups_per_sec = lookups as f64 / (lookup_min / 1000.0);
+    println!("lookup: min {lookup_min:.1} ms, {lookups_per_sec:.0} lookups/s");
+    let lookup_speedup = baseline_lookup_ms.map(|b| b / lookup_min);
+    if let Some(s) = lookup_speedup {
+        println!("lookup speedup vs baseline: {s:.2}x");
+    }
+
+    // The system component: prefetch-heavy full run. At this size the
+    // default bandwidth distribution leaves continuity well below 1, so
+    // the urgent line triggers constantly and pre-fetch routes dominate
+    // the DHT's share of the round loop.
+    let mut sys_times: Vec<f64> = Vec::new();
+    let mut sys_continuity = 0.0;
+    let mut sys_prefetches = 0u64;
+    if !skip_sys {
+        let config = SystemConfig {
+            nodes: sys_nodes,
+            rounds: sys_rounds,
+            scheduler: SchedulerKind::ContinuStreaming,
+            prefetch_enabled: true,
+            seed: 20080414,
+            ..SystemConfig::default()
+        };
+        eprintln!("system: {sys_nodes} nodes x {sys_rounds} rounds, {reps} reps");
+        for rep in 0..reps {
+            let sim = SystemSim::new(config.clone());
+            let t0 = Instant::now();
+            let report = sim.run();
+            let ms = t0.elapsed().as_secs_f64() * 1000.0;
+            sys_continuity = report.summary.stable_continuity;
+            sys_prefetches = report
+                .rounds
+                .iter()
+                .map(|r| r.prefetch_attempts as u64)
+                .sum();
+            eprintln!(
+                "  system rep {rep}: {ms:.1} ms  (continuity {:.3}, {sys_prefetches} prefetch attempts)",
+                report.summary.stable_continuity
+            );
+            sys_times.push(ms);
+        }
+    }
+    let sys_min = sys_times.iter().copied().fold(f64::INFINITY, f64::min);
+    let sys_speedup = baseline_sys_ms.map(|b| b / sys_min);
+    if !skip_sys {
+        println!("system: min {sys_min:.1} ms");
+        if let Some(s) = sys_speedup {
+            println!("system speedup vs baseline: {s:.2}x");
+        }
+    }
+
+    if let Some(path) = json_path {
+        let fmt_times = |v: &[f64]| {
+            v.iter()
+                .map(|t| format!("{t:.1}"))
+                .collect::<Vec<_>>()
+                .join(", ")
+        };
+        let opt = |v: Option<f64>, digits: usize| {
+            v.map_or("null".to_string(), |x| format!("{x:.*}", digits))
+        };
+        let json = format!(
+            "{{\n  \"bench\": \"dht_lookup\",\n  \"lookup\": {{\n    \"config\": {{ \"nodes\": {nodes}, \"lookups\": {lookups}, \"churn_every\": {churn_every}, \"overhear\": true, \"seed\": 20080414 }},\n    \"reps\": {reps},\n    \"times_ms\": [{}],\n    \"min_ms\": {lookup_min:.1},\n    \"lookups_per_sec\": {lookups_per_sec:.0},\n    \"correct_fraction\": {:.4},\n    \"avg_hops\": {:.2},\n    \"baseline_min_ms\": {},\n    \"speedup_vs_baseline\": {}\n  }},\n  \"system\": {{\n    \"config\": {{ \"nodes\": {sys_nodes}, \"rounds\": {sys_rounds}, \"scheduler\": \"ContinuStreaming\", \"prefetch\": true, \"seed\": 20080414 }},\n    \"times_ms\": [{}],\n    \"min_ms\": {},\n    \"stable_continuity\": {},\n    \"prefetch_attempts\": {sys_prefetches},\n    \"baseline_min_ms\": {},\n    \"speedup_vs_baseline\": {}\n  }}\n}}\n",
+            fmt_times(&lookup_times),
+            correct as f64 / lookups as f64,
+            hops as f64 / lookups as f64,
+            opt(baseline_lookup_ms, 1),
+            opt(lookup_speedup, 2),
+            fmt_times(&sys_times),
+            if sys_times.is_empty() {
+                "null".to_string()
+            } else {
+                format!("{sys_min:.1}")
+            },
+            if sys_times.is_empty() {
+                "null".to_string()
+            } else {
+                format!("{sys_continuity:.4}")
+            },
+            opt(baseline_sys_ms, 1),
+            opt(sys_speedup, 2),
+        );
+        std::fs::write(&path, json).expect("write json record");
+        eprintln!("wrote {path}");
+    }
+}

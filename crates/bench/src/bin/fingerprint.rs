@@ -1,17 +1,23 @@
 //! Print the behavioural fingerprint of every pinned scenario (see
-//! `cs_bench::fingerprint`). Run before and after a round-loop refactor:
-//! the hashes must not move.
+//! `cs_bench::fingerprint`), followed by the DHT routing fingerprints
+//! (hop sequences + table states of fixed lookup batches). Run before
+//! and after a round-loop or DHT refactor: the hashes must not move.
 
-use cs_bench::fingerprint::{fingerprint, scenarios};
+use cs_bench::fingerprint::{dht, fingerprint, round0_fingerprint, scenarios};
 use cs_core::SystemSim;
 
 fn main() {
     for (name, config) in scenarios() {
-        let report = SystemSim::new(config).run();
+        let sim = SystemSim::new(config);
+        let round0 = round0_fingerprint(&sim);
+        let report = sim.run();
         println!(
-            "{name}: 0x{:016x}  (stable continuity {:.4})",
+            "{name}: 0x{:016x}  round0 0x{round0:016x}  (stable continuity {:.4})",
             fingerprint(&report),
             report.summary.stable_continuity
         );
+    }
+    for (name, routes, tables) in dht::fingerprints() {
+        println!("{name}: routes 0x{routes:016x}  tables 0x{tables:016x}");
     }
 }

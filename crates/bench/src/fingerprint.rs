@@ -13,10 +13,13 @@
 //! across runs at all. (The arena refactor fixed that as a side effect —
 //! candidates are now built in ascending segment order.)
 
-use cs_core::{PriorityPolicy, RunReport, SchedulerKind, SystemConfig};
+use cs_core::{PriorityPolicy, RunReport, SchedulerKind, SystemConfig, SystemSim};
 use cs_net::BandwidthProfile;
 
-pub(crate) fn fnv1a(bytes: &[u8]) -> u64 {
+/// FNV-1a over a textual serialisation; the single hash implementation
+/// behind every fingerprint in the drift gates (system reports, round-0
+/// states, DHT route batches) and the pinned values in the test tree.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
     for &b in bytes {
         h ^= b as u64;
@@ -27,6 +30,15 @@ pub(crate) fn fnv1a(bytes: &[u8]) -> u64 {
 
 pub fn fingerprint(report: &RunReport) -> u64 {
     fnv1a(format!("{report:?}").as_bytes())
+}
+
+/// Fingerprint of a simulator's state *before the first round*: hashes
+/// the per-node debug tuples right after `SystemSim::new`. Pins the init
+/// path (trace seeding, overheard lists, DHT construction) separately
+/// from the round loop — an init-path refactor that drifts shows up here
+/// even if a compensating round-loop change hid it from the run hashes.
+pub fn round0_fingerprint(sim: &SystemSim) -> u64 {
+    fnv1a(format!("{:?}", sim.debug_states()).as_bytes())
 }
 
 /// The pinned scenario set. Includes a homogeneous-bandwidth case on
@@ -128,4 +140,99 @@ pub fn scenarios() -> Vec<(&'static str, SystemConfig)> {
             .with_dynamic_churn(),
         ),
     ]
+}
+
+/// DHT routing fingerprints: the exact hop sequences and final table
+/// states of greedy-lookup batches over fixed networks. Shared between
+/// the `fingerprint` drift-gate binary and `tests/dht_routing.rs`, which
+/// pins the values recorded from the pre-arena (`BTreeMap`-keyed)
+/// implementation.
+pub mod dht {
+    use std::fmt::Write as _;
+
+    use cs_dht::{route, DhtId, DhtNetwork, IdSpace};
+    use cs_sim::RngTree;
+    use rand::Rng as _;
+
+    /// Deterministic, exactly-representable pairwise latency (integer
+    /// xor/mod arithmetic, no libm — hashes are platform-independent).
+    pub fn latency(a: DhtId, b: DhtId) -> f64 {
+        30.0 + ((a ^ b) % 41) as f64
+    }
+
+    /// A network of `n` random distinct ids in a `2^bits` space.
+    pub fn build_net(n: usize, bits: u32, seed: u64) -> DhtNetwork {
+        let mut rng = RngTree::new(seed).child("dht-routing-net");
+        let space = IdSpace::new(bits);
+        let mut used = std::collections::HashSet::new();
+        let mut ids = Vec::with_capacity(n);
+        while ids.len() < n {
+            let id = rng.gen_range(0..space.size());
+            if used.insert(id) {
+                ids.push(id);
+            }
+        }
+        DhtNetwork::build(space, &ids, &latency, &mut rng)
+    }
+
+    /// Run `count` lookups and serialise every route outcome exactly.
+    pub fn route_batch(net: &mut DhtNetwork, seed: u64, count: usize, overhear: bool) -> String {
+        let mut rng = RngTree::new(seed).child("dht-routing-lookups");
+        let mut out = String::new();
+        for i in 0..count {
+            let src = net.random_id(&mut rng).expect("non-empty network");
+            let key = rng.gen_range(0..net.space().size());
+            let o = route(net, src, key, &latency, overhear);
+            writeln!(
+                out,
+                "{i} {src} {key} {:?} {:?} {} {:?}",
+                o.path, o.status, o.repaired, o.latency_ms
+            )
+            .unwrap();
+        }
+        out
+    }
+
+    /// Serialise every node's full level table in ring order: the
+    /// complete observable state of the DHT peer layer.
+    pub fn table_state(net: &DhtNetwork) -> String {
+        let mut out = String::new();
+        for id in net.ids() {
+            let peers = &net.node(id).expect("live node").peers;
+            write!(out, "{id}:").unwrap();
+            for level in 1..=net.space().bits() {
+                match peers.level(level) {
+                    Some(e) => {
+                        write!(out, " {}={}/{:?}/{}", level, e.id, e.latency_ms, e.age).unwrap()
+                    }
+                    None => write!(out, " {level}=-").unwrap(),
+                }
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// The drift-gate summary: `(name, routes_hash, tables_hash)` per
+    /// scenario, printed by the `fingerprint` binary alongside the
+    /// system-level hashes (CI diffs serial vs parallel output, so these
+    /// ride the same gate).
+    pub fn fingerprints() -> Vec<(&'static str, u64, u64)> {
+        let mut out = Vec::new();
+        for &(name, n, bits, seed) in &[
+            ("dht_greedy_600", 600usize, 13u32, 2u64),
+            ("dht_overhear_400", 400, 12, 8),
+            ("dht_overhear_800", 800, 13, 3),
+        ] {
+            let overhear = name.contains("overhear");
+            let mut net = build_net(n, bits, seed);
+            let batch = route_batch(&mut net, seed, 400, overhear);
+            out.push((
+                name,
+                super::fnv1a(batch.as_bytes()),
+                super::fnv1a(table_state(&net).as_bytes()),
+            ));
+        }
+        out
+    }
 }

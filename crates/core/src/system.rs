@@ -780,26 +780,35 @@ impl SystemSim {
                 });
             }
             // Seed the overheard list with a few random members so
-            // neighbour repair has material from round one.
+            // neighbour repair has material from round one. The member's
+            // ping comes straight from the arena (it carries pings[k] for
+            // ids[k]), replacing the O(N) `position()` scan per seed that
+            // made this loop — and the whole constructor — O(N²).
             let mut seed_rng = tree.child_indexed("overheard-seed", idx as u64);
             for _ in 0..4 {
                 let other = ids[seed_rng.gen_range(0..ids.len())];
                 if other != id {
-                    let oi = ids.iter().position(|&x| x == other).expect("member");
                     let oref = nodes.make_ref(other);
+                    let oidx = nodes.resolve(oref).expect("member");
+                    let other_ping = nodes.node(oidx).ping_ms;
                     nodes
                         .node_mut(own)
                         .overheard
-                        .record(oref, derive_latency(pings[idx], pings[oi]));
+                        .record(oref, derive_latency(pings[idx], other_ping));
                 }
             }
         }
 
-        // 6. The DHT over the same membership.
-        let ping_of: HashMap<DhtId, f64> = ids.iter().copied().zip(pings.iter().copied()).collect();
-        let latency = |a: DhtId, b: DhtId| derive_latency(ping_of[&a], ping_of[&b]);
-        let mut dht_rng = tree.child("dht");
-        let dht = DhtNetwork::build(space, &ids, &latency, &mut dht_rng);
+        // 6. The DHT over the same membership. The latency closure reads
+        //    pings from the arena (same values the throwaway id → ping
+        //    HashMap used to hold).
+        let dht = {
+            let nodes = &nodes;
+            let ping = |n: DhtId| nodes.node(nodes.lookup(n).expect("member")).ping_ms;
+            let latency = |a: DhtId, b: DhtId| derive_latency(ping(a), ping(b));
+            let mut dht_rng = tree.child("dht");
+            DhtNetwork::build(space, &ids, &latency, &mut dht_rng)
+        };
 
         // 7. A ping pool for joiners, same distribution as the trace.
         let mut pool_rng = tree.child("joiner-pings");

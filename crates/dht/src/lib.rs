@@ -26,7 +26,7 @@ pub mod placement;
 pub mod routing;
 
 pub use id::{DhtId, IdSpace};
-pub use network::{DhtNetwork, JoinError};
+pub use network::{DhtIdx, DhtNetwork, DhtNodeState, JoinError};
 pub use peers::{DhtPeerEntry, DhtPeerTable};
 pub use placement::{backup_targets, common_hash, responsible_for, ResponsibilityRange};
 pub use routing::{route, RouteOutcome, RouteStatus};

@@ -5,8 +5,22 @@
 //! *structural*: latencies are supplied by the caller (derived from trace
 //! ping times in the real experiments), and timing/byte accounting happens
 //! in the layers above.
+//!
+//! ## Data layout: the node arena
+//!
+//! Node state lives in a dense arena (`Vec<Option<DhtNodeState>>` + free
+//! list) addressed by [`DhtIdx`] slot handles, mirroring the node arena of
+//! the full-system simulator. Ring membership is a sorted `Vec<DhtId>`
+//! (binary-searched by `responsible_of`/`successor_of`/`predecessor_of`),
+//! and the single `DhtId → DhtIdx` map is consulted only at the overlay
+//! boundary — inside the routing loop every hop moves slot-to-slot through
+//! the slot hints cached in [`DhtPeerEntry`]. Every decision (greedy next
+//! hop, tie-breaks, table replacement, RNG consumption in `build`/`join`)
+//! is keyed on `DhtId` exactly as in the `BTreeMap`-keyed implementation
+//! this replaced, so routes are bit-identical (pinned by
+//! `tests/dht_routing.rs`).
 
-use std::collections::BTreeMap;
+use std::collections::HashMap;
 
 use rand::seq::SliceRandom;
 use rand::Rng;
@@ -14,8 +28,22 @@ use rand::Rng;
 use cs_sim::SimRng;
 
 use crate::id::{DhtId, IdSpace};
-use crate::peers::DhtPeerTable;
+use crate::peers::{DhtPeerTable, NO_SLOT};
 use crate::placement::ResponsibilityRange;
+
+/// Dense handle into the DHT node arena. Plain slot index — the free
+/// list reuses slots across churn, so a bare `DhtIdx` is only meaningful
+/// while the node it was resolved for is alive; longer-lived references
+/// carry the `DhtId` and re-resolve at the boundary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct DhtIdx(pub(crate) u32);
+
+impl DhtIdx {
+    /// The raw slot index (for parallel bookkeeping structures).
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
 
 /// Per-node DHT state.
 #[derive(Debug, Clone)]
@@ -53,7 +81,16 @@ const CANDIDATES_PER_LEVEL: usize = 3;
 #[derive(Debug, Clone)]
 pub struct DhtNetwork {
     space: IdSpace,
-    nodes: BTreeMap<DhtId, DhtNodeState>,
+    /// The node arena: `slots[i]` holds the node whose handle is
+    /// `DhtIdx(i)`, `None` for vacant slots awaiting reuse.
+    slots: Vec<Option<DhtNodeState>>,
+    /// Vacant slot indices, reused LIFO by `join`.
+    free: Vec<u32>,
+    /// The boundary map: live id → occupied slot.
+    by_id: HashMap<DhtId, u32>,
+    /// Live ids in ring (ascending) order; binary-searched by the
+    /// ring-geometry queries and indexed directly by `random_id`.
+    ring: Vec<DhtId>,
 }
 
 impl DhtNetwork {
@@ -61,7 +98,10 @@ impl DhtNetwork {
     pub fn new(space: IdSpace) -> Self {
         DhtNetwork {
             space,
-            nodes: BTreeMap::new(),
+            slots: Vec::new(),
+            free: Vec::new(),
+            by_id: HashMap::new(),
+            ring: Vec::new(),
         }
     }
 
@@ -78,20 +118,29 @@ impl DhtNetwork {
         rng: &mut SimRng,
     ) -> Self {
         let mut net = DhtNetwork::new(space);
+        net.slots.reserve(ids.len());
+        net.by_id.reserve(ids.len());
         for &id in ids {
             assert!(space.contains(id), "id {id} outside the ID space");
-            let prev = net.nodes.insert(
-                id,
-                DhtNodeState {
-                    peers: DhtPeerTable::new(space, id),
-                },
-            );
+            let slot = net.slots.len() as u32;
+            net.slots.push(Some(DhtNodeState {
+                peers: DhtPeerTable::new(space, id),
+            }));
+            let prev = net.by_id.insert(id, slot);
             assert!(prev.is_none(), "duplicate id {id}");
         }
-        let sorted: Vec<DhtId> = net.nodes.keys().copied().collect();
+        net.ring = ids.to_vec();
+        net.ring.sort_unstable();
+        // Tables are built in ring (ascending id) order, like the
+        // id-keyed implementation iterated its sorted key set.
+        let sorted = net.ring.clone();
         for &id in &sorted {
             let table = net.build_table(id, &sorted, latency_ms, rng);
-            net.nodes.get_mut(&id).expect("just inserted").peers = table;
+            let slot = net.by_id[&id];
+            net.slots[slot as usize]
+                .as_mut()
+                .expect("just inserted")
+                .peers = table;
         }
         net
     }
@@ -106,12 +155,44 @@ impl DhtNetwork {
         let mut table = DhtPeerTable::new(self.space, owner);
         for level in 1..=self.space.bits() {
             let (from, to) = self.space.level_interval(owner, level);
-            let in_range = ids_in_interval(self.space, sorted_ids, from, to, owner);
-            if in_range.is_empty() {
+            let view = interval_view(self.space, sorted_ids, from, to, owner);
+            let len = view.len();
+            if len == 0 {
                 continue;
             }
-            for &cand in in_range.choose_multiple(rng, CANDIDATES_PER_LEVEL.min(in_range.len())) {
-                table.offer(cand, latency_ms(owner, cand));
+            // Emulates `in_range.choose_multiple(rng, amount)` — same
+            // draws, same picks, same order — without materialising the
+            // interval (the top level alone spans half the ring, which
+            // made table construction O(N) per node, O(N²) per build).
+            let amount = CANDIDATES_PER_LEVEL.min(len);
+            let mut disp = [(usize::MAX, 0usize); 2 * CANDIDATES_PER_LEVEL];
+            let mut nd = 0usize;
+            let idx_at = |disp: &[(usize, usize)], nd: usize, x: usize| {
+                disp[..nd]
+                    .iter()
+                    .find(|d| d.0 == x)
+                    .map(|d| d.1)
+                    .unwrap_or(x)
+            };
+            for k in 0..amount {
+                // The partial Fisher–Yates of the shim's choose_multiple,
+                // over a virtual identity index vector: `disp` records
+                // the handful of displaced entries.
+                let j = rng.gen_range(k..len);
+                let vk = idx_at(&disp, nd, k);
+                let vj = idx_at(&disp, nd, j);
+                for (x, v) in [(k, vj), (j, vk)] {
+                    match disp[..nd].iter_mut().find(|d| d.0 == x) {
+                        Some(d) => d.1 = v,
+                        None => {
+                            disp[nd] = (x, v);
+                            nd += 1;
+                        }
+                    }
+                }
+                let cand = view.get(vj);
+                let hint = self.by_id.get(&cand).copied().unwrap_or(NO_SLOT);
+                table.offer_hinted(cand, latency_ms(owner, cand), hint);
             }
         }
         table
@@ -124,32 +205,97 @@ impl DhtNetwork {
 
     /// Number of live nodes.
     pub fn len(&self) -> usize {
-        self.nodes.len()
+        self.ring.len()
+    }
+
+    /// Number of arena slots ever allocated (occupied + vacant).
+    pub fn slot_count(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Number of vacant slots awaiting reuse.
+    pub fn free_count(&self) -> usize {
+        self.free.len()
     }
 
     /// True when no nodes are present.
     pub fn is_empty(&self) -> bool {
-        self.nodes.is_empty()
+        self.ring.is_empty()
     }
 
     /// Whether `id` is a live node.
     pub fn contains(&self, id: DhtId) -> bool {
-        self.nodes.contains_key(&id)
+        self.by_id.contains_key(&id)
     }
 
     /// Iterate over live node IDs in ring order.
     pub fn ids(&self) -> impl Iterator<Item = DhtId> + '_ {
-        self.nodes.keys().copied()
+        self.ring.iter().copied()
+    }
+
+    /// The arena handle of a live node (the boundary id → slot step).
+    pub fn lookup(&self, id: DhtId) -> Option<DhtIdx> {
+        self.by_id.get(&id).map(|&s| DhtIdx(s))
+    }
+
+    /// The id occupying an arena slot, if it is live.
+    pub fn id_at(&self, idx: DhtIdx) -> Option<DhtId> {
+        self.slots
+            .get(idx.index())
+            .and_then(|s| s.as_ref())
+            .map(|n| n.peers.owner())
+    }
+
+    /// Borrow a node's state by arena handle.
+    pub fn node_at(&self, idx: DhtIdx) -> Option<&DhtNodeState> {
+        self.slots.get(idx.index()).and_then(|s| s.as_ref())
     }
 
     /// Borrow a node's state.
     pub fn node(&self, id: DhtId) -> Option<&DhtNodeState> {
-        self.nodes.get(&id)
+        self.by_id.get(&id).map(|&s| {
+            self.slots[s as usize]
+                .as_ref()
+                .expect("mapped slot occupied")
+        })
     }
 
     /// Mutably borrow a node's state.
     pub fn node_mut(&mut self, id: DhtId) -> Option<&mut DhtNodeState> {
-        self.nodes.get_mut(&id)
+        match self.by_id.get(&id) {
+            Some(&s) => self.slots[s as usize].as_mut(),
+            None => None,
+        }
+    }
+
+    /// Direct slot access for the routing hot loop (slot must be live).
+    #[inline]
+    pub(crate) fn state_at(&self, slot: u32) -> &DhtNodeState {
+        self.slots[slot as usize]
+            .as_ref()
+            .expect("routing slot is live")
+    }
+
+    /// Mutable direct slot access for the routing hot loop.
+    #[inline]
+    pub(crate) fn state_at_mut(&mut self, slot: u32) -> &mut DhtNodeState {
+        self.slots[slot as usize]
+            .as_mut()
+            .expect("routing slot is live")
+    }
+
+    /// Resolve an id to its current slot: fast path verifies the cached
+    /// hint's occupant, slow path consults the boundary map (the id may
+    /// occupy a different slot after leave + rejoin). `None` means the id
+    /// is not currently alive.
+    #[inline]
+    pub(crate) fn resolve_slot(&self, id: DhtId, hint: u32) -> Option<u32> {
+        if let Some(Some(n)) = self.slots.get(hint as usize) {
+            if n.peers.owner() == id {
+                return Some(hint);
+            }
+        }
+        self.by_id.get(&id).copied()
     }
 
     /// Ground truth: the node *counter-clockwise closest* to `key` — the
@@ -157,37 +303,40 @@ impl DhtNetwork {
     /// on an empty network.
     pub fn responsible_of(&self, key: DhtId) -> Option<DhtId> {
         debug_assert!(self.space.contains(key));
-        self.nodes
-            .range(..=key)
-            .next_back()
-            .or_else(|| self.nodes.iter().next_back())
-            .map(|(&id, _)| id)
+        let i = self.ring.partition_point(|&x| x <= key);
+        if i > 0 {
+            Some(self.ring[i - 1])
+        } else {
+            self.ring.last().copied()
+        }
     }
 
     /// The live successor of `id` on the ring (clockwise next node,
     /// excluding `id` itself); `None` if `id` is alone or absent.
     pub fn successor_of(&self, id: DhtId) -> Option<DhtId> {
-        if !self.nodes.contains_key(&id) || self.nodes.len() < 2 {
+        if self.ring.len() < 2 || !self.contains(id) {
             return None;
         }
-        self.nodes
-            .range((std::ops::Bound::Excluded(id), std::ops::Bound::Unbounded))
-            .next()
-            .or_else(|| self.nodes.iter().next())
-            .map(|(&s, _)| s)
+        let i = self.ring.partition_point(|&x| x <= id);
+        Some(if i < self.ring.len() {
+            self.ring[i]
+        } else {
+            self.ring[0]
+        })
     }
 
     /// The live predecessor of `id` on the ring (counter-clockwise next
     /// node, excluding `id` itself); `None` if `id` is alone or absent.
     pub fn predecessor_of(&self, id: DhtId) -> Option<DhtId> {
-        if !self.nodes.contains_key(&id) || self.nodes.len() < 2 {
+        if self.ring.len() < 2 || !self.contains(id) {
             return None;
         }
-        self.nodes
-            .range(..id)
-            .next_back()
-            .or_else(|| self.nodes.iter().next_back())
-            .map(|(&p, _)| p)
+        let i = self.ring.partition_point(|&x| x < id);
+        Some(if i > 0 {
+            self.ring[i - 1]
+        } else {
+            *self.ring.last().expect("len >= 2")
+        })
     }
 
     /// The responsibility range of a live node, derived from its *actual*
@@ -212,25 +361,48 @@ impl DhtNetwork {
         if !self.space.contains(id) {
             return Err(JoinError::OutOfSpace(id));
         }
-        if self.nodes.contains_key(&id) {
+        if self.by_id.contains_key(&id) {
             return Err(JoinError::IdTaken(id));
         }
-        let sorted: Vec<DhtId> = self.nodes.keys().copied().collect();
-        self.nodes.insert(
-            id,
-            DhtNodeState {
-                peers: DhtPeerTable::new(self.space, id),
-            },
-        );
+        // Pre-join membership: the table-building base and the
+        // announcement sample (same snapshot the id-keyed version took
+        // from its key set).
+        let sorted = self.ring.clone();
+        let slot = match self.free.pop() {
+            Some(s) => {
+                debug_assert!(self.slots[s as usize].is_none(), "free slot occupied");
+                self.slots[s as usize] = Some(DhtNodeState {
+                    peers: DhtPeerTable::new(self.space, id),
+                });
+                s
+            }
+            None => {
+                self.slots.push(Some(DhtNodeState {
+                    peers: DhtPeerTable::new(self.space, id),
+                }));
+                (self.slots.len() - 1) as u32
+            }
+        };
+        self.by_id.insert(id, slot);
+        let at = self.ring.partition_point(|&x| x < id);
+        self.ring.insert(at, id);
+
         let table = self.build_table(id, &sorted, latency_ms, rng);
-        self.nodes.get_mut(&id).expect("just inserted").peers = table;
+        self.slots[slot as usize]
+            .as_mut()
+            .expect("just inserted")
+            .peers = table;
 
         // The predecessor must learn its new closest-clockwise peer: that
         // peer bounds the predecessor's backup range [n, n₁).
         if let Some(pred) = self.predecessor_of(id) {
             let lat = latency_ms(pred, id);
-            if let Some(state) = self.nodes.get_mut(&pred) {
-                state.peers.offer_closer(id, lat);
+            if let Some(&ps) = self.by_id.get(&pred) {
+                self.slots[ps as usize]
+                    .as_mut()
+                    .expect("mapped slot occupied")
+                    .peers
+                    .offer_closer_hinted(id, lat, slot);
             }
         }
         // Tell a sample of existing nodes about the newcomer; the rest
@@ -241,8 +413,12 @@ impl DhtNetwork {
             .collect();
         for other in sample {
             let lat = latency_ms(other, id);
-            if let Some(state) = self.nodes.get_mut(&other) {
-                state.peers.offer(id, lat);
+            if let Some(&os) = self.by_id.get(&other) {
+                self.slots[os as usize]
+                    .as_mut()
+                    .expect("mapped slot occupied")
+                    .peers
+                    .offer_hinted(id, lat, slot);
             }
         }
         Ok(())
@@ -251,30 +427,90 @@ impl DhtNetwork {
     /// Remove a node. Dangling references in other tables are repaired
     /// lazily by the router. Returns `true` if the node was present.
     pub fn leave(&mut self, id: DhtId) -> bool {
-        self.nodes.remove(&id).is_some()
+        let Some(slot) = self.by_id.remove(&id) else {
+            return false;
+        };
+        let node = self.slots[slot as usize].take();
+        debug_assert!(node.is_some(), "mapped slot occupied");
+        self.free.push(slot);
+        let at = self.ring.partition_point(|&x| x < id);
+        debug_assert!(self.ring.get(at) == Some(&id), "ring in sync with map");
+        self.ring.remove(at);
+        true
     }
 
     /// Age every table by one maintenance period (stale entries become
     /// replaceable by any overheard candidate).
     pub fn tick_tables(&mut self) {
-        for state in self.nodes.values_mut() {
+        for state in self.slots.iter_mut().flatten() {
             state.peers.tick();
         }
     }
 
     /// A uniformly random live node ID.
     pub fn random_id(&self, rng: &mut SimRng) -> Option<DhtId> {
-        if self.nodes.is_empty() {
+        if self.ring.is_empty() {
             return None;
         }
-        let idx = rng.gen_range(0..self.nodes.len());
-        self.nodes.keys().nth(idx).copied()
+        let idx = rng.gen_range(0..self.ring.len());
+        Some(self.ring[idx])
     }
 
-    /// Check every node's level invariant; `Err` describes the first
-    /// violation found.
+    /// Check every node's level invariant plus the arena's structural
+    /// invariants (map ↔ slots ↔ ring ↔ free list); `Err` describes the
+    /// first violation found.
     pub fn check_invariants(&self) -> Result<(), String> {
-        for (id, state) in &self.nodes {
+        // Ring: strictly ascending, exactly the live membership.
+        if let Some(w) = self.ring.windows(2).find(|w| w[0] >= w[1]) {
+            return Err(format!(
+                "ring not strictly ascending at {} >= {}",
+                w[0], w[1]
+            ));
+        }
+        if self.ring.len() != self.by_id.len() {
+            return Err(format!(
+                "ring has {} ids but the map has {}",
+                self.ring.len(),
+                self.by_id.len()
+            ));
+        }
+        let occupied = self.slots.iter().filter(|s| s.is_some()).count();
+        if occupied != self.by_id.len() {
+            return Err(format!(
+                "{} occupied slots but {} mapped ids",
+                occupied,
+                self.by_id.len()
+            ));
+        }
+        if self.free.len() + occupied != self.slots.len() {
+            return Err(format!(
+                "free list ({}) + occupied ({}) != slots ({})",
+                self.free.len(),
+                occupied,
+                self.slots.len()
+            ));
+        }
+        for &f in &self.free {
+            if self.slots.get(f as usize).is_none_or(|s| s.is_some()) {
+                return Err(format!("free-list slot {f} is not vacant"));
+            }
+        }
+        // Per-node: the map points at a slot owned by that id, and the
+        // level invariant holds (checked in ring order, like the id-keyed
+        // implementation walked its sorted key set).
+        for &id in &self.ring {
+            let Some(&slot) = self.by_id.get(&id) else {
+                return Err(format!("ring id {id} missing from the map"));
+            };
+            let Some(Some(state)) = self.slots.get(slot as usize) else {
+                return Err(format!("id {id} maps to vacant slot {slot}"));
+            };
+            if state.peers.owner() != id {
+                return Err(format!(
+                    "id {id} maps to slot {slot} owned by {}",
+                    state.peers.owner()
+                ));
+            }
             state
                 .peers
                 .check_invariants()
@@ -284,8 +520,70 @@ impl DhtNetwork {
     }
 }
 
+/// A zero-copy view of the IDs from a sorted slice lying in the (possibly
+/// wrapping) clockwise interval `[from, to)`, minus one excluded id: one
+/// or two contiguous sub-slices plus the exclusion's virtual position.
+/// Enumerates exactly the sequence the eager `ids_in_interval` helper
+/// used to collect (the wrapping `[from, N)` segment first).
+struct IntervalView<'a> {
+    first: &'a [DhtId],
+    second: &'a [DhtId],
+    /// Virtual index of the excluded id within `first ++ second`, when
+    /// the interval contains it.
+    exclude_at: Option<usize>,
+}
+
+impl IntervalView<'_> {
+    fn len(&self) -> usize {
+        self.first.len() + self.second.len() - usize::from(self.exclude_at.is_some())
+    }
+
+    fn get(&self, i: usize) -> DhtId {
+        let j = match self.exclude_at {
+            Some(e) if i >= e => i + 1,
+            _ => i,
+        };
+        if j < self.first.len() {
+            self.first[j]
+        } else {
+            self.second[j - self.first.len()]
+        }
+    }
+}
+
+fn interval_view(
+    space: IdSpace,
+    sorted_ids: &[DhtId],
+    from: DhtId,
+    to: DhtId,
+    exclude: DhtId,
+) -> IntervalView<'_> {
+    let range = |lo: DhtId, hi_excl: DhtId| {
+        let start = sorted_ids.partition_point(|&x| x < lo);
+        let end = sorted_ids.partition_point(|&x| x < hi_excl);
+        &sorted_ids[start..end]
+    };
+    let (first, second) = if from < to {
+        (range(from, to), &sorted_ids[0..0])
+    } else {
+        // Wraps: [from, N) ∪ [0, to).
+        (range(from, space.size()), range(0, to))
+    };
+    let exclude_at = match first.binary_search(&exclude) {
+        Ok(p) => Some(p),
+        Err(_) => second.binary_search(&exclude).ok().map(|p| first.len() + p),
+    };
+    IntervalView {
+        first,
+        second,
+        exclude_at,
+    }
+}
+
 /// All IDs from `sorted_ids` lying in the (possibly wrapping) clockwise
-/// interval `[from, to)`, excluding `exclude`.
+/// interval `[from, to)`, excluding `exclude`. Reference model for
+/// [`interval_view`] (the hot path no longer materialises intervals).
+#[cfg(test)]
 fn ids_in_interval(
     space: IdSpace,
     sorted_ids: &[DhtId],
@@ -455,6 +753,29 @@ mod tests {
     }
 
     #[test]
+    fn interval_view_matches_reference() {
+        let mut rng = RngTree::new(11).child("view");
+        for case in 0..300 {
+            let bits = rng.gen_range(2u32..10);
+            let space = IdSpace::new(bits);
+            let n = rng.gen_range(0usize..40);
+            let mut set = std::collections::BTreeSet::new();
+            for _ in 0..n {
+                set.insert(rng.gen_range(0..space.size()));
+            }
+            let sorted: Vec<DhtId> = set.into_iter().collect();
+            let from = rng.gen_range(0..space.size());
+            let to = rng.gen_range(0..space.size());
+            // Sometimes a member, sometimes absent.
+            let exclude = rng.gen_range(0..space.size());
+            let reference = ids_in_interval(space, &sorted, from, to, exclude);
+            let view = interval_view(space, &sorted, from, to, exclude);
+            let listed: Vec<DhtId> = (0..view.len()).map(|i| view.get(i)).collect();
+            assert_eq!(listed, reference, "case {case} [{from}, {to}) \\ {exclude}");
+        }
+    }
+
+    #[test]
     fn random_id_is_live() {
         let net = build_net(30, 8, 8);
         let mut rng = RngTree::new(8).child("r");
@@ -465,5 +786,38 @@ mod tests {
         let empty = DhtNetwork::new(IdSpace::new(4));
         let mut rng2 = RngTree::new(8).child("r2");
         assert!(empty.random_id(&mut rng2).is_none());
+    }
+
+    #[test]
+    fn free_list_reuses_slots() {
+        let mut net = build_net(50, 10, 9);
+        let mut rng = RngTree::new(9).child("churn");
+        let before = net.slot_count();
+        // Leave 10, rejoin 10: no arena growth.
+        let victims: Vec<DhtId> = net.ids().take(10).collect();
+        for v in &victims {
+            assert!(net.leave(*v));
+        }
+        assert_eq!(net.free_count(), 10);
+        let mut joined = 0;
+        while joined < 10 {
+            let id = rng.gen_range(0..net.space().size());
+            if net.join(id, &flat_latency, &mut rng).is_ok() {
+                joined += 1;
+            }
+        }
+        assert_eq!(net.slot_count(), before, "rejoins must reuse freed slots");
+        assert_eq!(net.free_count(), 0);
+        net.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn lookup_and_id_at_roundtrip() {
+        let net = build_net(40, 9, 10);
+        for id in net.ids().collect::<Vec<_>>() {
+            let idx = net.lookup(id).expect("live id resolves");
+            assert_eq!(net.id_at(idx), Some(id));
+            assert_eq!(net.node_at(idx).unwrap().peers.owner(), id);
+        }
     }
 }

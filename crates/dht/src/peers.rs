@@ -10,9 +10,12 @@
 
 use crate::id::{DhtId, IdSpace};
 
+/// Sentinel for "no cached arena slot" in a peer entry's slot hint.
+pub(crate) const NO_SLOT: u32 = u32::MAX;
+
 /// One DHT peer: identity plus the latency estimate used to choose among
 /// candidates for the same level.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Clone, Copy)]
 pub struct DhtPeerEntry {
     /// The peer's DHT identifier.
     pub id: DhtId,
@@ -22,6 +25,30 @@ pub struct DhtPeerEntry {
     /// Age counter: bumped by [`DhtPeerTable::tick`], reset on refresh.
     /// Stale entries lose to fresh candidates even at higher latency.
     pub age: u32,
+    /// Cached arena slot of the peer in the owning [`DhtNetwork`]
+    /// (`NO_SLOT` when unknown). A pure lookup accelerator: it may go
+    /// stale under churn and is always verified against the slot's
+    /// current occupant before use, so it carries no semantic state —
+    /// which is why `PartialEq` and `Debug` ignore it.
+    ///
+    /// [`DhtNetwork`]: crate::network::DhtNetwork
+    pub(crate) slot: u32,
+}
+
+impl PartialEq for DhtPeerEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.id == other.id && self.latency_ms == other.latency_ms && self.age == other.age
+    }
+}
+
+impl std::fmt::Debug for DhtPeerEntry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DhtPeerEntry")
+            .field("id", &self.id)
+            .field("latency_ms", &self.latency_ms)
+            .field("age", &self.age)
+            .finish()
+    }
 }
 
 /// Age after which an entry is considered stale and replaced by any fresh
@@ -77,6 +104,14 @@ impl DhtPeerTable {
     /// level if the slot is empty, the incumbent is stale, or the
     /// candidate's latency is lower. Returns `true` if the table changed.
     pub fn offer(&mut self, id: DhtId, latency_ms: f64) -> bool {
+        self.offer_hinted(id, latency_ms, NO_SLOT)
+    }
+
+    /// [`offer`](Self::offer) with a cached arena slot for the candidate
+    /// (used by the network/routing layers, which know where the
+    /// candidate lives). Acceptance is decided exactly as in `offer` —
+    /// the hint never influences the outcome.
+    pub(crate) fn offer_hinted(&mut self, id: DhtId, latency_ms: f64, slot_hint: u32) -> bool {
         if id == self.owner || !self.space.contains(id) {
             return false;
         }
@@ -95,10 +130,20 @@ impl DhtPeerTable {
             }
         };
         if replace {
+            let hint = if slot_hint != NO_SLOT {
+                slot_hint
+            } else {
+                // A same-peer refresh without a hint keeps the old one.
+                match slot {
+                    Some(cur) if cur.id == id => cur.slot,
+                    _ => NO_SLOT,
+                }
+            };
             *slot = Some(DhtPeerEntry {
                 id,
                 latency_ms,
                 age: 0,
+                slot: hint,
             });
         }
         replace
@@ -111,6 +156,16 @@ impl DhtPeerTable {
     /// peer bounds its backup-responsibility range (§4.3), so it must
     /// learn about closer successors promptly. Returns `true` on change.
     pub fn offer_closer(&mut self, id: DhtId, latency_ms: f64) -> bool {
+        self.offer_closer_hinted(id, latency_ms, NO_SLOT)
+    }
+
+    /// [`offer_closer`](Self::offer_closer) with a cached arena slot.
+    pub(crate) fn offer_closer_hinted(
+        &mut self,
+        id: DhtId,
+        latency_ms: f64,
+        slot_hint: u32,
+    ) -> bool {
         if id == self.owner || !self.space.contains(id) {
             return false;
         }
@@ -132,6 +187,7 @@ impl DhtPeerTable {
                 id,
                 latency_ms,
                 age: 0,
+                slot: slot_hint,
             });
         }
         replace
@@ -334,6 +390,7 @@ mod tests {
             id: 11,
             latency_ms: 1.0,
             age: 0,
+            slot: NO_SLOT,
         });
         assert!(t.check_invariants().is_err());
     }

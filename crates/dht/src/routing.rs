@@ -20,6 +20,7 @@
 
 use crate::id::DhtId;
 use crate::network::DhtNetwork;
+use crate::peers::NO_SLOT;
 
 /// How a route ended.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -71,6 +72,13 @@ impl RouteOutcome {
 /// `latency_ms` supplies pairwise latencies (trace-derived in the real
 /// experiments). When `overhear` is set, every node on the path offers all
 /// earlier path nodes to its DHT peer table — the paper's free maintenance.
+///
+/// The loop moves slot-to-slot through the arena: the source id is
+/// resolved through the boundary map once, and every subsequent hop rides
+/// the slot hint cached in its peer entry (verified against the slot's
+/// occupant, with a map fallback when churn staled it). All decisions are
+/// keyed on ids, so routes are bit-identical to the id-keyed
+/// implementation (pinned in `tests/dht_routing.rs`).
 pub fn route(
     net: &mut DhtNetwork,
     src: DhtId,
@@ -78,55 +86,52 @@ pub fn route(
     latency_ms: &impl Fn(DhtId, DhtId) -> f64,
     overhear: bool,
 ) -> RouteOutcome {
-    if !net.contains(src) {
+    let Some(src_slot) = net.resolve_slot(src, NO_SLOT) else {
         return RouteOutcome {
             path: vec![src],
             latency_ms: 0.0,
             status: RouteStatus::BadSource,
             repaired: 0,
         };
-    }
+    };
     let mut path = vec![src];
+    // Arena slots parallel to `path`, so overheard offers carry hints.
+    let mut path_slots = vec![src_slot];
     let mut total_latency = 0.0;
     let mut repaired = 0u32;
     let mut current = src;
+    let mut current_slot = src_slot;
 
     loop {
         let next = loop {
-            let candidate = net
-                .node(current)
-                .expect("current node is alive")
-                .peers
-                .next_hop(key);
+            let candidate = net.state_at(current_slot).peers.next_hop(key);
             match candidate {
                 None => break None,
-                Some(p) if net.contains(p.id) => break Some(p),
-                Some(dead) => {
-                    // Lazy repair: drop the dead entry and retry.
-                    net.node_mut(current)
-                        .expect("current node is alive")
-                        .peers
-                        .remove(dead.id);
-                    repaired += 1;
-                }
+                Some(p) => match net.resolve_slot(p.id, p.slot) {
+                    Some(slot) => break Some((p.id, slot)),
+                    None => {
+                        // Lazy repair: drop the dead entry and retry.
+                        net.state_at_mut(current_slot).peers.remove(p.id);
+                        repaired += 1;
+                    }
+                },
             }
         };
-        let Some(hop) = next else { break };
-        total_latency += latency_ms(current, hop.id);
+        let Some((hop, hop_slot)) = next else { break };
+        total_latency += latency_ms(current, hop);
         if overhear {
             // The receiving node overhears everyone already on the path.
-            // (`path` is local to this routine, so the node state borrow
-            // does not conflict — no need to clone the path.)
-            if let Some(state) = net.node_mut(hop.id) {
-                for &q in &path {
-                    if q != hop.id {
-                        state.peers.offer(q, latency_ms(hop.id, q));
-                    }
+            let state = net.state_at_mut(hop_slot);
+            for (&q, &q_slot) in path.iter().zip(&path_slots) {
+                if q != hop {
+                    state.peers.offer_hinted(q, latency_ms(hop, q), q_slot);
                 }
             }
         }
-        path.push(hop.id);
-        current = hop.id;
+        path.push(hop);
+        path_slots.push(hop_slot);
+        current = hop;
+        current_slot = hop_slot;
         if current == key {
             break; // exact hit; cannot get closer than distance zero
         }

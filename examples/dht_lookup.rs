@@ -1,6 +1,8 @@
 //! Drive the loose DHT directly: build a sparse overlay in an 8192-slot
 //! ID space, route lookups, watch the hop counts against the paper's
-//! appendix bound, and place segment backups.
+//! appendix bound, place segment backups, and exercise the node arena
+//! under churn (slot reuse + lazy repair). Asserts its claims, so CI runs
+//! it as a smoke test rather than merely compiling it.
 //!
 //! ```text
 //! cargo run --release --example dht_lookup
@@ -8,6 +10,7 @@
 
 use continustreaming::dht::{backup_targets, route, DhtNetwork};
 use continustreaming::prelude::*;
+use cs_bench::fingerprint::dht::latency;
 use rand::Rng;
 
 fn main() {
@@ -25,13 +28,23 @@ fn main() {
             ids.push(id);
         }
     }
-    let latency = |a: DhtId, b: DhtId| 30.0 + ((a ^ b) % 41) as f64;
     let mut net = DhtNetwork::build(space, &ids, &latency, &mut rng);
     println!(
-        "built a loose DHT: {} nodes in an ID space of {}",
+        "built a loose DHT: {} nodes in an ID space of {} ({} arena slots)",
         net.len(),
-        space.size()
+        space.size(),
+        net.slot_count()
     );
+    assert_eq!(net.len(), n);
+    assert_eq!(net.slot_count(), n, "build allocates exactly n slots");
+    net.check_invariants().expect("fresh network is consistent");
+
+    // The boundary map: every live id resolves to an arena handle that
+    // round-trips back to the id.
+    for &id in ids.iter().take(5) {
+        let idx = net.lookup(id).expect("live id resolves to a slot");
+        assert_eq!(net.id_at(idx), Some(id));
+    }
 
     // Route a few lookups.
     let mut lrng = tree.child("lookups");
@@ -50,6 +63,11 @@ fn main() {
             } else {
                 "WRONG owner"
             }
+        );
+        assert!(
+            (out.hops() as f64) <= bound,
+            "{} hops exceeds the appendix bound {bound}",
+            out.hops()
         );
     }
 
@@ -77,6 +95,11 @@ fn main() {
     for v in &victims {
         net.leave(*v);
     }
+    assert_eq!(
+        net.free_count(),
+        victims.len(),
+        "each leave vacates one arena slot"
+    );
     let mut ok = 0;
     let trials = 400;
     let mut repaired = 0;
@@ -93,5 +116,36 @@ fn main() {
         ok,
         trials,
         repaired
+    );
+    assert!(repaired > 0, "churn should trigger lazy repairs");
+    assert!(
+        ok as f64 / trials as f64 > 0.85,
+        "success under churn too low: {ok}/{trials}"
+    );
+
+    // Rejoin as many nodes as left: the free list must absorb every one
+    // without growing the arena.
+    let slots_before = net.slot_count();
+    let mut jrng = tree.child("rejoin");
+    let mut joined = 0;
+    while joined < victims.len() {
+        let id = jrng.gen_range(0..space.size());
+        if net.join(id, &latency, &mut jrng).is_ok() {
+            joined += 1;
+        }
+    }
+    assert_eq!(
+        net.slot_count(),
+        slots_before,
+        "rejoins must reuse freed slots"
+    );
+    assert_eq!(net.free_count(), 0);
+    net.check_invariants()
+        .expect("post-churn network consistent");
+    println!(
+        "\nrejoined {} nodes into the freed slots: {} live / {} arena slots, invariants hold",
+        joined,
+        net.len(),
+        net.slot_count()
     );
 }

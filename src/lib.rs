@@ -41,11 +41,16 @@
 //!
 //! The round loop keeps node state in a dense arena (index handles, no
 //! per-round hashing) and reuses all working memory across rounds; buffer
-//! bitmap operations are word-level. `BENCH_hotpath.json` records the
-//! reference measurement (1,000 nodes × 200 rounds), reproducible with:
+//! bitmap operations are word-level. The loose DHT uses the same layout
+//! (dense slots + `DhtIdx` handles, slot hints cached in peer entries, the
+//! id map consulted only at the boundary), so greedy routing is
+//! index-chasing rather than tree walking. `BENCH_hotpath.json` and
+//! `BENCH_dht_lookup.json` record the reference measurements,
+//! reproducible with:
 //!
 //! ```text
 //! cargo run -p cs-bench --release --bin bench_hotpath
+//! cargo run -p cs-bench --release --bin bench_dht_lookup
 //! ```
 //!
 //! The optional `parallel` feature (`--features parallel`) fans the

@@ -18,6 +18,8 @@
 //! other platforms still get the reproducibility layer.
 
 use continustreaming::prelude::*;
+#[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+use cs_bench::fingerprint::round0_fingerprint;
 use cs_bench::fingerprint::{fingerprint, scenarios};
 
 /// Layer 1: same seed ⇒ identical report, different seed ⇒ different.
@@ -109,6 +111,44 @@ fn arena_refactor_causes_no_behavioural_drift() {
         assert_eq!(
             hash, pin_hash,
             "behavioural drift in scenario `{name}`: 0x{hash:016x} != pinned 0x{pin_hash:016x}"
+        );
+    }
+}
+
+/// Layer 2b: pinned *round-0* fingerprints — the per-node state right
+/// after `SystemSim::new`, before any round runs.
+///
+/// These seven hashes were recorded from the pre-arena init path (the
+/// O(N²) `position()` scan seeding overheard lists and the throwaway
+/// `DhtId → ping` HashMap feeding the DHT latency closure). The
+/// arena-built init must reproduce them byte for byte: any drift in trace
+/// seeding, overheard-list contents, or DHT construction RNG consumption
+/// shows up here, independently of the round-loop hashes above.
+#[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+#[test]
+fn init_path_causes_no_round0_drift() {
+    let pinned: &[(&str, u64)] = &[
+        ("continustreaming_static", 0x670ce83d36f0ef91),
+        ("continustreaming_dynamic", 0xb43fb599fa4cb7ee),
+        ("coolstreaming_static", 0x88fd280dda0e20b0),
+        ("greedy_rarest_first", 0x6cda3f0049ea1ab2),
+        ("continustreaming_homogeneous", 0x4439246729ef6d76),
+        ("continustreaming_scale_200", 0x190a129375c87e9b),
+        ("coolstreaming_homogeneous_dynamic", 0xba49ea2819feeebf),
+    ];
+    let computed = scenarios();
+    assert_eq!(
+        computed.len(),
+        pinned.len(),
+        "scenario set and pin list out of sync"
+    );
+    for ((name, config), &(pin_name, pin_hash)) in computed.into_iter().zip(pinned) {
+        assert_eq!(name, pin_name, "scenario order changed");
+        let sim = SystemSim::new(config);
+        let hash = round0_fingerprint(&sim);
+        assert_eq!(
+            hash, pin_hash,
+            "round-0 drift in scenario `{name}`: 0x{hash:016x} != pinned 0x{pin_hash:016x}"
         );
     }
 }

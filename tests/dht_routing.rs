@@ -1,0 +1,135 @@
+//! DHT routing regression suite: pinned greedy-route fingerprints.
+//!
+//! The arena rewrite of `cs-dht` (dense node slots + `DhtIdx` handles
+//! replacing the id-keyed `BTreeMap`) must leave every observable routing
+//! decision bit-identical: greedy next-hop selection, id-ordered
+//! tie-breaks, lazy repair, overhearing updates along the path, and the
+//! RNG streams consumed by `build`/`join`. This suite pins all of it:
+//!
+//! * **hop sequences** — the exact `(src, key, path, status, repaired,
+//!   latency)` tuples of lookup batches over several seeds;
+//! * **table states** — every node's full level table (peer id, latency,
+//!   age per level) after overhearing-enabled lookup batches;
+//! * **churn routes** — paths and repair counts after abrupt failures.
+//!
+//! All pinned values were recorded from the pre-arena (`BTreeMap`-keyed)
+//! implementation. The latency oracles below are exact in f64 (integer
+//! xor/mod arithmetic, no libm), so the hashes are platform-independent.
+
+use continustreaming::dht::{route, DhtId};
+use continustreaming::prelude::*;
+use cs_bench::fingerprint::dht::{build_net, latency, route_batch, table_state};
+use cs_bench::fingerprint::fnv1a;
+use rand::Rng as _;
+
+/// Pinned hop sequences, overhearing off: pure greedy forwarding with
+/// id-ordered tie-breaks over three network seeds.
+#[test]
+fn pinned_hop_sequences() {
+    let pinned: &[(usize, u32, u64, u64)] = &[
+        (600, 13, 2, 0xa3d3f8871b0fae4e),
+        (1000, 13, 5, 0x3de3a38d21749eda),
+        (250, 11, 9, 0x65b25d0dab64c83e),
+    ];
+    for &(n, bits, seed, pin) in pinned {
+        let mut net = build_net(n, bits, seed);
+        let batch = route_batch(&mut net, seed, 400, false);
+        let hash = fnv1a(batch.as_bytes());
+        assert_eq!(
+            hash, pin,
+            "routing drift (n={n}, bits={bits}, seed={seed}): 0x{hash:016x} != pinned 0x{pin:016x}"
+        );
+    }
+}
+
+/// Pinned hop sequences *and* final table states, overhearing on: every
+/// node a message passes files the earlier path nodes, so the fingerprint
+/// covers the offer/replace logic along the whole path.
+#[test]
+fn pinned_overhearing_updates() {
+    let pinned: &[(usize, u32, u64, u64, u64)] = &[
+        (400, 12, 8, 0x8e1d559dfac71365, 0x50c8fed09ed1f508),
+        (800, 13, 3, 0x384a8e0e883ee1a6, 0x20d909241668d6ed),
+    ];
+    for &(n, bits, seed, pin_routes, pin_tables) in pinned {
+        let mut net = build_net(n, bits, seed);
+        let batch = route_batch(&mut net, seed, 500, true);
+        let routes = fnv1a(batch.as_bytes());
+        let tables = fnv1a(table_state(&net).as_bytes());
+        assert_eq!(
+            routes, pin_routes,
+            "overhearing route drift (n={n}, seed={seed}): 0x{routes:016x}"
+        );
+        assert_eq!(
+            tables, pin_tables,
+            "overhearing table drift (n={n}, seed={seed}): 0x{tables:016x}"
+        );
+        net.check_invariants().unwrap();
+    }
+}
+
+/// Pinned routing under churn: abrupt failures leave dangling table
+/// entries that lazy repair must drop in the exact same order; joins must
+/// consume the same RNG stream and advertise to the same sample.
+#[test]
+fn pinned_churn_routing() {
+    let pinned: &[(usize, u32, u64, u64, u64)] = &[
+        (300, 10, 7, 0xa7d88ee363731398, 0x8331edd76c83b3f6),
+        (500, 12, 4, 0xc61b4d400c2d2b57, 0x804c5b7599973a1e),
+    ];
+    for &(n, bits, seed, pin_routes, pin_tables) in pinned {
+        let mut net = build_net(n, bits, seed);
+        let mut churn_rng = RngTree::new(seed).child("dht-routing-churn");
+        // Kill 15% abruptly (no handover): dangling entries everywhere.
+        let victims: Vec<DhtId> = net
+            .ids()
+            .collect::<Vec<_>>()
+            .into_iter()
+            .filter(|_| churn_rng.gen_bool(0.15))
+            .collect();
+        for v in &victims {
+            assert!(net.leave(*v));
+        }
+        // Rejoin half as many fresh ids (free-list reuse on the arena).
+        let rejoin = victims.len() / 2;
+        let mut joined = 0;
+        while joined < rejoin {
+            let id = churn_rng.gen_range(0..net.space().size());
+            if net.join(id, &latency, &mut churn_rng).is_ok() {
+                joined += 1;
+            }
+        }
+        let batch = route_batch(&mut net, seed ^ 0xC0FFEE, 400, true);
+        let routes = fnv1a(batch.as_bytes());
+        let tables = fnv1a(table_state(&net).as_bytes());
+        assert_eq!(
+            routes, pin_routes,
+            "churn route drift (n={n}, seed={seed}): 0x{routes:016x}"
+        );
+        assert_eq!(
+            tables, pin_tables,
+            "churn table drift (n={n}, seed={seed}): 0x{tables:016x}"
+        );
+        net.check_invariants().unwrap();
+    }
+}
+
+/// Ground-truth cross-checks that hold regardless of representation (they
+/// guard the *meaning* of the pins above): every successful route ends at
+/// the counter-clockwise closest live node, and every path node is live.
+#[test]
+fn routes_terminate_at_ground_truth_owner() {
+    let mut net = build_net(500, 12, 6);
+    let mut rng = RngTree::new(6).child("gt-lookups");
+    for _ in 0..300 {
+        let src = net.random_id(&mut rng).unwrap();
+        let key = rng.gen_range(0..net.space().size());
+        let out = route(&mut net, src, key, &latency, true);
+        for p in &out.path {
+            assert!(net.contains(*p), "dead node {p} on path");
+        }
+        if out.succeeded() {
+            assert_eq!(net.responsible_of(key), Some(out.terminal()));
+        }
+    }
+}

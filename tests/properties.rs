@@ -180,6 +180,125 @@ fn placement_targets_valid() {
     }
 }
 
+/// Join/leave/rejoin churn never corrupts the DHT arena: after every
+/// churn round the level tables still satisfy the level invariant, the
+/// `DhtId → DhtIdx` boundary map matches the occupied slots and the ring
+/// exactly, and lookups still terminate at the true responsible node.
+#[test]
+fn dht_arena_survives_churn() {
+    for case in 0..24u64 {
+        let mut rng = RngTree::new(0xA7E).child_indexed("dht-churn", case);
+        let bits = rng.gen_range(8u32..12);
+        let space = IdSpace::new(bits);
+        let n = rng.gen_range(40usize..120);
+        let mut set = std::collections::BTreeSet::new();
+        while set.len() < n {
+            set.insert(rng.gen_range(0..space.size()));
+        }
+        let ids: Vec<DhtId> = set.into_iter().collect();
+        let latency = |a: DhtId, b: DhtId| 10.0 + ((a ^ b) % 17) as f64;
+        let mut net = DhtNetwork::build(space, &ids, &latency, &mut rng);
+        net.check_invariants()
+            .unwrap_or_else(|e| panic!("case {case}: {e}"));
+
+        for round in 0..6 {
+            // Leave a random batch (abrupt: dangling entries stay).
+            let victims: Vec<DhtId> = net
+                .ids()
+                .collect::<Vec<_>>()
+                .into_iter()
+                .filter(|_| rng.gen_bool(0.2))
+                .collect();
+            for v in &victims {
+                assert!(net.leave(*v), "case {case}: {v} was live");
+                assert!(net.lookup(*v).is_none(), "case {case}: {v} still resolves");
+            }
+            // Rejoin some of the departed ids plus some fresh ones: slot
+            // reuse must cover the whole batch while vacancies last.
+            let mut joins = 0usize;
+            for &v in victims.iter().take(victims.len() / 2) {
+                net.join(v, &latency, &mut rng).unwrap();
+                joins += 1;
+            }
+            while joins < victims.len() {
+                let id = rng.gen_range(0..space.size());
+                if net.join(id, &latency, &mut rng).is_ok() {
+                    joins += 1;
+                }
+            }
+            // As many joins as leaves and the free list was large enough:
+            // the arena must not have grown.
+            assert_eq!(
+                net.free_count(),
+                net.slot_count() - net.len(),
+                "case {case} round {round}: free-list accounting"
+            );
+            net.check_invariants()
+                .unwrap_or_else(|e| panic!("case {case} round {round}: {e}"));
+            // Boundary map ↔ slots: every live id round-trips.
+            for id in net.ids().collect::<Vec<_>>() {
+                let idx = net.lookup(id).expect("live id resolves");
+                assert_eq!(net.id_at(idx), Some(id), "case {case} round {round}");
+            }
+            // Routing over the churned arena still reaches ground truth
+            // (and lazily repairs through the stale slot hints).
+            for _ in 0..20 {
+                let src = net.random_id(&mut rng).unwrap();
+                let key = rng.gen_range(0..space.size());
+                let out = route(&mut net, src, key, &latency, true);
+                for p in &out.path {
+                    assert!(net.contains(*p), "case {case}: dead node {p} on path");
+                }
+                if out.succeeded() {
+                    assert_eq!(net.responsible_of(key), Some(out.terminal()));
+                }
+            }
+        }
+    }
+}
+
+/// Freed arena slots are reused before the slot vector grows, across
+/// repeated leave/rejoin waves (no arena leak under sustained churn).
+#[test]
+fn dht_arena_reuses_free_slots() {
+    for case in 0..16u64 {
+        let mut rng = RngTree::new(0x5107).child_indexed("dht-slots", case);
+        let space = IdSpace::new(10);
+        let n = rng.gen_range(30usize..80);
+        let mut set = std::collections::BTreeSet::new();
+        while set.len() < n {
+            set.insert(rng.gen_range(0..space.size()));
+        }
+        let ids: Vec<DhtId> = set.into_iter().collect();
+        let latency = |_: DhtId, _: DhtId| 10.0;
+        let mut net = DhtNetwork::build(space, &ids, &latency, &mut rng);
+        let cap = net.slot_count();
+        assert_eq!(cap, n, "build allocates exactly n slots");
+        for wave in 0..8 {
+            let k = rng.gen_range(1usize..n / 2);
+            let victims: Vec<DhtId> = net.ids().take(k).collect();
+            for v in &victims {
+                net.leave(*v);
+            }
+            assert_eq!(net.free_count(), k, "case {case} wave {wave}");
+            let mut joined = 0;
+            while joined < k {
+                let id = rng.gen_range(0..space.size());
+                if net.join(id, &latency, &mut rng).is_ok() {
+                    joined += 1;
+                }
+            }
+            assert_eq!(
+                net.slot_count(),
+                cap,
+                "case {case} wave {wave}: rejoins must reuse freed slots"
+            );
+            assert_eq!(net.free_count(), 0, "case {case} wave {wave}");
+        }
+        net.check_invariants().unwrap();
+    }
+}
+
 /// Every route in a well-built DHT terminates at the true owner within
 /// the appendix hop bound. The randomness comes from the seeded RNG tree.
 #[test]
