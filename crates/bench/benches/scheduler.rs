@@ -6,8 +6,9 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
 use cs_core::scheduler::{
-    schedule_coolstreaming, schedule_greedy, schedule_random, sort_candidates, ScheduleContext,
-    SegmentCandidate,
+    schedule_coolstreaming, schedule_coolstreaming_into, schedule_greedy, schedule_greedy_into,
+    schedule_random, schedule_random_into, sort_candidates, Assignment, ScheduleContext,
+    SchedulerScratch, SegmentCandidate,
 };
 use cs_sim::RngTree;
 use rand::Rng;
@@ -60,5 +61,48 @@ fn bench_schedulers(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_schedulers);
+/// The `_into` variants against the allocating originals: same policies,
+/// same workloads, caller-owned buffers. The gap is the allocator cost
+/// the zero-alloc round loop no longer pays.
+fn bench_schedulers_into(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scheduler_into");
+    for m in [10usize, 50, 200] {
+        let (cands, ctx) = make_inputs(m, 7);
+        let mut scratch: SchedulerScratch<u64> = SchedulerScratch::default();
+        let mut out: Vec<Assignment<u64>> = Vec::new();
+        group.bench_with_input(BenchmarkId::new("algorithm1_greedy", m), &m, |b, _| {
+            b.iter(|| {
+                schedule_greedy_into(black_box(&cands), black_box(&ctx), &mut scratch, &mut out);
+                black_box(out.len())
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("coolstreaming", m), &m, |b, _| {
+            b.iter(|| {
+                schedule_coolstreaming_into(
+                    black_box(&cands),
+                    black_box(&ctx),
+                    &mut scratch,
+                    &mut out,
+                );
+                black_box(out.len())
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("random", m), &m, |b, _| {
+            let mut rng = RngTree::new(9).child("rand");
+            b.iter(|| {
+                schedule_random_into(
+                    black_box(&cands),
+                    black_box(&ctx),
+                    &mut rng,
+                    &mut scratch,
+                    &mut out,
+                );
+                black_box(out.len())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_schedulers, bench_schedulers_into);
 criterion_main!(benches);

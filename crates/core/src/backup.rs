@@ -9,20 +9,26 @@
 //! simply age out ("as time elapses, old data segments backuped by n′
 //! gradually become useless").
 
-use std::collections::BTreeSet;
-
 use cs_dht::{DhtId, IdSpace, ResponsibilityRange};
 
 use crate::SegmentId;
 
 /// One node's backup store.
+///
+/// Backed by a sorted `Vec` rather than a `BTreeSet`: the store holds the
+/// GC-bounded sliver of the stream whose replica positions hash into the
+/// node's responsibility range (a few dozen segments), so binary search +
+/// shift beats tree nodes — and, unlike a tree, insertion allocates
+/// nothing once the vector has reached the workload's high-water
+/// capacity. `maybe_store` sits on the round loop's supplier-service hot
+/// path, which is asserted allocation-free in steady state.
 #[derive(Debug, Clone)]
 pub struct VodBackupStore {
     space: IdSpace,
     owner: DhtId,
     replicas: u32,
-    /// Segments currently backed up, ordered for cheap GC of old ids.
-    stored: BTreeSet<SegmentId>,
+    /// Segments currently backed up, ascending and duplicate-free.
+    stored: Vec<SegmentId>,
 }
 
 impl VodBackupStore {
@@ -32,8 +38,18 @@ impl VodBackupStore {
             space,
             owner,
             replicas,
-            stored: BTreeSet::new(),
+            stored: Vec::new(),
         }
+    }
+
+    /// Pre-reserve storage for roughly the expected steady-state load
+    /// (callers size this from the live stream window, replica count and
+    /// overlay size). Purely a capacity hint: with a sensible hint the
+    /// hot-path `maybe_store` never grows the vector, which the round
+    /// loop's zero-allocation assertion relies on.
+    pub fn with_capacity_hint(mut self, segments: usize) -> Self {
+        self.stored.reserve(segments);
+        self
     }
 
     /// The owning node.
@@ -53,7 +69,18 @@ impl VodBackupStore {
 
     /// Whether `segment` is backed up here.
     pub fn has(&self, segment: SegmentId) -> bool {
-        self.stored.contains(&segment)
+        self.stored.binary_search(&segment).is_ok()
+    }
+
+    /// Insert preserving order; `false` if already present.
+    fn insert_sorted(&mut self, segment: SegmentId) -> bool {
+        match self.stored.binary_search(&segment) {
+            Ok(_) => false,
+            Err(pos) => {
+                self.stored.insert(pos, segment);
+                true
+            }
+        }
     }
 
     /// The §4.3 storage rule: store `segment` iff one of its `k` replica
@@ -65,7 +92,7 @@ impl VodBackupStore {
         let range = ResponsibilityRange::new(self.space, self.owner, successor);
         let responsible = (1..=self.replicas).any(|i| range.responsible_for_replica(segment, i));
         if responsible {
-            self.stored.insert(segment)
+            self.insert_sorted(segment)
         } else {
             false
         }
@@ -74,24 +101,21 @@ impl VodBackupStore {
     /// Store unconditionally (handover from a departing node: the data is
     /// now this node's responsibility regardless of hash positions).
     pub fn store_handover(&mut self, segment: SegmentId) -> bool {
-        self.stored.insert(segment)
+        self.insert_sorted(segment)
     }
 
     /// Graceful-leave handover: drain everything for transfer to the
     /// counter-clockwise closest node.
     pub fn drain(&mut self) -> Vec<SegmentId> {
-        let out: Vec<SegmentId> = self.stored.iter().copied().collect();
-        self.stored.clear();
-        out
+        std::mem::take(&mut self.stored)
     }
 
     /// Garbage-collect segments older than `horizon` (already played
     /// everywhere): "old data segments ... gradually become useless".
     /// Returns how many were dropped.
     pub fn gc_before(&mut self, horizon: SegmentId) -> usize {
-        let keep = self.stored.split_off(&horizon);
-        let dropped = self.stored.len();
-        self.stored = keep;
+        let dropped = self.stored.partition_point(|&s| s < horizon);
+        self.stored.drain(..dropped);
         dropped
     }
 

@@ -75,6 +75,19 @@ pub struct SystemConfig {
     /// rarity order; stragglers that slip through are exactly what the
     /// urgent line + DHT retrieval exist to catch.
     pub rescue_budget_fraction: f64,
+    /// Worker-thread override for the `parallel` feature's phase fan-out.
+    ///
+    /// * `None` (default) — use `CS_PARALLEL_THREADS` if set, otherwise
+    ///   the detected core count, and only fan out at ≥ 128 alive nodes
+    ///   (below that the spawn overhead dominates);
+    /// * `Some(1)` — force the serial path;
+    /// * `Some(n > 1)` — force an `n`-way fan-out regardless of overlay
+    ///   size (how the determinism suite exercises the parallel merge on
+    ///   small scenarios).
+    ///
+    /// Results are bit-identical for every value; without the `parallel`
+    /// feature the field is ignored.
+    pub parallel_threads: Option<usize>,
     /// Master seed.
     pub seed: u64,
 }
@@ -100,6 +113,7 @@ impl Default for SystemConfig {
             id_space_slack: 2,
             t_hop_secs: 0.05,
             rescue_budget_fraction: 0.2,
+            parallel_threads: None,
             seed: 20080414, // IPDPS 2008 in Miami started on April 14.
         }
     }
@@ -153,6 +167,10 @@ impl SystemConfig {
         assert!(
             (self.playback_rate as u64) < self.buffer_size,
             "buffer must hold more than one period of playback"
+        );
+        assert!(
+            self.parallel_threads != Some(0),
+            "parallel_threads must be at least 1 when set"
         );
         self.churn.validate();
     }

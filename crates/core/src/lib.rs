@@ -59,9 +59,10 @@ pub use config::{SchedulerKind, SystemConfig};
 pub use metrics::{RoundRecord, RunReport, RunSummary};
 pub use priority::{PriorityInput, PriorityPolicy, PriorityTerms};
 pub use rate::RateController;
-pub use scheduler::{Assignment, ScheduleContext, SegmentCandidate};
+pub use retrieval::{RetrievalOutcome, RetrievalScratch, RetrievalSummary};
+pub use scheduler::{Assignment, ScheduleContext, SchedulerScratch, SegmentCandidate};
 pub use system::SystemSim;
-pub use urgent::{PrefetchDecision, UrgentLine};
+pub use urgent::{PrefetchCheck, PrefetchDecision, UrgentLine};
 
 /// Identifier of a media data segment. The source numbers segments from 1
 /// (0 is reserved: the backup-placement hash `hash(id·i)` degenerates at

@@ -64,12 +64,21 @@ impl<K: Copy + PartialEq + std::fmt::Debug> RateController<K> {
     /// segments/s (a sensible default is the node's inbound capacity
     /// divided by `M`).
     pub fn new(prior: f64) -> Self {
+        Self::with_capacity(prior, 0)
+    }
+
+    /// Like [`Self::new`], pre-reserving table capacity for `suppliers`
+    /// neighbours. Every table is bounded by the connected-neighbour
+    /// count (departures are `forget`-ed), so a hint of `M` plus a little
+    /// slack means the hot-path bumps never reallocate — the round
+    /// loop's zero-allocation assertion relies on this.
+    pub fn with_capacity(prior: f64, suppliers: usize) -> Self {
         assert!(prior > 0.0, "rate prior must be positive");
         RateController {
             prior,
-            rates: Vec::new(),
-            requested: Vec::new(),
-            delivered: Vec::new(),
+            rates: Vec::with_capacity(suppliers),
+            requested: Vec::with_capacity(suppliers),
+            delivered: Vec::with_capacity(suppliers),
         }
     }
 

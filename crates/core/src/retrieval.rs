@@ -13,7 +13,7 @@
 //! forwarding hop, one reply per located backup node, one request to the
 //! chosen supplier, plus the segment payload.
 
-use cs_dht::{backup_targets, route, DhtId, DhtNetwork};
+use cs_dht::{backup_target, route_into, DhtId, DhtNetwork, RouteScratch};
 
 use crate::SegmentId;
 
@@ -44,6 +44,34 @@ impl RetrievalOutcome {
     }
 }
 
+/// Everything [`retrieve_one_into`] reports besides the located list: a
+/// plain `Copy` summary for allocation-free callers (the located nodes
+/// stay in the scratch).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetrievalSummary {
+    /// The segment that was requested.
+    pub segment: SegmentId,
+    /// The chosen backup supplier, if any.
+    pub supplier: Option<DhtId>,
+    /// Total DHT routing messages spent.
+    pub routing_messages: u32,
+    /// Eq. 6 fetch time in milliseconds; `None` when retrieval failed.
+    pub fetch_latency_ms: Option<f64>,
+}
+
+/// Reusable working memory for [`retrieve_one_into`]: the route scratch
+/// and path buffer shared by the `k` lookups, plus the deduplicated list
+/// of located terminal nodes (left populated for the caller's
+/// overhearing accounting). Carries capacity only between calls.
+#[derive(Debug, Default)]
+pub struct RetrievalScratch {
+    route: RouteScratch,
+    path: Vec<DhtId>,
+    /// Every node where a lookup terminated (one per replica position,
+    /// deduplicated) during the most recent call.
+    pub located: Vec<DhtId>,
+}
+
 /// Run Algorithm 2 for one missed segment.
 ///
 /// * `net` — the DHT (mutated: lazy repair and overhearing);
@@ -66,29 +94,76 @@ pub fn retrieve_one(
     k: u32,
     transfer_ms: f64,
 ) -> RetrievalOutcome {
-    let targets = backup_targets(net.space(), segment, k);
-    let mut located: Vec<DhtId> = Vec::with_capacity(k as usize);
+    let mut scratch = RetrievalScratch::default();
+    let summary = retrieve_one_into(
+        net,
+        requester,
+        segment,
+        latency_ms,
+        has_backup,
+        available_rate,
+        k,
+        transfer_ms,
+        &mut scratch,
+    );
+    RetrievalOutcome {
+        segment: summary.segment,
+        supplier: summary.supplier,
+        located: scratch.located,
+        routing_messages: summary.routing_messages,
+        fetch_latency_ms: summary.fetch_latency_ms,
+    }
+}
+
+/// [`retrieve_one`] with caller-owned working memory: allocation-free
+/// once the scratch has warmed, with the located nodes left in
+/// `scratch.located` for the caller's overhearing accounting. Routing,
+/// supplier choice and accounting are identical to [`retrieve_one`],
+/// which is a thin wrapper over this.
+#[allow(clippy::too_many_arguments)]
+pub fn retrieve_one_into(
+    net: &mut DhtNetwork,
+    requester: DhtId,
+    segment: SegmentId,
+    latency_ms: &impl Fn(DhtId, DhtId) -> f64,
+    has_backup: &impl Fn(DhtId, SegmentId) -> bool,
+    available_rate: &impl Fn(DhtId) -> f64,
+    k: u32,
+    transfer_ms: f64,
+    scratch: &mut RetrievalScratch,
+) -> RetrievalSummary {
+    scratch.located.clear();
     let mut routing_messages = 0u32;
     let mut locate_latency: f64 = 0.0;
 
     // "send k routing messages targeted at k nodes in parallel"
-    for target in targets {
-        let outcome = route(net, requester, target, latency_ms, true);
-        routing_messages += outcome.hops();
+    for i in 1..=k {
+        let target = backup_target(net.space(), segment, i);
+        let summary = route_into(
+            net,
+            requester,
+            target,
+            latency_ms,
+            true,
+            &mut scratch.route,
+            &mut scratch.path,
+        );
+        let hops = scratch.path.len().saturating_sub(1) as u32;
+        routing_messages += hops;
         // Lookups run in parallel: locate time is the slowest route plus
         // its reply back to the requester.
-        let terminal = outcome.terminal();
+        let terminal = *scratch.path.last().expect("path contains the source");
         let reply = latency_ms(terminal, requester);
-        locate_latency = locate_latency.max(outcome.latency_ms + reply);
+        locate_latency = locate_latency.max(summary.latency_ms + reply);
         routing_messages += 1; // the reply message
-        if !located.contains(&terminal) {
-            located.push(terminal);
+        if !scratch.located.contains(&terminal) {
+            scratch.located.push(terminal);
         }
     }
 
     // "select the node with the highest available sending rate".
     let mut best: Option<(f64, DhtId)> = None;
-    for &n in &located {
+    for &n in &scratch.located {
         if n == requester || !has_backup(n, segment) {
             continue;
         }
@@ -110,18 +185,16 @@ pub fn retrieve_one(
             routing_messages += 1; // the request message
             let request = latency_ms(requester, supplier);
             let retrieve = latency_ms(supplier, requester) + transfer_ms;
-            RetrievalOutcome {
+            RetrievalSummary {
                 segment,
                 supplier: Some(supplier),
-                located,
                 routing_messages,
                 fetch_latency_ms: Some(locate_latency + request + retrieve),
             }
         }
-        None => RetrievalOutcome {
+        None => RetrievalSummary {
             segment,
             supplier: None,
-            located,
             routing_messages,
             fetch_latency_ms: None,
         },

@@ -27,6 +27,33 @@
 //! play per node, the per-supplier queue and rate tables are flat vectors
 //! with linear probes — measurably faster than hashing at these sizes and
 //! free of per-call allocation when reused.
+//!
+//! ## The `_into` contract (zero-allocation scheduling)
+//!
+//! Each policy has two entry points: the allocating original
+//! (`schedule_greedy` → fresh `Vec<Assignment>`) and a `*_into` variant
+//! ([`schedule_greedy_into`], [`schedule_coolstreaming_into`],
+//! [`schedule_random_into`]) that writes into a **caller-owned** output
+//! buffer and draws all working memory (the supplier queue `τ(j)`, the
+//! ordering buffer, the feasible-supplier list) from a caller-owned
+//! [`SchedulerScratch`]. The contract:
+//!
+//! * `out` is cleared, then filled — previous contents never leak;
+//! * the scratch carries no information between calls (every buffer is
+//!   cleared before use), it only carries *capacity*;
+//! * outputs are **byte-identical** to the allocating originals, including
+//!   tie-breaks and — for [`schedule_random_into`] — the exact RNG draw
+//!   sequence (the shuffle permutes an index buffer of the same length, so
+//!   it consumes the same draws; the feasible list is rebuilt in the same
+//!   order). The allocating originals are in fact thin wrappers over the
+//!   `_into` variants, and `tests/scheduler_equivalence.rs` pins the
+//!   equivalence against seeded random workloads anyway;
+//! * steady-state calls perform **zero heap allocations** once the scratch
+//!   and `out` have grown to the workload's high-water mark.
+//!
+//! Candidate ids must be distinct (the simulator builds them in ascending
+//! segment order, so they are): every internal sort is unstable, relying
+//! on the id tie-break to make the comparator a total order.
 
 use rand::seq::SliceRandom;
 use rand::Rng;
@@ -101,27 +128,52 @@ pub struct Assignment<K = DhtId> {
     pub priority: f64,
 }
 
-/// The per-supplier committed-time queue `τ(j)` of Algorithm 1, as a flat
-/// list (at most one entry per supplier in play).
-#[derive(Debug, Default)]
-struct SupplierQueue<K>(Vec<(K, f64)>);
+/// Reusable working memory for the `_into` scheduling entry points (see
+/// the module docs for the full contract). One instance per planning
+/// thread; the simulator keeps one inside its per-round scratch so
+/// steady-state scheduling allocates nothing.
+///
+/// The scratch carries **capacity only** — every buffer is cleared before
+/// use, so a scratch can be shared freely across nodes, policies and
+/// rounds without any cross-talk.
+#[derive(Debug)]
+pub struct SchedulerScratch<K = DhtId> {
+    /// The per-supplier committed-time queue `τ(j)` of Algorithm 1, as a
+    /// flat list (at most one entry per supplier in play).
+    queue: Vec<(K, f64)>,
+    /// Candidate-index ordering buffer (CoolStreaming's rarest-first sort,
+    /// Random's shuffle).
+    order: Vec<u32>,
+    /// Feasible-supplier buffer for the Random policy's per-candidate
+    /// draw.
+    feasible: Vec<(K, f64)>,
+}
 
-impl<K: SupplierKey> SupplierQueue<K> {
-    #[inline]
-    fn get(&self, j: K) -> f64 {
-        self.0
-            .iter()
-            .find(|(k, _)| *k == j)
-            .map(|(_, t)| *t)
-            .unwrap_or(0.0)
-    }
-
-    #[inline]
-    fn set(&mut self, j: K, t: f64) {
-        match self.0.iter_mut().find(|(k, _)| *k == j) {
-            Some(slot) => slot.1 = t,
-            None => self.0.push((j, t)),
+// Manual impl: the derive would needlessly demand `K: Default`.
+impl<K> Default for SchedulerScratch<K> {
+    fn default() -> Self {
+        SchedulerScratch {
+            queue: Vec::new(),
+            order: Vec::new(),
+            feasible: Vec::new(),
         }
+    }
+}
+
+#[inline]
+fn queue_get<K: SupplierKey>(queue: &[(K, f64)], j: K) -> f64 {
+    queue
+        .iter()
+        .find(|(k, _)| *k == j)
+        .map(|(_, t)| *t)
+        .unwrap_or(0.0)
+}
+
+#[inline]
+fn queue_set<K: SupplierKey>(queue: &mut Vec<(K, f64)>, j: K, t: f64) {
+    match queue.iter_mut().find(|(k, _)| *k == j) {
+        Some(slot) => slot.1 = t,
+        None => queue.push((j, t)),
     }
 }
 
@@ -132,9 +184,24 @@ pub fn schedule_greedy<K: SupplierKey>(
     candidates: &[SegmentCandidate<K>],
     ctx: &ScheduleContext<K>,
 ) -> Vec<Assignment<K>> {
+    let mut scratch = SchedulerScratch::default();
+    let mut out = Vec::new();
+    schedule_greedy_into(candidates, ctx, &mut scratch, &mut out);
+    out
+}
+
+/// Algorithm 1, writing into caller-owned buffers (cleared first). Output
+/// is byte-identical to [`schedule_greedy`]; see the module docs for the
+/// `_into` contract.
+pub fn schedule_greedy_into<K: SupplierKey>(
+    candidates: &[SegmentCandidate<K>],
+    ctx: &ScheduleContext<K>,
+    scratch: &mut SchedulerScratch<K>,
+    out: &mut Vec<Assignment<K>>,
+) {
     let budget = (candidates.len() as u32).min(ctx.inbound_budget) as usize;
-    let mut queue: SupplierQueue<K> = SupplierQueue(Vec::new());
-    let mut out = Vec::with_capacity(budget);
+    scratch.queue.clear();
+    out.clear();
     // The loop bound min(m, I·τ) caps *scheduled segments*: a candidate
     // with no feasible supplier does not consume an inbound slot, the
     // scheduler simply moves on to the next-priority segment.
@@ -150,7 +217,7 @@ pub fn schedule_greedy<K: SupplierKey>(
                 continue;
             }
             let t_trans = 1.0 / rate;
-            let tau_j = queue.get(j);
+            let tau_j = queue_get(&scratch.queue, j);
             let eta = t_trans + tau_j;
             if eta < t_min && eta < ctx.period_secs {
                 t_min = eta;
@@ -158,7 +225,7 @@ pub fn schedule_greedy<K: SupplierKey>(
             }
         }
         if let Some(j) = chosen {
-            queue.set(j, t_min);
+            queue_set(&mut scratch.queue, j, t_min);
             out.push(Assignment {
                 segment: cand.id,
                 supplier: j,
@@ -167,7 +234,6 @@ pub fn schedule_greedy<K: SupplierKey>(
             });
         }
     }
-    out
 }
 
 /// The CoolStreaming baseline: candidates in rarest-first order (fewest
@@ -177,9 +243,28 @@ pub fn schedule_coolstreaming<K: SupplierKey>(
     candidates: &[SegmentCandidate<K>],
     ctx: &ScheduleContext<K>,
 ) -> Vec<Assignment<K>> {
-    let mut order: Vec<&SegmentCandidate<K>> = candidates.iter().collect();
+    let mut scratch = SchedulerScratch::default();
+    let mut out = Vec::new();
+    schedule_coolstreaming_into(candidates, ctx, &mut scratch, &mut out);
+    out
+}
+
+/// CoolStreaming baseline, writing into caller-owned buffers (cleared
+/// first). Output is byte-identical to [`schedule_coolstreaming`]; see
+/// the module docs for the `_into` contract.
+pub fn schedule_coolstreaming_into<K: SupplierKey>(
+    candidates: &[SegmentCandidate<K>],
+    ctx: &ScheduleContext<K>,
+    scratch: &mut SchedulerScratch<K>,
+    out: &mut Vec<Assignment<K>>,
+) {
+    scratch.order.clear();
+    scratch.order.extend(0..candidates.len() as u32);
     let critical = |c: &SegmentCandidate<K>| ctx.deadline_cutoff.is_some_and(|cut| c.id < cut);
-    order.sort_by(|a, b| {
+    // Unstable sort: the id tie-break makes the comparator total over
+    // distinct-id candidates, so the result matches a stable sort.
+    scratch.order.sort_unstable_by(|&ia, &ib| {
+        let (a, b) = (&candidates[ia as usize], &candidates[ib as usize]);
         // Deadline-critical segments first (earliest deadline first),
         // rarest-first among the rest.
         critical(b).cmp(&critical(a)).then_with(|| {
@@ -193,10 +278,11 @@ pub fn schedule_coolstreaming<K: SupplierKey>(
             }
         })
     });
-    let budget = (order.len() as u32).min(ctx.inbound_budget) as usize;
-    let mut queue: SupplierQueue<K> = SupplierQueue(Vec::new());
-    let mut out = Vec::with_capacity(budget);
-    for cand in order.into_iter() {
+    let budget = (candidates.len() as u32).min(ctx.inbound_budget) as usize;
+    scratch.queue.clear();
+    out.clear();
+    for oi in 0..scratch.order.len() {
+        let cand = &candidates[scratch.order[oi] as usize];
         if out.len() >= budget {
             break;
         }
@@ -206,7 +292,7 @@ pub fn schedule_coolstreaming<K: SupplierKey>(
             if rate <= 0.0 {
                 continue;
             }
-            let eta = 1.0 / rate + queue.get(j);
+            let eta = 1.0 / rate + queue_get(&scratch.queue, j);
             if eta >= ctx.period_secs {
                 continue;
             }
@@ -219,7 +305,7 @@ pub fn schedule_coolstreaming<K: SupplierKey>(
             }
         }
         if let Some((_, j, eta)) = best {
-            queue.set(j, eta);
+            queue_set(&mut scratch.queue, j, eta);
             out.push(Assignment {
                 segment: cand.id,
                 supplier: j,
@@ -232,7 +318,6 @@ pub fn schedule_coolstreaming<K: SupplierKey>(
             });
         }
     }
-    out
 }
 
 /// Naive gossip: shuffle the candidates, pick a random feasible supplier
@@ -246,32 +331,52 @@ pub fn schedule_random<K: SupplierKey>(
     ctx: &ScheduleContext<K>,
     rng: &mut SimRng,
 ) -> Vec<Assignment<K>> {
-    let mut order: Vec<&SegmentCandidate<K>> = candidates.iter().collect();
-    order.shuffle(rng);
-    let budget = (order.len() as u32).min(ctx.inbound_budget) as usize;
-    let mut queue: SupplierQueue<K> = SupplierQueue(Vec::new());
-    let mut out = Vec::with_capacity(budget);
-    for cand in order.into_iter() {
+    let mut scratch = SchedulerScratch::default();
+    let mut out = Vec::new();
+    schedule_random_into(candidates, ctx, rng, &mut scratch, &mut out);
+    out
+}
+
+/// Naive gossip, writing into caller-owned buffers (cleared first).
+/// Output — and the exact RNG draw sequence — is byte-identical to
+/// [`schedule_random`]: the shuffle permutes an index buffer of the same
+/// length and the feasible list is rebuilt in the same supplier order, so
+/// every draw consumes the same stream values. See the module docs for
+/// the `_into` contract.
+pub fn schedule_random_into<K: SupplierKey>(
+    candidates: &[SegmentCandidate<K>],
+    ctx: &ScheduleContext<K>,
+    rng: &mut SimRng,
+    scratch: &mut SchedulerScratch<K>,
+    out: &mut Vec<Assignment<K>>,
+) {
+    scratch.order.clear();
+    scratch.order.extend(0..candidates.len() as u32);
+    scratch.order.shuffle(rng);
+    let budget = (candidates.len() as u32).min(ctx.inbound_budget) as usize;
+    scratch.queue.clear();
+    out.clear();
+    for oi in 0..scratch.order.len() {
+        let cand = &candidates[scratch.order[oi] as usize];
         if out.len() >= budget {
             break;
         }
-        let feasible: Vec<(K, f64)> = cand
-            .suppliers
-            .iter()
-            .filter_map(|&j| {
-                let rate = ctx.rate(j);
-                if rate <= 0.0 {
-                    return None;
-                }
-                let eta = 1.0 / rate + queue.get(j);
-                (eta < ctx.period_secs).then_some((j, eta))
-            })
-            .collect();
-        if feasible.is_empty() {
+        scratch.feasible.clear();
+        for &j in &cand.suppliers {
+            let rate = ctx.rate(j);
+            if rate <= 0.0 {
+                continue;
+            }
+            let eta = 1.0 / rate + queue_get(&scratch.queue, j);
+            if eta < ctx.period_secs {
+                scratch.feasible.push((j, eta));
+            }
+        }
+        if scratch.feasible.is_empty() {
             continue;
         }
-        let &(j, eta) = &feasible[rng.gen_range(0..feasible.len())];
-        queue.set(j, eta);
+        let (j, eta) = scratch.feasible[rng.gen_range(0..scratch.feasible.len())];
+        queue_set(&mut scratch.queue, j, eta);
         out.push(Assignment {
             segment: cand.id,
             supplier: j,
@@ -279,13 +384,14 @@ pub fn schedule_random<K: SupplierKey>(
             priority: 0.0,
         });
     }
-    out
 }
 
 /// Sort candidates for [`schedule_greedy`]: descending priority, ties by
-/// ascending segment id (deterministic).
+/// ascending segment id (deterministic). Unstable (allocation-free):
+/// candidates with distinct ids — which the simulator guarantees — sort
+/// exactly as a stable sort would.
 pub fn sort_candidates<K>(candidates: &mut [SegmentCandidate<K>]) {
-    candidates.sort_by(|a, b| b.priority.total_cmp(&a.priority).then(a.id.cmp(&b.id)));
+    candidates.sort_unstable_by(|a, b| b.priority.total_cmp(&a.priority).then(a.id.cmp(&b.id)));
 }
 
 #[cfg(test)]

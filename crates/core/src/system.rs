@@ -29,17 +29,29 @@
 //! to the id-keyed implementation this replaced (verified by pinned
 //! behavioural fingerprints in `tests/determinism.rs`).
 //!
-//! Per-round allocations are likewise gone: a persistent [`RoundScratch`]
+//! Per-round allocations are gone entirely: a persistent [`RoundScratch`]
 //! owns the buffer-map snapshots (refreshed only when a buffer's
 //! [`StreamBuffer::epoch`] moved — the generation-stamped exchange), the
-//! per-supplier request queues, the pre-fetch outbound ledger, and the
-//! scheduling scratch buffers, all reused across rounds.
+//! flat pull-request arena (one `Vec`, counting-scattered into
+//! per-supplier buckets), the service/pre-fetch plan tables, the
+//! pre-fetch outbound ledger and retrieval route buffers, and the
+//! scheduling scratch (including the schedulers' own `_into` working
+//! memory). A warmed-up steady-state round performs **zero heap
+//! allocations** across every phase — pinned by the counting-allocator
+//! suite in `tests/zero_alloc.rs`.
 //!
-//! With the `parallel` feature enabled, the read-only scheduling phase
-//! (step 5) fans out over `std::thread::scope` workers; per-node plans
-//! are collected in node order and applied serially, so results are
-//! bit-identical to the serial path (the Random scheduler, which draws
-//! from the shared RNG while scheduling, always runs serially).
+//! With the `parallel` feature enabled, the read-only *planning* halves
+//! of three phases fan out over `std::thread::scope` workers:
+//! scheduling (step 5, per-node plans), supplier service (step 6, queue
+//! sort + budget acceptance per supplier-slot shard) and pre-fetch
+//! (step 7, urgent-line checks per node shard). Every mutation is
+//! applied serially in deterministic node order — and the service merge
+//! revalidates any supplier whose buffer changed under earlier-ordered
+//! deliveries — so results are bit-identical to the serial path at any
+//! thread count (the thread-matrix suite in `tests/determinism.rs` pins
+//! 1/2/4/8 workers against the serial fingerprints; the Random
+//! scheduler, which draws from the shared RNG while scheduling, always
+//! plans step 5 serially, but steps 6 and 7 still fan out).
 
 use std::collections::HashMap;
 
@@ -58,12 +70,12 @@ use crate::config::{SchedulerKind, SystemConfig};
 use crate::metrics::{summarize, RoundRecord, RunReport};
 use crate::priority::{PriorityPolicy, PriorityTerms};
 use crate::rate::RateController;
-use crate::retrieval::retrieve_one;
+use crate::retrieval::{retrieve_one_into, RetrievalScratch};
 use crate::scheduler::{
-    schedule_coolstreaming, schedule_greedy, schedule_random, sort_candidates, Assignment,
-    ScheduleContext, SegmentCandidate,
+    schedule_coolstreaming_into, schedule_greedy_into, schedule_random_into, sort_candidates,
+    Assignment, ScheduleContext, SchedulerScratch, SegmentCandidate,
 };
-use crate::urgent::{PrefetchDecision, UrgentLine};
+use crate::urgent::{PrefetchCheck, PrefetchDecision, UrgentLine};
 use crate::SegmentId;
 
 /// Dense handle into the node arena. Plain slot index — the arena's
@@ -264,12 +276,22 @@ impl NodeArena {
 /// requester handle for state access plus the requester's `DhtId` for the
 /// deterministic per-round tie-break hash (identical to the id-keyed
 /// implementation).
+///
+/// Requests live in one flat arena bucketed by supplier slot (see
+/// [`RoundScratch::requests`]); the supplier slot rides along for the
+/// bucketing scatter, and the service decision half marks acceptance
+/// in-place via `accepted` instead of building per-supplier index lists.
 #[derive(Debug, Clone, Copy)]
 struct PullRequest {
     requester: NodeIdx,
     requester_id: DhtId,
     segment: SegmentId,
     priority: f64,
+    /// The supplier's arena slot this request is queued at.
+    supplier_slot: u32,
+    /// Set by the step-6 decision half: this request fits the supplier's
+    /// outbound budget (and its held data) and will be served.
+    accepted: bool,
 }
 
 /// A per-node buffer-map snapshot slot: the generation-stamped exchange.
@@ -348,8 +370,221 @@ struct SchedScratch {
     /// Supplier-rate table handed to the scheduler (moved in and out to
     /// keep its allocation).
     rates: Vec<(PeerRef, f64)>,
+    /// The scheduling algorithms' own working memory (supplier queue,
+    /// ordering buffer, feasible list) for the `_into` entry points.
+    algo: SchedulerScratch<PeerRef>,
     /// The resulting assignments of the last pass.
     assignments: Vec<Assignment<PeerRef>>,
+}
+
+/// One supplier's planned service for the round: the outcome of the
+/// read-only decision half of step 6, applied (or revalidated) in
+/// deterministic order by the serial merge half.
+///
+/// The decision loop depends only on the supplier's own pre-service state
+/// (outbound carry, bandwidth, buffer) plus static facts (queue order,
+/// requester aliveness), so it can run for many suppliers concurrently.
+/// The one cross-supplier hazard is the supplier's *own buffer* changing
+/// because an earlier-ordered supplier delivered to it (a slide can evict
+/// a segment it was about to serve); `buffer_epoch` detects exactly that,
+/// and the merge recomputes the decisions serially for such suppliers —
+/// making plan + merge bit-identical to the fully serial loop.
+#[derive(Default, Clone, Copy)]
+struct ServePlan {
+    /// The supplier's buffer epoch when the plan was computed.
+    buffer_epoch: u64,
+    /// New outbound carry to commit at merge time.
+    carry: f64,
+    /// Whole sends granted this round (before any were consumed).
+    sends: i64,
+    /// Requests seen / requests refused for lack of budget.
+    issued: u64,
+    dropped: u64,
+}
+
+/// One node's planned pre-fetch for the round: the outcome of the
+/// read-only half of step 7 (urgent-line check, Case-2 repeated scan,
+/// inbound-room budget), executed serially in node order because the
+/// execution half mutates shared state (DHT tables via routing, the
+/// outbound-spend ledger, backup stores).
+///
+/// The plan reads only the owning node's state, the round's buffer-map
+/// snapshots and static membership, none of which the execution half of
+/// *other* nodes touches — so planning for all nodes concurrently is
+/// bit-identical to interleaving plan and execution node by node.
+#[derive(Default)]
+struct PrefetchPlan {
+    /// Case 3: retrieval suppressed (`N_miss > l`).
+    suppressed: bool,
+    /// The predicted-missed segments to fetch (empty ⇒ not triggered).
+    missed: Vec<SegmentId>,
+    /// §4.3 Case-2 repeated-data count (α-down signals to apply).
+    repeated: u32,
+    /// How many of `missed` fit the inbound budget.
+    max_fetches: usize,
+}
+
+/// Step-6 outcome counters, accumulated by the serial merge half.
+#[derive(Default)]
+struct ServiceCounters {
+    deliveries: u64,
+    issued: u64,
+    dropped: u64,
+    /// §4.3 Case-2 repetitions detected on delivery of tagged segments.
+    repeated: u32,
+}
+
+/// The decision half of supplier service for one supplier slot: sort the
+/// pending queue (most urgent first, per-round-hash tie-break) and decide
+/// which requests the outbound budget accepts. Pure read over the arena
+/// apart from the queue sort and the plan output — which is what lets the
+/// `parallel` feature run it for disjoint slot ranges concurrently.
+fn plan_service(
+    nodes: &NodeArena,
+    config: &SystemConfig,
+    salt: u64,
+    slot: u32,
+    reqs: &mut [PullRequest],
+    plan: &mut ServePlan,
+) {
+    let sup = nodes.node(NodeIdx(slot));
+    let budget = sup
+        .bandwidth
+        .outbound_segments_per_sec(config.segment_kbits)
+        * config.period_secs
+        + sup.outbound_carry;
+    let sends = budget.floor();
+    plan.carry = budget - sends;
+    plan.sends = sends as i64;
+    plan.buffer_epoch = sup.buffer.epoch();
+    // Most urgent first. Ties break on a per-round hash of the requester
+    // — deterministic, but not the same node winning every round (a
+    // fixed tie-break starves whoever sorts last). Unstable sort: the
+    // (priority, requester-hash, segment) key is unique per request
+    // (splitmix64 is a bijection), so the order matches a stable sort.
+    reqs.sort_unstable_by(|a, b| {
+        b.priority
+            .total_cmp(&a.priority)
+            .then_with(|| {
+                cs_sim::splitmix64(a.requester_id ^ salt)
+                    .cmp(&cs_sim::splitmix64(b.requester_id ^ salt))
+            })
+            .then(a.segment.cmp(&b.segment))
+    });
+    (plan.issued, plan.dropped) = decide_service(plan.sends, sup, nodes, reqs);
+}
+
+/// The budget/acceptance walk of supplier service: marks each request
+/// that fits the outbound budget (and the supplier's held data, and a
+/// live requester) accepted, in place. The single implementation behind
+/// both the plan half and the merge's epoch-revalidation replay — the
+/// "bit-identical at any thread count" guarantee rests on these two
+/// paths never diverging. Returns `(issued, dropped)`.
+fn decide_service(
+    sends_budget: i64,
+    sup: &NodeSim,
+    nodes: &NodeArena,
+    reqs: &mut [PullRequest],
+) -> (u64, u64) {
+    let mut issued = 0u64;
+    let mut dropped = 0u64;
+    let mut sends = sends_budget;
+    for req in reqs.iter_mut() {
+        req.accepted = false;
+        issued += 1;
+        if sends <= 0 {
+            dropped += 1;
+            continue;
+        }
+        // The supplier must (still) hold the segment.
+        if !sup.buffer.contains(req.segment) {
+            continue;
+        }
+        if nodes.get(req.requester).is_none() {
+            continue;
+        }
+        sends -= 1;
+        req.accepted = true;
+    }
+    (issued, dropped)
+}
+
+/// The decision half of pre-fetch for one node: the urgent-line check,
+/// the Case-2 repeated scan against the round's snapshots, and the
+/// inbound budget. Reads only the owning node's state plus round-stable
+/// facts, so the `parallel` feature fans it out across nodes.
+fn plan_prefetch(
+    nodes: &NodeArena,
+    config: &SystemConfig,
+    maps: &MapStore,
+    newest_emitted: SegmentId,
+    idx: NodeIdx,
+    plan: &mut PrefetchPlan,
+) {
+    plan.suppressed = false;
+    plan.missed.clear();
+    plan.repeated = 0;
+    plan.max_fetches = 0;
+    let node = nodes.node(idx);
+    if node.is_source {
+        return;
+    }
+    // Playing nodes guard their play point; buffering nodes guard the
+    // contiguity they need to *start* (this is how the pre-fetch
+    // "accelerates the streaming system's entering its stable phase",
+    // §5.4.1).
+    let anchor = node.next_play.or_else(|| node.buffer.iter().next());
+    let Some(anchor) = anchor else {
+        return;
+    };
+    let started = node.next_play.is_some();
+    let check = node.urgent.decide_into(
+        &node.buffer,
+        anchor,
+        newest_emitted,
+        |_| false, // deliveries already committed this round
+        &mut plan.missed,
+    );
+    match check {
+        PrefetchCheck::NotTriggered => return,
+        PrefetchCheck::TooMany(_) => {
+            plan.suppressed = true;
+            return;
+        }
+        PrefetchCheck::Fetch => {}
+    }
+
+    // §4.3 Case 2 (repeated data), pull-model form: a predicted-missed
+    // segment that a connected neighbour still advertises — with its
+    // deadline at least one period away — could "still be got by the
+    // data scheduling algorithm before its deadline". The paper
+    // fetches it anyway and uses the repetition as the α-down signal;
+    // we do the same (skipping the fetch and trusting gossip turned
+    // out to strand segments whose pulls kept losing the budget race).
+    let p = config.demand_per_round();
+    for &seg in &plan.missed {
+        let deadline_far = !started || seg >= anchor + p;
+        let neighbour_has = deadline_far
+            && node.connected.ids().any(|nref| {
+                nodes
+                    .resolve(nref)
+                    .and_then(|ni| maps.get(ni))
+                    .is_some_and(|m| m.contains(seg))
+            });
+        if neighbour_has {
+            plan.repeated += 1;
+        }
+    }
+    // Pre-fetch shares the inbound rate with the scheduler (§4.3).
+    let inbound_room = node.inbound_carry
+        + node
+            .bandwidth
+            .inbound_segments_per_sec(config.segment_kbits)
+            * config.period_secs;
+    plan.max_fetches = plan
+        .missed
+        .len()
+        .min(inbound_room.floor().max(0.0) as usize);
 }
 
 /// Persistent per-round working memory: everything the round loop used to
@@ -358,12 +593,36 @@ struct SchedScratch {
 struct RoundScratch {
     maps: MapStore,
     sched: SchedScratch,
-    /// Pull queues per supplier slot + the list of touched slots.
-    per_supplier: Vec<Vec<PullRequest>>,
+    /// The round's pull requests, flat in scheduling order. One shared
+    /// arena instead of a `Vec` per supplier: per-slot queues re-grow
+    /// from zero capacity whenever a slot sees a new high-water mark,
+    /// which kept the service phase allocating for hundreds of rounds;
+    /// the flat arena's capacity converges to the total-requests
+    /// high-water after a handful of rounds.
+    requests: Vec<PullRequest>,
+    /// `requests` scattered into contiguous per-supplier buckets laid
+    /// out in ascending slot order (counting sort, stable), then sorted
+    /// within each bucket by the service policy.
+    requests_sorted: Vec<PullRequest>,
+    /// Per-slot bucket sizes; nonzero only for `touched_suppliers`.
+    queue_count: Vec<u32>,
+    /// Per-slot bucket start offsets into `requests_sorted`.
+    queue_start: Vec<u32>,
+    /// Per-slot scatter cursors (consumed during bucketing).
+    queue_cursor: Vec<u32>,
+    /// Slots with pending requests this round.
     touched_suppliers: Vec<u32>,
+    /// Per-slot supplier-service plans (step 6's decision half); only the
+    /// slots in `touched_suppliers` are meaningful in any given round.
+    serve_plans: Vec<ServePlan>,
+    /// Per-node pre-fetch plans (step 7's decision half), parallel to the
+    /// round's `order_idx`.
+    prefetch_plans: Vec<PrefetchPlan>,
     /// Outbound budget already spent on pre-fetch uploads, per slot.
     outbound_spent: Vec<f64>,
     touched_spent: Vec<u32>,
+    /// Route/locate buffers reused by every Algorithm 2 retrieval.
+    retrieval: RetrievalScratch,
     /// General-purpose peer-list scratch (neighbour maintenance).
     tmp_refs: Vec<PeerRef>,
     tmp_refs2: Vec<PeerRef>,
@@ -373,13 +632,19 @@ struct RoundScratch {
 impl RoundScratch {
     fn begin_round(&mut self, round: u32, slot_count: usize) {
         self.maps.begin_round(round, slot_count);
-        if self.per_supplier.len() < slot_count {
-            self.per_supplier.resize_with(slot_count, Vec::new);
+        if self.queue_count.len() < slot_count {
+            self.queue_count.resize(slot_count, 0);
+            self.queue_start.resize(slot_count, 0);
+            self.queue_cursor.resize(slot_count, 0);
+        }
+        if self.serve_plans.len() < slot_count {
+            self.serve_plans.resize_with(slot_count, ServePlan::default);
         }
         for &s in &self.touched_suppliers {
-            self.per_supplier[s as usize].clear();
+            self.queue_count[s as usize] = 0;
         }
         self.touched_suppliers.clear();
+        self.requests.clear();
         if self.outbound_spent.len() < slot_count {
             self.outbound_spent.resize(slot_count, 0.0);
         }
@@ -389,12 +654,44 @@ impl RoundScratch {
         self.touched_spent.clear();
     }
 
-    fn push_request(&mut self, supplier: NodeIdx, req: PullRequest) {
-        let q = &mut self.per_supplier[supplier.0 as usize];
-        if q.is_empty() {
-            self.touched_suppliers.push(supplier.0);
+    fn push_request(&mut self, req: PullRequest) {
+        let count = &mut self.queue_count[req.supplier_slot as usize];
+        if *count == 0 {
+            self.touched_suppliers.push(req.supplier_slot);
         }
-        q.push(req);
+        *count += 1;
+        self.requests.push(req);
+    }
+
+    /// Scatter `requests` into contiguous per-slot buckets in
+    /// `requests_sorted` (ascending slot order, stable within a slot).
+    /// Returns nothing; bucket ranges are `queue_start[s] ..
+    /// queue_start[s] + queue_count[s]`.
+    fn bucket_requests(&mut self) {
+        self.touched_suppliers.sort_unstable();
+        let mut start = 0u32;
+        for &s in &self.touched_suppliers {
+            self.queue_start[s as usize] = start;
+            self.queue_cursor[s as usize] = start;
+            start += self.queue_count[s as usize];
+        }
+        if self.requests_sorted.len() < self.requests.len() {
+            let dummy = PullRequest {
+                requester: NodeIdx(0),
+                requester_id: 0,
+                segment: 0,
+                priority: 0.0,
+                supplier_slot: 0,
+                accepted: false,
+            };
+            self.requests_sorted.resize(self.requests.len(), dummy);
+        }
+        for i in 0..self.requests.len() {
+            let req = self.requests[i];
+            let cursor = &mut self.queue_cursor[req.supplier_slot as usize];
+            self.requests_sorted[*cursor as usize] = req;
+            *cursor += 1;
+        }
     }
 
     fn add_spent(&mut self, supplier: NodeIdx, amount: f64) {
@@ -535,11 +832,19 @@ fn plan_node(
     sched.gen += 1;
     let gen = sched.gen;
     sched.touched.clear();
-    if window_end > play_anchor {
-        let wsize = (window_end - play_anchor) as usize;
-        if sched.window.len() < wsize {
-            sched.window.resize_with(wsize, || (0, Vec::new()));
-        }
+    // Sized to the window's *cap*, not its current width: the width
+    // creeps toward the cap as the play gap drifts, and sizing to the
+    // cap up front keeps that creep from re-growing the scratch for
+    // hundreds of rounds. Each offset's supplier list is bounded by the
+    // connected-neighbour count, so pre-sizing it means first touches of
+    // deep offsets don't allocate either (the zero-alloc assertion pins
+    // both).
+    let wcap = lookahead.min(config.buffer_size) as usize;
+    if sched.window.len() < wcap {
+        let m = config.neighbors;
+        sched
+            .window
+            .resize_with(wcap, || (0, Vec::with_capacity(m)));
     }
     for ni in 0..sched.nbrs.len() {
         let nref = sched.nbrs[ni];
@@ -660,12 +965,19 @@ fn plan_node(
         supplier_rates: std::mem::take(&mut sched.rates),
         deadline_cutoff: node.next_play.map(|np| np + 2 * p),
     };
-    sched.assignments = match config.scheduler {
-        SchedulerKind::CoolStreaming => schedule_coolstreaming(&sched.candidates, &ctx),
-        SchedulerKind::Random => schedule_random(
+    match config.scheduler {
+        SchedulerKind::CoolStreaming => schedule_coolstreaming_into(
+            &sched.candidates,
+            &ctx,
+            &mut sched.algo,
+            &mut sched.assignments,
+        ),
+        SchedulerKind::Random => schedule_random_into(
             &sched.candidates,
             &ctx,
             rng.expect("Random scheduling always runs on the serial path"),
+            &mut sched.algo,
+            &mut sched.assignments,
         ),
         SchedulerKind::ContinuStreaming => {
             // Bounded-rescue ordering: urgent candidates (deadline
@@ -697,11 +1009,21 @@ fn plan_node(
                 // [A|B|C] → [A|C|B] is a rotation of the tail.
                 sched.candidates[rescue_cap..].rotate_left(split - rescue_cap);
             }
-            schedule_greedy(&sched.candidates, &ctx)
+            schedule_greedy_into(
+                &sched.candidates,
+                &ctx,
+                &mut sched.algo,
+                &mut sched.assignments,
+            )
         }
         SchedulerKind::GreedyWithPolicy(_) => {
             sort_candidates(&mut sched.candidates);
-            schedule_greedy(&sched.candidates, &ctx)
+            schedule_greedy_into(
+                &sched.candidates,
+                &ctx,
+                &mut sched.algo,
+                &mut sched.assignments,
+            )
         }
     };
     sched.rates = std::mem::take(&mut ctx.supplier_rates);
@@ -867,8 +1189,18 @@ impl SystemSim {
             connected: ConnectedNeighbors::new(config.neighbors),
             overheard: OverheardList::new(config.overheard),
             buffer: StreamBuffer::new(config.buffer_size),
-            backup: VodBackupStore::new(space, id, config.replicas),
-            rate: RateController::new(prior),
+            backup: VodBackupStore::new(space, id, config.replicas).with_capacity_hint(
+                // ≈ 4× the expected share of the live stream window that
+                // hashes into this node's responsibility range, so
+                // steady-state `maybe_store` calls never grow the vector
+                // (the zero-alloc round-loop assertion pins this).
+                (((config.buffer_size as usize + 20 * config.playback_rate as usize)
+                    * config.replicas as usize
+                    * 4)
+                    / config.nodes.max(1))
+                .clamp(16, 512),
+            ),
+            rate: RateController::with_capacity(prior, config.neighbors + 3),
             urgent: UrgentLine::new(
                 config.playback_rate as f64,
                 config.buffer_size,
@@ -926,6 +1258,101 @@ impl SystemSim {
     pub fn debug_step(&mut self, round: u32) {
         let end = SimTime::from_secs_f64((round as f64 + 1.0) * self.config.period_secs);
         self.step_round(round, end);
+    }
+
+    /// Verify the persistent round-scratch invariants (test hook; panics
+    /// on violation). Stale state in the reused buffers must be
+    /// *invisible*: every lazily-cleared structure is only reachable
+    /// through a generation stamp, a touched-list entry or a per-round
+    /// count that was refreshed this round.
+    #[doc(hidden)]
+    pub fn debug_check_scratch(&self) {
+        let scratch = &self.scratch;
+        // Request arena: per-slot counts are nonzero only for touched
+        // slots, and they partition the flat request list exactly.
+        let mut touched_total = 0u64;
+        for &slot in &scratch.touched_suppliers {
+            let count = scratch.queue_count[slot as usize];
+            assert!(count > 0, "touched slot {slot} has an empty bucket");
+            touched_total += count as u64;
+        }
+        for (slot, &count) in scratch.queue_count.iter().enumerate() {
+            if !scratch.touched_suppliers.contains(&(slot as u32)) {
+                assert_eq!(
+                    count, 0,
+                    "slot {slot} holds a stale queue count without a touched entry \
+                     (it would never be cleared)"
+                );
+            }
+        }
+        assert_eq!(
+            touched_total,
+            scratch.requests.len() as u64,
+            "request counts out of sync with the flat arena"
+        );
+        for req in &scratch.requests {
+            assert!(
+                scratch.touched_suppliers.contains(&req.supplier_slot),
+                "request queued at slot {} which is not touched",
+                req.supplier_slot
+            );
+        }
+        // Buckets: contiguous, disjoint, in ascending slot order, and
+        // plans agree with bucket sizes (plan.issued counts every
+        // request in the bucket).
+        let mut expected_start = 0u32;
+        let mut sorted = scratch.touched_suppliers.clone();
+        sorted.sort_unstable();
+        for &slot in &sorted {
+            assert_eq!(
+                scratch.queue_start[slot as usize], expected_start,
+                "bucket for slot {slot} is not laid out contiguously"
+            );
+            expected_start += scratch.queue_count[slot as usize];
+            assert_eq!(
+                scratch.serve_plans[slot as usize].issued,
+                scratch.queue_count[slot as usize] as u64,
+                "slot {slot}: serve plan was not refreshed for this round's bucket"
+            );
+        }
+        // Outbound pre-fetch ledger: nonzero spend only on touched-spent
+        // slots (anything else would leak into later rounds' rate caps).
+        for (slot, &spent) in scratch.outbound_spent.iter().enumerate() {
+            if spent != 0.0 {
+                assert!(
+                    scratch.touched_spent.contains(&(slot as u32)),
+                    "slot {slot} carries untracked outbound spend {spent}"
+                );
+            }
+        }
+        // Buffer-map snapshots: every stamped-this-round snapshot must
+        // belong to a currently alive node lifetime, with its epoch
+        // trailing (never leading) the live buffer, and bitmap equality
+        // whenever the epochs match. A snapshot whose birth stamp does
+        // not match the slot's current occupant must not be stamped.
+        for (slot, snap) in scratch.maps.snaps.iter().enumerate() {
+            if snap.stamp != scratch.maps.stamp {
+                continue; // stale snapshot: invisible by construction
+            }
+            let node = self.nodes.slots[slot]
+                .as_ref()
+                .unwrap_or_else(|| panic!("slot {slot}: stamped snapshot of a dead node"));
+            assert_eq!(
+                snap.birth, node.birth,
+                "slot {slot}: stamped snapshot of a previous lifetime"
+            );
+            assert!(
+                snap.epoch <= node.buffer.epoch(),
+                "slot {slot}: snapshot epoch leads the live buffer"
+            );
+            if snap.epoch == node.buffer.epoch() {
+                assert_eq!(
+                    snap.map,
+                    node.buffer.to_map(),
+                    "slot {slot}: equal epochs but diverged bitmaps"
+                );
+            }
+        }
     }
 
     /// Run the configured number of rounds and produce the report.
@@ -1050,104 +1477,35 @@ impl SystemSim {
         self.run_schedule_phase(round, &mut scratch);
 
         // --- 6. supplier service ----------------------------------------------
-        let mut gossip_deliveries = 0u64;
-        let mut requests_issued = 0u64;
-        let mut requests_dropped = 0u64;
-        let mut prefetch_repeated = 0u32;
-        // Suppliers in ascending-id order: walk the (sorted) order and
-        // serve the slots with pending queues.
+        // Split into a read-only decision half (parallelisable per
+        // supplier slot) and a serial merge half that applies deliveries
+        // in ascending-id supplier order — bit-identical to the old
+        // single serial loop (see [`ServePlan`]).
+        let mut svc = ServiceCounters::default();
         let salt = cs_sim::splitmix64(round as u64 ^ self.config.seed);
-        for k in 0..self.order_idx.len() {
-            let sidx = self.order_idx[k];
-            if scratch.per_supplier[sidx.0 as usize].is_empty() {
-                continue;
-            }
-            let (budget, sup_ref) = {
-                let sup = self.nodes.node_mut(sidx);
-                let budget = sup
-                    .bandwidth
-                    .outbound_segments_per_sec(self.config.segment_kbits)
-                    * self.config.period_secs
-                    + sup.outbound_carry;
-                let sends = budget.floor();
-                sup.outbound_carry = budget - sends;
-                (
-                    sends as i64,
-                    PeerRef {
-                        id: sup.id,
-                        slot: sidx.0,
-                    },
-                )
-            };
-            let mut sends = budget;
-            let reqs = &mut scratch.per_supplier[sidx.0 as usize];
-            // Most urgent first. Ties break on a per-round hash of the
-            // requester — deterministic, but not the same node winning
-            // every round (a fixed tie-break starves whoever sorts last).
-            reqs.sort_by(|a, b| {
-                b.priority
-                    .total_cmp(&a.priority)
-                    .then_with(|| {
-                        cs_sim::splitmix64(a.requester_id ^ salt)
-                            .cmp(&cs_sim::splitmix64(b.requester_id ^ salt))
-                    })
-                    .then(a.segment.cmp(&b.segment))
-            });
-            for &req in reqs.iter() {
-                requests_issued += 1;
-                if sends <= 0 {
-                    requests_dropped += 1;
-                    continue;
-                }
-                // The supplier must (still) hold the segment.
-                if !self.nodes.node(sidx).buffer.contains(req.segment) {
-                    continue;
-                }
-                if self.nodes.get(req.requester).is_none() {
-                    continue;
-                }
-                sends -= 1;
-                gossip_deliveries += 1;
-                traffic.add(TrafficClass::Data, self.sizes.segment_bits);
-                let newly = {
-                    let receiver = self.nodes.node_mut(req.requester);
-                    let newly = receiver.buffer.insert(req.segment);
-                    receiver.round_inflow += 1;
-                    receiver.rate.record_delivery(sup_ref);
-                    receiver
-                        .connected
-                        .record_supply(sup_ref, self.config.segment_kbits);
-                    newly
-                };
-                if !newly {
-                    // Already present: if it carries a pre-fetch tag and
-                    // its deadline has not passed, this is §4.3 Case 2.
-                    let receiver = self.nodes.node_mut(req.requester);
-                    if receiver.prefetch_tags.remove(&req.segment).is_some()
-                        && receiver.next_play.is_none_or(|np| req.segment >= np)
-                    {
-                        receiver.urgent.on_repeated();
-                        prefetch_repeated += 1;
-                    }
-                    continue;
-                }
-                let successor = self.believed_successor(req.requester_id);
-                let receiver = self.nodes.node_mut(req.requester);
-                receiver.backup.maybe_store(req.segment, successor);
-            }
-            reqs.clear();
-        }
+        self.plan_service_phase(salt, &mut scratch);
+        self.apply_service_phase(&mut scratch, &mut traffic, &mut svc);
+        let gossip_deliveries = svc.deliveries;
+        let requests_issued = svc.issued;
+        let requests_dropped = svc.dropped;
+        let mut prefetch_repeated = svc.repeated;
 
         // --- 7. on-demand pre-fetch (Algorithm 2) ------------------------------
+        // Same split: the urgent-line checks and Case-2 scans are pure
+        // reads over per-node state and the round's snapshots, so they
+        // fan out; the DHT retrievals mutate shared state (routing
+        // tables, the outbound-spend ledger, backups) and stay serial in
+        // node order (see [`PrefetchPlan`]).
         let mut prefetch_attempts = 0u32;
         let mut prefetch_successes = 0u32;
         let mut prefetch_overdue = 0u32;
         let mut prefetch_suppressed = 0u32;
         if self.config.prefetch_enabled {
+            self.plan_prefetch_phase(&mut scratch);
             for k in 0..self.order_idx.len() {
                 let idx = self.order_idx[k];
                 let (attempts, successes, overdue, suppressed, repeated) =
-                    self.prefetch_node(idx, round, &mut scratch, &mut traffic);
+                    self.execute_prefetch(idx, k, round, &mut scratch, &mut traffic);
                 prefetch_attempts += attempts;
                 prefetch_successes += successes;
                 prefetch_overdue += overdue;
@@ -1215,7 +1573,10 @@ impl SystemSim {
             self.dht.tick_tables();
         }
 
-        if std::env::var_os("CS_DEBUG_ROUNDS").is_some() {
+        // Cached: `env::var_os` builds a C string per call, which would
+        // be the round loop's only steady-state allocation.
+        static DEBUG_ROUNDS: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+        if *DEBUG_ROUNDS.get_or_init(|| std::env::var_os("CS_DEBUG_ROUNDS").is_some()) {
             self.debug_round_report(round);
         }
         self.records.push(RoundRecord {
@@ -1256,19 +1617,11 @@ impl SystemSim {
     fn run_schedule_phase(&mut self, round: u32, scratch: &mut RoundScratch) {
         #[cfg(feature = "parallel")]
         {
+            // The Random scheduler draws from the shared RNG while
+            // scheduling, so its planning always runs serially.
             let is_random = matches!(self.config.scheduler, SchedulerKind::Random);
-            // `CS_PARALLEL_THREADS` overrides the detected core count
-            // (useful to force the fan-out on single-core CI runners —
-            // results are identical either way).
-            let workers = std::env::var("CS_PARALLEL_THREADS")
-                .ok()
-                .and_then(|v| v.parse::<usize>().ok())
-                .unwrap_or_else(|| {
-                    std::thread::available_parallelism()
-                        .map(|p| p.get())
-                        .unwrap_or(1)
-                });
-            if !is_random && workers > 1 && self.order_idx.len() >= 128 {
+            let workers = self.parallel_workers();
+            if !is_random && workers > 1 {
                 self.run_schedule_phase_parallel(round, scratch, workers);
                 return;
             }
@@ -1352,16 +1705,410 @@ impl SystemSim {
                 .nodes
                 .resolve(a.supplier)
                 .expect("scheduled suppliers are alive this round");
-            scratch.push_request(
-                sup_slot,
-                PullRequest {
-                    requester: idx,
-                    requester_id: node_id,
-                    segment: a.segment,
-                    priority: a.priority,
-                },
+            scratch.push_request(PullRequest {
+                requester: idx,
+                requester_id: node_id,
+                segment: a.segment,
+                priority: a.priority,
+                supplier_slot: sup_slot.0,
+                accepted: false,
+            });
+        }
+    }
+
+    /// Worker-thread count for the `parallel` feature's phase fan-outs
+    /// (1 ⇒ serial). See [`SystemConfig::parallel_threads`] for the
+    /// resolution order; the environment read is cached process-wide.
+    #[cfg(feature = "parallel")]
+    fn parallel_workers(&self) -> usize {
+        if let Some(n) = self.config.parallel_threads {
+            return n.max(1);
+        }
+        // Below the fan-out threshold the spawn overhead dominates.
+        if self.order_idx.len() < 128 {
+            return 1;
+        }
+        // `CS_PARALLEL_THREADS` overrides the detected core count
+        // (useful to force the fan-out on single-core CI runners —
+        // results are identical either way).
+        static ENV_THREADS: std::sync::OnceLock<Option<usize>> = std::sync::OnceLock::new();
+        ENV_THREADS
+            .get_or_init(|| {
+                std::env::var("CS_PARALLEL_THREADS")
+                    .ok()
+                    .and_then(|v| v.parse::<usize>().ok())
+            })
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(|p| p.get())
+                    .unwrap_or(1)
+            })
+    }
+
+    /// Step 6, decision half: bucket the round's requests by supplier
+    /// slot, then plan every pending queue (sort + budget acceptance).
+    /// With the `parallel` feature and more than one worker, the touched
+    /// slots are sharded into contiguous runs — buckets are laid out in
+    /// ascending slot order, so each worker owns a disjoint slice of the
+    /// request arena and a disjoint slice of the plan table.
+    fn plan_service_phase(&self, salt: u64, scratch: &mut RoundScratch) {
+        scratch.bucket_requests();
+        let RoundScratch {
+            requests_sorted,
+            queue_count,
+            queue_start,
+            touched_suppliers,
+            serve_plans,
+            ..
+        } = scratch;
+        #[cfg(feature = "parallel")]
+        {
+            let workers = self.parallel_workers();
+            if workers > 1 && !touched_suppliers.is_empty() {
+                let nodes = &self.nodes;
+                let config = &self.config;
+                // Shared views for the worker closures (the exclusive
+                // borrows stay with the sliced-up request/plan arrays).
+                let queue_start: &[u32] = queue_start;
+                let queue_count: &[u32] = queue_count;
+                // Shard the touched slots into contiguous runs; ascending
+                // bucket layout makes every run a disjoint subslice.
+                let chunk = touched_suppliers.len().div_ceil(workers).max(1);
+                std::thread::scope(|s| {
+                    let mut rest_reqs: &mut [PullRequest] = requests_sorted;
+                    let mut rest_plans: &mut [ServePlan] = serve_plans;
+                    let mut reqs_consumed = 0usize;
+                    let mut plans_consumed = 0usize;
+                    for slots in touched_suppliers.chunks(chunk) {
+                        let first = slots[0] as usize;
+                        let last = slots[slots.len() - 1] as usize;
+                        let run_start = queue_start[first] as usize;
+                        let run_end = queue_start[last] as usize + queue_count[last] as usize;
+                        let (_, tail) = rest_reqs.split_at_mut(run_start - reqs_consumed);
+                        let (run_reqs, tail) = tail.split_at_mut(run_end - run_start);
+                        rest_reqs = tail;
+                        reqs_consumed = run_end;
+                        let (_, tail) = rest_plans.split_at_mut(first - plans_consumed);
+                        let (run_plans, tail) = tail.split_at_mut(last + 1 - first);
+                        rest_plans = tail;
+                        plans_consumed = last + 1;
+                        s.spawn(move || {
+                            for &slot in slots {
+                                let b0 = queue_start[slot as usize] as usize - run_start;
+                                let blen = queue_count[slot as usize] as usize;
+                                plan_service(
+                                    nodes,
+                                    config,
+                                    salt,
+                                    slot,
+                                    &mut run_reqs[b0..b0 + blen],
+                                    &mut run_plans[slot as usize - first],
+                                );
+                            }
+                        });
+                    }
+                });
+                return;
+            }
+        }
+        for &slot in touched_suppliers.iter() {
+            let start = queue_start[slot as usize] as usize;
+            let len = queue_count[slot as usize] as usize;
+            plan_service(
+                &self.nodes,
+                &self.config,
+                salt,
+                slot,
+                &mut requests_sorted[start..start + len],
+                &mut serve_plans[slot as usize],
             );
         }
+    }
+
+    /// Step 6, merge half: walk suppliers in ascending-id order (the
+    /// serial service order) and apply each plan's deliveries. A supplier
+    /// whose buffer changed since its plan was computed — it received
+    /// segments from an earlier-ordered supplier, possibly sliding its
+    /// window — gets its decisions recomputed serially against the live
+    /// buffer, which is exactly what the old serial loop saw. Results are
+    /// therefore bit-identical to serial at any worker count.
+    fn apply_service_phase(
+        &mut self,
+        scratch: &mut RoundScratch,
+        traffic: &mut TrafficCounter,
+        svc: &mut ServiceCounters,
+    ) {
+        for k in 0..self.order_idx.len() {
+            let sidx = self.order_idx[k];
+            let slot = sidx.0 as usize;
+            let len = scratch.queue_count[slot] as usize;
+            if len == 0 {
+                continue;
+            }
+            let start = scratch.queue_start[slot] as usize;
+            let plan = scratch.serve_plans[slot];
+            let sup_ref = {
+                let sup = self.nodes.node_mut(sidx);
+                sup.outbound_carry = plan.carry;
+                PeerRef {
+                    id: sup.id,
+                    slot: sidx.0,
+                }
+            };
+            let (issued, dropped) = if self.nodes.node(sidx).buffer.epoch() == plan.buffer_epoch {
+                // Fast path: the plan's inputs are still exact.
+                (plan.issued, plan.dropped)
+            } else {
+                // Revalidation: re-run the shared decision walk on the
+                // live buffer (the bucket is already sorted).
+                decide_service(
+                    plan.sends,
+                    self.nodes.node(sidx),
+                    &self.nodes,
+                    &mut scratch.requests_sorted[start..start + len],
+                )
+            };
+            svc.issued += issued;
+            svc.dropped += dropped;
+            for ri in start..start + len {
+                let req = scratch.requests_sorted[ri];
+                if req.accepted {
+                    self.deliver_one(sup_ref, req, traffic, svc);
+                }
+            }
+        }
+    }
+
+    /// Deliver one accepted request: payload accounting, receiver buffer
+    /// insert, rate/supply bookkeeping, the §4.3 Case-2 check for tagged
+    /// repeats, and backup placement of newly received segments.
+    fn deliver_one(
+        &mut self,
+        sup_ref: PeerRef,
+        req: PullRequest,
+        traffic: &mut TrafficCounter,
+        svc: &mut ServiceCounters,
+    ) {
+        svc.deliveries += 1;
+        traffic.add(TrafficClass::Data, self.sizes.segment_bits);
+        let newly = {
+            let receiver = self.nodes.node_mut(req.requester);
+            let newly = receiver.buffer.insert(req.segment);
+            receiver.round_inflow += 1;
+            receiver.rate.record_delivery(sup_ref);
+            receiver
+                .connected
+                .record_supply(sup_ref, self.config.segment_kbits);
+            newly
+        };
+        if !newly {
+            // Already present: if it carries a pre-fetch tag and its
+            // deadline has not passed, this is §4.3 Case 2.
+            let receiver = self.nodes.node_mut(req.requester);
+            if receiver.prefetch_tags.remove(&req.segment).is_some()
+                && receiver.next_play.is_none_or(|np| req.segment >= np)
+            {
+                receiver.urgent.on_repeated();
+                svc.repeated += 1;
+            }
+            return;
+        }
+        let successor = self.believed_successor(req.requester_id);
+        let receiver = self.nodes.node_mut(req.requester);
+        receiver.backup.maybe_store(req.segment, successor);
+    }
+
+    /// Step 7, decision half: plan every node's urgent-line outcome. With
+    /// the `parallel` feature and more than one worker, nodes are sharded
+    /// into contiguous `order_idx` ranges.
+    fn plan_prefetch_phase(&self, scratch: &mut RoundScratch) {
+        let n = self.order_idx.len();
+        if scratch.prefetch_plans.len() < n {
+            scratch.prefetch_plans.resize_with(n, PrefetchPlan::default);
+        }
+        #[cfg(feature = "parallel")]
+        {
+            let workers = self.parallel_workers();
+            if workers > 1 {
+                let nodes = &self.nodes;
+                let config = &self.config;
+                let maps = &scratch.maps;
+                let newest = self.newest_emitted;
+                let chunk = n.div_ceil(workers).max(1);
+                std::thread::scope(|s| {
+                    for (plan_chunk, idx_chunk) in scratch.prefetch_plans[..n]
+                        .chunks_mut(chunk)
+                        .zip(self.order_idx.chunks(chunk))
+                    {
+                        s.spawn(move || {
+                            for (plan, &idx) in plan_chunk.iter_mut().zip(idx_chunk) {
+                                plan_prefetch(nodes, config, maps, newest, idx, plan);
+                            }
+                        });
+                    }
+                });
+                return;
+            }
+        }
+        let RoundScratch {
+            prefetch_plans,
+            maps,
+            ..
+        } = scratch;
+        for (&idx, plan) in self.order_idx.iter().zip(prefetch_plans.iter_mut()) {
+            plan_prefetch(
+                &self.nodes,
+                &self.config,
+                maps,
+                self.newest_emitted,
+                idx,
+                plan,
+            );
+        }
+    }
+
+    /// Step 7, execution half for one node: apply the planned α-down
+    /// signals, then run Algorithm 2 retrievals for the planned missed
+    /// segments. Mutates shared state (DHT tables, the outbound-spend
+    /// ledger, backups), so it always runs serially in node order.
+    /// Returns `(attempts, successes, overdue, suppressed, repeated)`.
+    fn execute_prefetch(
+        &mut self,
+        idx: NodeIdx,
+        k: usize,
+        round: u32,
+        scratch: &mut RoundScratch,
+        traffic: &mut TrafficCounter,
+    ) -> (u32, u32, u32, u32, u32) {
+        if scratch.prefetch_plans[k].suppressed {
+            return (0, 0, 0, 1, 0);
+        }
+        let repeated = scratch.prefetch_plans[k].repeated;
+        let max_fetches = scratch.prefetch_plans[k].max_fetches;
+        for _ in 0..repeated {
+            self.nodes.node_mut(idx).urgent.on_repeated();
+        }
+        if scratch.prefetch_plans[k].missed.is_empty() {
+            return (0, 0, 0, 0, repeated);
+        }
+        let (requester_id, anchor, started) = {
+            let node = self.nodes.node(idx);
+            // Unchanged since the plan was computed (only this node's own
+            // execution mutates them): same anchor the plan used.
+            let anchor = node
+                .next_play
+                .or_else(|| node.buffer.iter().next())
+                .expect("planned node had an anchor");
+            (node.id, anchor, node.next_play.is_some())
+        };
+        let p = self.config.demand_per_round();
+
+        let mut attempts = 0u32;
+        let mut successes = 0u32;
+        let mut overdue = 0u32;
+        let period_ms = self.config.period_secs * 1000.0;
+
+        for mi in 0..max_fetches {
+            let seg = scratch.prefetch_plans[k].missed[mi];
+            attempts += 1;
+            // Split borrows: the DHT is mutated by routing; node state and
+            // the outbound ledger are read through disjoint fields (the
+            // per-segment snapshot maps this replaced cost O(N) hash
+            // inserts per missed segment).
+            let outcome = {
+                let nodes = &self.nodes;
+                let config = &self.config;
+                let spent = &scratch.outbound_spent;
+                let ping = |n: DhtId| {
+                    nodes
+                        .lookup(n)
+                        .map(|i| nodes.node(i).ping_ms)
+                        .unwrap_or(50.0)
+                };
+                let latency = |a: DhtId, b: DhtId| derive_latency(ping(a), ping(b));
+                let has_backup = |n: DhtId, s: SegmentId| {
+                    nodes.lookup(n).is_some_and(|i| nodes.node(i).backup.has(s))
+                };
+                let available_rate = |n: DhtId| {
+                    nodes
+                        .lookup(n)
+                        .map(|i| {
+                            let cap = nodes
+                                .node(i)
+                                .bandwidth
+                                .outbound_segments_per_sec(config.segment_kbits);
+                            let used = spent.get(i.0 as usize).copied().unwrap_or(0.0);
+                            (cap - used).max(0.0)
+                        })
+                        .unwrap_or(0.0)
+                };
+                let transfer_ms = {
+                    // UDP direct download at the supplier's outbound share.
+                    config.segment_kbits / 450.0 * 1000.0
+                };
+                retrieve_one_into(
+                    &mut self.dht,
+                    requester_id,
+                    seg,
+                    &latency,
+                    &has_backup,
+                    &available_rate,
+                    config.replicas,
+                    transfer_ms,
+                    &mut scratch.retrieval,
+                )
+            };
+            traffic.add(
+                TrafficClass::PrefetchRouting,
+                outcome.routing_messages as u64 * self.sizes.routing_message_bits,
+            );
+            // The requester overhears every node its lookups reached
+            // (the located list stayed in the retrieval scratch).
+            {
+                let local_ping = self.nodes.node(idx).ping_ms;
+                for li in 0..scratch.retrieval.located.len() {
+                    let l = scratch.retrieval.located[li];
+                    if l != requester_id {
+                        let lref = self.nodes.make_ref(l);
+                        let lat = derive_latency(local_ping, self.ping_of_id(l));
+                        self.nodes.node_mut(idx).overheard.record(lref, lat);
+                    }
+                }
+            }
+            if let Some(supplier) = outcome.supplier {
+                successes += 1;
+                traffic.add(TrafficClass::PrefetchData, self.sizes.segment_bits);
+                if let Some(sup_idx) = self.nodes.lookup(supplier) {
+                    scratch.add_spent(sup_idx, 1.0 / self.config.period_secs);
+                }
+                let fetch_ms = outcome.fetch_latency_ms.unwrap_or(period_ms);
+                // Deadline: the start of the round in which `seg` plays.
+                // Buffering nodes have no deadline yet.
+                let deadline_ms = if !started {
+                    f64::INFINITY
+                } else if seg < anchor + p {
+                    0.0 // needed this very round: always late
+                } else {
+                    ((seg - anchor) / p) as f64 * period_ms
+                };
+                {
+                    let node = self.nodes.node_mut(idx);
+                    node.buffer.insert(seg);
+                    node.round_inflow += 1;
+                    node.prefetch_tags.insert(seg, round);
+                }
+                let successor = self.believed_successor(requester_id);
+                let node = self.nodes.node_mut(idx);
+                node.backup.maybe_store(seg, successor);
+                if fetch_ms > deadline_ms.max(f64::EPSILON) && deadline_ms < period_ms {
+                    // Case 1: arrived after (or perilously at) its
+                    // deadline round.
+                    node.urgent.on_overdue();
+                    overdue += 1;
+                }
+            }
+        }
+        (attempts, successes, overdue, 0, repeated)
     }
 
     /// The node's *belief* about its ring successor: its closest clockwise
@@ -1447,9 +2194,11 @@ impl SystemSim {
                     }
                 }
             }
+            // Unstable (allocation-free) sort: overheard entries have
+            // unique ids, so the id tie-break makes the comparator total.
             scratch
                 .tmp_pairs
-                .sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
+                .sort_unstable_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
             {
                 let node = self.nodes.node_mut(idx);
                 for pi in 0..scratch.tmp_pairs.len() {
@@ -1523,187 +2272,6 @@ impl SystemSim {
                 }
             }
         }
-    }
-
-    /// Run the urgent-line check and Algorithm 2 for one node. Returns
-    /// `(attempts, successes, overdue, suppressed, repeated)`.
-    fn prefetch_node(
-        &mut self,
-        idx: NodeIdx,
-        round: u32,
-        scratch: &mut RoundScratch,
-        traffic: &mut TrafficCounter,
-    ) -> (u32, u32, u32, u32, u32) {
-        let node = self.nodes.node(idx);
-        if node.is_source {
-            return (0, 0, 0, 0, 0);
-        }
-        let requester_id = node.id;
-        // Playing nodes guard their play point; buffering nodes guard the
-        // contiguity they need to *start* (this is how the pre-fetch
-        // "accelerates the streaming system's entering its stable phase",
-        // §5.4.1).
-        let anchor = node.next_play.or_else(|| node.buffer.iter().next());
-        let Some(anchor) = anchor else {
-            return (0, 0, 0, 0, 0);
-        };
-        let started = node.next_play.is_some();
-        let decision = node.urgent.decide(
-            &node.buffer,
-            anchor,
-            self.newest_emitted,
-            |_| false, // deliveries already committed this round
-        );
-        let missed = match decision {
-            PrefetchDecision::NotTriggered => return (0, 0, 0, 0, 0),
-            PrefetchDecision::TooMany(_) => return (0, 0, 0, 1, 0),
-            PrefetchDecision::Fetch(m) => m,
-        };
-
-        // §4.3 Case 2 (repeated data), pull-model form: a predicted-missed
-        // segment that a connected neighbour still advertises — with its
-        // deadline at least one period away — could "still be got by the
-        // data scheduling algorithm before its deadline". The paper
-        // fetches it anyway and uses the repetition as the α-down signal;
-        // we do the same (skipping the fetch and trusting gossip turned
-        // out to strand segments whose pulls kept losing the budget race).
-        let p = self.config.demand_per_round();
-        let mut repeated = 0u32;
-        {
-            let node = self.nodes.node(idx);
-            for &seg in &missed {
-                let deadline_far = !started || seg >= anchor + p;
-                let neighbour_has = deadline_far
-                    && node.connected.ids().any(|nref| {
-                        self.nodes
-                            .resolve(nref)
-                            .and_then(|ni| scratch.maps.get(ni))
-                            .is_some_and(|m| m.contains(seg))
-                    });
-                if neighbour_has {
-                    repeated += 1;
-                }
-            }
-        }
-        // Pre-fetch shares the inbound rate with the scheduler (§4.3).
-        let inbound_room = {
-            let node = self.nodes.node(idx);
-            node.inbound_carry
-                + node
-                    .bandwidth
-                    .inbound_segments_per_sec(self.config.segment_kbits)
-                    * self.config.period_secs
-        };
-        for _ in 0..repeated {
-            self.nodes.node_mut(idx).urgent.on_repeated();
-        }
-        if missed.is_empty() {
-            return (0, 0, 0, 0, repeated);
-        }
-        let max_fetches = missed.len().min(inbound_room.floor().max(0.0) as usize);
-
-        let mut attempts = 0u32;
-        let mut successes = 0u32;
-        let mut overdue = 0u32;
-        let period_ms = self.config.period_secs * 1000.0;
-
-        for seg in missed.into_iter().take(max_fetches) {
-            attempts += 1;
-            // Split borrows: the DHT is mutated by routing; node state and
-            // the outbound ledger are read through disjoint fields (the
-            // per-segment snapshot maps this replaced cost O(N) hash
-            // inserts per missed segment).
-            let outcome = {
-                let nodes = &self.nodes;
-                let config = &self.config;
-                let spent = &scratch.outbound_spent;
-                let ping = |n: DhtId| {
-                    nodes
-                        .lookup(n)
-                        .map(|i| nodes.node(i).ping_ms)
-                        .unwrap_or(50.0)
-                };
-                let latency = |a: DhtId, b: DhtId| derive_latency(ping(a), ping(b));
-                let has_backup = |n: DhtId, s: SegmentId| {
-                    nodes.lookup(n).is_some_and(|i| nodes.node(i).backup.has(s))
-                };
-                let available_rate = |n: DhtId| {
-                    nodes
-                        .lookup(n)
-                        .map(|i| {
-                            let cap = nodes
-                                .node(i)
-                                .bandwidth
-                                .outbound_segments_per_sec(config.segment_kbits);
-                            let used = spent.get(i.0 as usize).copied().unwrap_or(0.0);
-                            (cap - used).max(0.0)
-                        })
-                        .unwrap_or(0.0)
-                };
-                let transfer_ms = {
-                    // UDP direct download at the supplier's outbound share.
-                    config.segment_kbits / 450.0 * 1000.0
-                };
-                retrieve_one(
-                    &mut self.dht,
-                    requester_id,
-                    seg,
-                    &latency,
-                    &has_backup,
-                    &available_rate,
-                    config.replicas,
-                    transfer_ms,
-                )
-            };
-            traffic.add(
-                TrafficClass::PrefetchRouting,
-                outcome.routing_messages as u64 * self.sizes.routing_message_bits,
-            );
-            // The requester overhears every node its lookups reached.
-            {
-                let local_ping = self.nodes.node(idx).ping_ms;
-                for &l in &outcome.located {
-                    if l != requester_id {
-                        let lref = self.nodes.make_ref(l);
-                        let lat = derive_latency(local_ping, self.ping_of_id(l));
-                        self.nodes.node_mut(idx).overheard.record(lref, lat);
-                    }
-                }
-            }
-            if let Some(supplier) = outcome.supplier {
-                successes += 1;
-                traffic.add(TrafficClass::PrefetchData, self.sizes.segment_bits);
-                if let Some(sup_idx) = self.nodes.lookup(supplier) {
-                    scratch.add_spent(sup_idx, 1.0 / self.config.period_secs);
-                }
-                let fetch_ms = outcome.fetch_latency_ms.unwrap_or(period_ms);
-                // Deadline: the start of the round in which `seg` plays.
-                // Buffering nodes have no deadline yet.
-                let deadline_ms = if !started {
-                    f64::INFINITY
-                } else if seg < anchor + p {
-                    0.0 // needed this very round: always late
-                } else {
-                    ((seg - anchor) / p) as f64 * period_ms
-                };
-                {
-                    let node = self.nodes.node_mut(idx);
-                    node.buffer.insert(seg);
-                    node.round_inflow += 1;
-                    node.prefetch_tags.insert(seg, round);
-                }
-                let successor = self.believed_successor(requester_id);
-                let node = self.nodes.node_mut(idx);
-                node.backup.maybe_store(seg, successor);
-                if fetch_ms > deadline_ms.max(f64::EPSILON) && deadline_ms < period_ms {
-                    // Case 1: arrived after (or perilously at) its
-                    // deadline round.
-                    node.urgent.on_overdue();
-                    overdue += 1;
-                }
-            }
-        }
-        (attempts, successes, overdue, 0, repeated)
     }
 
     /// Graceful leave: hand the VoD backups to the ring predecessor, tell

@@ -33,6 +33,19 @@ pub enum PrefetchDecision {
     TooMany(usize),
 }
 
+/// [`PrefetchDecision`] without the owned segment list — what
+/// [`UrgentLine::decide_into`] returns, the missed ids having been
+/// written into the caller's buffer instead.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PrefetchCheck {
+    /// Nothing predicted missed.
+    NotTriggered,
+    /// `0 < N_miss ≤ l`: fetch everything now in the caller's buffer.
+    Fetch,
+    /// `N_miss > l`: retrieval suppressed. Carries the observed `N_miss`.
+    TooMany(usize),
+}
+
 /// The adaptive urgent line of one node.
 #[derive(Debug, Clone)]
 pub struct UrgentLine {
@@ -104,8 +117,28 @@ impl UrgentLine {
         newest_available: SegmentId,
         expected: impl Fn(SegmentId) -> bool,
     ) -> PrefetchDecision {
-        let urgent_end = self.urgent_id(play_from).min(newest_available + 1);
         let mut missed = Vec::new();
+        match self.decide_into(buffer, play_from, newest_available, expected, &mut missed) {
+            PrefetchCheck::NotTriggered => PrefetchDecision::NotTriggered,
+            PrefetchCheck::Fetch => PrefetchDecision::Fetch(missed),
+            PrefetchCheck::TooMany(n) => PrefetchDecision::TooMany(n),
+        }
+    }
+
+    /// [`Self::decide`] writing the missed ids into a caller-owned buffer
+    /// (cleared first; populated only in the `Fetch` case) — the
+    /// allocation-free path the round loop's pre-fetch planning uses.
+    /// [`Self::decide`] is a thin wrapper over this.
+    pub fn decide_into(
+        &self,
+        buffer: &StreamBuffer,
+        play_from: SegmentId,
+        newest_available: SegmentId,
+        expected: impl Fn(SegmentId) -> bool,
+        missed: &mut Vec<SegmentId>,
+    ) -> PrefetchCheck {
+        missed.clear();
+        let urgent_end = self.urgent_id(play_from).min(newest_available + 1);
         let mut count = 0usize;
         for id in play_from..urgent_end {
             if !buffer.contains(id) && !expected(id) {
@@ -116,11 +149,13 @@ impl UrgentLine {
             }
         }
         if count == 0 {
-            PrefetchDecision::NotTriggered
+            PrefetchCheck::NotTriggered
         } else if count <= self.max_per_period {
-            PrefetchDecision::Fetch(missed)
+            PrefetchCheck::Fetch
         } else {
-            PrefetchDecision::TooMany(count)
+            // A partial prefix is meaningless in the suppressed case.
+            missed.clear();
+            PrefetchCheck::TooMany(count)
         }
     }
 

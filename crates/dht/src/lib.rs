@@ -28,5 +28,7 @@ pub mod routing;
 pub use id::{DhtId, IdSpace};
 pub use network::{DhtIdx, DhtNetwork, DhtNodeState, JoinError};
 pub use peers::{DhtPeerEntry, DhtPeerTable};
-pub use placement::{backup_targets, common_hash, responsible_for, ResponsibilityRange};
-pub use routing::{route, RouteOutcome, RouteStatus};
+pub use placement::{
+    backup_target, backup_targets, common_hash, responsible_for, ResponsibilityRange,
+};
+pub use routing::{route, route_into, RouteOutcome, RouteScratch, RouteStatus, RouteSummary};

@@ -20,11 +20,19 @@ pub fn common_hash(x: u64) -> u64 {
     splitmix64(x)
 }
 
+/// Ring position of the `i`-th replica (1-based) of `segment_id`:
+/// `hash(id·i) % N` (paper eq. 5). The allocation-free unit behind
+/// [`backup_targets`], for callers that iterate replicas directly.
+#[inline]
+pub fn backup_target(space: IdSpace, segment_id: u64, i: u32) -> DhtId {
+    space.wrap(common_hash(segment_id.wrapping_mul(i as u64)))
+}
+
 /// Ring positions of the `k` replicas of `segment_id`:
 /// `hash(id·i) % N` for `i = 1..=k` (paper eq. 5).
 pub fn backup_targets(space: IdSpace, segment_id: u64, k: u32) -> Vec<DhtId> {
-    (1..=k as u64)
-        .map(|i| space.wrap(common_hash(segment_id.wrapping_mul(i))))
+    (1..=k)
+        .map(|i| backup_target(space, segment_id, i))
         .collect()
 }
 

@@ -67,6 +67,26 @@ impl RouteOutcome {
     }
 }
 
+/// Everything [`route_into`] reports besides the visited path: a plain
+/// `Copy` summary, so allocation-free callers get the full outcome
+/// without owning a fresh `Vec`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RouteSummary {
+    /// Total accumulated latency along the path, in milliseconds.
+    pub latency_ms: f64,
+    /// How the route ended.
+    pub status: RouteStatus,
+    /// Number of dead peers dropped from tables during this route.
+    pub repaired: u32,
+}
+
+/// Reusable working memory for [`route_into`] (the arena-slot hints that
+/// ride along the path). Carries capacity only — cleared on every call.
+#[derive(Debug, Default)]
+pub struct RouteScratch {
+    path_slots: Vec<u32>,
+}
+
 /// Route a lookup for ring position `key` starting at node `src`.
 ///
 /// `latency_ms` supplies pairwise latencies (trace-derived in the real
@@ -86,17 +106,46 @@ pub fn route(
     latency_ms: &impl Fn(DhtId, DhtId) -> f64,
     overhear: bool,
 ) -> RouteOutcome {
+    let mut scratch = RouteScratch::default();
+    let mut path = Vec::new();
+    let summary = route_into(net, src, key, latency_ms, overhear, &mut scratch, &mut path);
+    RouteOutcome {
+        path,
+        latency_ms: summary.latency_ms,
+        status: summary.status,
+        repaired: summary.repaired,
+    }
+}
+
+/// [`route`] writing into a caller-owned path buffer (cleared first),
+/// with working memory drawn from a caller-owned [`RouteScratch`] —
+/// allocation-free once both have reached the workload's high-water
+/// capacity. The visited path (source first, terminal last) is left in
+/// `path`; hop decisions, repairs and overhearing are identical to
+/// [`route`], which is a thin wrapper over this.
+#[allow(clippy::too_many_arguments)]
+pub fn route_into(
+    net: &mut DhtNetwork,
+    src: DhtId,
+    key: DhtId,
+    latency_ms: &impl Fn(DhtId, DhtId) -> f64,
+    overhear: bool,
+    scratch: &mut RouteScratch,
+    path: &mut Vec<DhtId>,
+) -> RouteSummary {
+    path.clear();
+    path.push(src);
     let Some(src_slot) = net.resolve_slot(src, NO_SLOT) else {
-        return RouteOutcome {
-            path: vec![src],
+        return RouteSummary {
             latency_ms: 0.0,
             status: RouteStatus::BadSource,
             repaired: 0,
         };
     };
-    let mut path = vec![src];
     // Arena slots parallel to `path`, so overheard offers carry hints.
-    let mut path_slots = vec![src_slot];
+    let path_slots = &mut scratch.path_slots;
+    path_slots.clear();
+    path_slots.push(src_slot);
     let mut total_latency = 0.0;
     let mut repaired = 0u32;
     let mut current = src;
@@ -122,7 +171,7 @@ pub fn route(
         if overhear {
             // The receiving node overhears everyone already on the path.
             let state = net.state_at_mut(hop_slot);
-            for (&q, &q_slot) in path.iter().zip(&path_slots) {
+            for (&q, &q_slot) in path.iter().zip(path_slots.iter()) {
                 if q != hop {
                     state.peers.offer_hinted(q, latency_ms(hop, q), q_slot);
                 }
@@ -142,8 +191,7 @@ pub fn route(
     } else {
         RouteStatus::WrongNode
     };
-    RouteOutcome {
-        path,
+    RouteSummary {
         latency_ms: total_latency,
         status,
         repaired,

@@ -54,9 +54,10 @@
 //! ```
 //!
 //! The optional `parallel` feature (`--features parallel`) fans the
-//! read-only scheduling phase out across OS threads with bit-identical
-//! results (the deterministic fingerprint suite in `tests/determinism.rs`
-//! pins this).
+//! read-only planning halves of the scheduling, supplier-service and
+//! pre-fetch phases out across OS threads with bit-identical results at
+//! any thread count (the deterministic fingerprint suite in
+//! `tests/determinism.rs` pins this for 1, 2, 4 and 8 threads).
 
 pub use cs_analysis as analysis;
 pub use cs_core as core;

@@ -77,6 +77,22 @@ fn same_seed_reports_identical_under_churn() {
     assert_eq!(a.summary, b.summary);
 }
 
+/// The pinned run-report hashes of the scenario set, recorded from the
+/// pre-arena (id-keyed `HashMap`) round loop. Shared by the serial
+/// drift gate and the parallel thread-matrix test below.
+#[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+const PINNED_RUN_HASHES: &[(&str, u64)] = &[
+    ("continustreaming_static", 0xe477cc07219c469e),
+    ("continustreaming_dynamic", 0x8025028004085acc),
+    ("coolstreaming_static", 0xd0f5f39d4b96dca7),
+    ("greedy_rarest_first", 0xa2ed438909202a4f),
+    ("continustreaming_homogeneous", 0x206ebf4109454640),
+    // Recorded post-refactor (the scenario exceeds the `parallel`
+    // feature's 128-node threshold); pins serial ≡ parallel.
+    ("continustreaming_scale_200", 0xa5e310fb404f2576),
+    ("coolstreaming_homogeneous_dynamic", 0x203ffbaa2f7af79d),
+];
+
 /// Layer 2: pinned fingerprints from the pre-refactor round loop.
 ///
 /// These seven hashes were recorded from the implementation that kept
@@ -87,17 +103,7 @@ fn same_seed_reports_identical_under_churn() {
 #[cfg(all(target_os = "linux", target_arch = "x86_64"))]
 #[test]
 fn arena_refactor_causes_no_behavioural_drift() {
-    let pinned: &[(&str, u64)] = &[
-        ("continustreaming_static", 0xe477cc07219c469e),
-        ("continustreaming_dynamic", 0x8025028004085acc),
-        ("coolstreaming_static", 0xd0f5f39d4b96dca7),
-        ("greedy_rarest_first", 0xa2ed438909202a4f),
-        ("continustreaming_homogeneous", 0x206ebf4109454640),
-        // Recorded post-refactor (the scenario exceeds the `parallel`
-        // feature's 128-node threshold); pins serial ≡ parallel.
-        ("continustreaming_scale_200", 0xa5e310fb404f2576),
-        ("coolstreaming_homogeneous_dynamic", 0x203ffbaa2f7af79d),
-    ];
+    let pinned = PINNED_RUN_HASHES;
     let computed = scenarios();
     assert_eq!(
         computed.len(),
@@ -150,5 +156,56 @@ fn init_path_causes_no_round0_drift() {
             hash, pin_hash,
             "round-0 drift in scenario `{name}`: 0x{hash:016x} != pinned 0x{pin_hash:016x}"
         );
+    }
+}
+
+/// Layer 3 (requires `--features parallel`): the phase fan-outs —
+/// scheduling, supplier-service planning, pre-fetch planning — must be
+/// **bit-identical to serial at every thread count**. Each scenario runs
+/// with a forced 1-thread (serial path), 2-, 4- and 8-way fan-out;
+/// `parallel_threads` overrides the ≥128-node gate, so even the small
+/// scenarios genuinely exercise the sharded merge. On the reference
+/// platform the hashes are also checked against the serial pins, so a
+/// parallel-mode drift can never hide behind a matching serial drift.
+#[cfg(feature = "parallel")]
+#[test]
+fn parallel_thread_matrix_reproduces_serial_fingerprints() {
+    for (name, config) in scenarios() {
+        let serial = {
+            let mut c = config.clone();
+            c.parallel_threads = Some(1);
+            SystemSim::new(c).run()
+        };
+        #[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+        {
+            let pin = PINNED_RUN_HASHES
+                .iter()
+                .find(|(n, _)| *n == name)
+                .expect("every scenario is pinned")
+                .1;
+            let hash = fingerprint(&serial);
+            assert_eq!(
+                hash, pin,
+                "serial-path drift in `{name}`: 0x{hash:016x} != pinned 0x{pin:016x}"
+            );
+        }
+        for threads in [2usize, 4, 8] {
+            let mut c = config.clone();
+            c.parallel_threads = Some(threads);
+            let parallel = SystemSim::new(c).run();
+            assert_eq!(
+                serial.rounds, parallel.rounds,
+                "`{name}` at {threads} threads: rounds differ from serial"
+            );
+            assert_eq!(
+                serial.summary, parallel.summary,
+                "`{name}` at {threads} threads"
+            );
+            assert_eq!(
+                fingerprint(&serial),
+                fingerprint(&parallel),
+                "`{name}` at {threads} threads: fingerprint drift"
+            );
+        }
     }
 }

@@ -257,6 +257,63 @@ fn dht_arena_survives_churn() {
     }
 }
 
+/// Back-to-back rounds reusing the persistent `RoundScratch` leave no
+/// *visible* stale state: per-slot queue counts are refreshed or zero,
+/// the flat request arena partitions exactly into the touched buckets,
+/// serve plans are re-planned for every bucket, the outbound-spend
+/// ledger tracks its touched list, and generation-stamped buffer-map
+/// snapshots either carry this round's stamp (alive node, matching
+/// birth, epoch not ahead of the live buffer, bitmap equal on equal
+/// epochs) or are invisible. Mirrors the PR-1 snapshot-epoch tests, now
+/// over the whole scratch. Exercised across all three schedulers in the
+/// static environment — where buffers mutate every round but membership
+/// does not — via the `debug_check_scratch` hook after every round.
+#[test]
+fn round_scratch_reuse_leaves_no_stale_state() {
+    for (scheduler, prefetch) in [
+        (SchedulerKind::ContinuStreaming, true),
+        (SchedulerKind::CoolStreaming, false),
+        (SchedulerKind::Random, false),
+    ] {
+        let config = SystemConfig {
+            nodes: 60,
+            rounds: 30,
+            startup_segments: 30,
+            scheduler,
+            prefetch_enabled: prefetch,
+            seed: 0xA110C,
+            ..SystemConfig::default()
+        };
+        let mut sim = SystemSim::new(config);
+        for round in 0..30 {
+            sim.debug_step(round);
+            sim.debug_check_scratch();
+        }
+    }
+}
+
+/// The same invariants hold under dynamic churn, where arena slots are
+/// freed and reused and stamped snapshots of departed lifetimes must
+/// become invisible rather than alias the slot's next occupant.
+#[test]
+fn round_scratch_reuse_is_clean_under_churn() {
+    for case in 0..6u64 {
+        let config = SystemConfig {
+            nodes: 50 + 10 * case as usize,
+            rounds: 25,
+            startup_segments: 30,
+            seed: 0xC0FFEE + case,
+            ..SystemConfig::default()
+        }
+        .with_dynamic_churn();
+        let mut sim = SystemSim::new(config);
+        for round in 0..25 {
+            sim.debug_step(round);
+            sim.debug_check_scratch();
+        }
+    }
+}
+
 /// Freed arena slots are reused before the slot vector grows, across
 /// repeated leave/rejoin waves (no arena leak under sustained churn).
 #[test]

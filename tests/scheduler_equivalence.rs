@@ -1,0 +1,209 @@
+//! Cross-mode scheduler equivalence: the `_into` variants must produce
+//! **byte-identical** assignments to the allocating originals, for every
+//! policy, across seeded random workloads — including tie-break order
+//! and, for `schedule_random`, the exact RNG draw sequence.
+//!
+//! The allocating entry points are thin wrappers over the `_into`
+//! variants, so trivial equality would hold even if both were wrong
+//! together; these tests therefore also pin a couple of *independent*
+//! facts (budget respected, feasibility respected, RNG stream position
+//! after the call) so a regression in the shared implementation is loud
+//! too. Scratch reuse across calls — the property the simulator depends
+//! on — is exercised by running many workloads through one scratch.
+
+use continustreaming::core::scheduler::{
+    schedule_coolstreaming, schedule_coolstreaming_into, schedule_greedy, schedule_greedy_into,
+    schedule_random, schedule_random_into, sort_candidates, Assignment, ScheduleContext,
+    SchedulerScratch, SegmentCandidate,
+};
+use continustreaming::prelude::*;
+use rand::Rng as _;
+
+type Cand = SegmentCandidate<DhtId>;
+type Ctx = ScheduleContext<DhtId>;
+
+/// A seeded random workload: distinct segment ids, random priorities,
+/// random supplier subsets of a random supplier pool with random rates
+/// (a few of them zero/unknown to exercise the infeasible paths).
+fn workload(case: u64) -> (Vec<Cand>, Ctx) {
+    let mut rng = RngTree::new(0x5EED).child_indexed("sched-equiv", case);
+    let n_suppliers = rng.gen_range(1usize..8);
+    let suppliers: Vec<DhtId> = (0..n_suppliers as u64).map(|s| 10 + 7 * s).collect();
+    let m = rng.gen_range(0usize..40);
+    let mut candidates: Vec<Cand> = (0..m as u64)
+        .map(|i| SegmentCandidate {
+            id: 100 + i, // distinct ids (the simulator guarantees this)
+            priority: rng.gen::<f64>() * 10.0,
+            suppliers: suppliers
+                .iter()
+                .copied()
+                .filter(|_| rng.gen_bool(0.7))
+                .collect(),
+        })
+        .collect();
+    // Some candidates share priorities so tie-breaks are exercised.
+    if m > 4 {
+        let p = candidates[0].priority;
+        candidates[2].priority = p;
+        candidates[4].priority = p;
+    }
+    let ctx = ScheduleContext {
+        inbound_budget: rng.gen_range(0u32..20),
+        period_secs: 1.0,
+        supplier_rates: suppliers
+            .iter()
+            .map(|&s| {
+                (
+                    s,
+                    if rng.gen_bool(0.15) {
+                        0.0
+                    } else {
+                        rng.gen::<f64>() * 8.0
+                    },
+                )
+            })
+            .collect(),
+        deadline_cutoff: rng.gen_bool(0.5).then(|| 100 + rng.gen_range(0u64..20)),
+    };
+    (candidates, ctx)
+}
+
+fn assert_assignments_eq(a: &[Assignment<DhtId>], b: &[Assignment<DhtId>], what: &str, case: u64) {
+    assert_eq!(a.len(), b.len(), "case {case}: {what} length");
+    for (x, y) in a.iter().zip(b) {
+        assert_eq!(x.segment, y.segment, "case {case}: {what} segment");
+        assert_eq!(x.supplier, y.supplier, "case {case}: {what} supplier");
+        assert_eq!(
+            x.expected_receive_secs.to_bits(),
+            y.expected_receive_secs.to_bits(),
+            "case {case}: {what} eta must be bit-identical"
+        );
+        assert_eq!(
+            x.priority.to_bits(),
+            y.priority.to_bits(),
+            "case {case}: {what} priority must be bit-identical"
+        );
+    }
+}
+
+#[test]
+fn greedy_into_matches_allocating_original() {
+    let mut scratch = SchedulerScratch::default();
+    let mut out = Vec::new();
+    for case in 0..200 {
+        let (mut candidates, ctx) = workload(case);
+        sort_candidates(&mut candidates);
+        let reference = schedule_greedy(&candidates, &ctx);
+        schedule_greedy_into(&candidates, &ctx, &mut scratch, &mut out);
+        assert_assignments_eq(&reference, &out, "greedy", case);
+        // Independent sanity: budget and feasibility.
+        assert!(
+            reference.len() <= ctx.inbound_budget as usize,
+            "case {case}"
+        );
+        for a in &reference {
+            assert!(
+                a.expected_receive_secs < ctx.period_secs,
+                "case {case}: eta within the period"
+            );
+        }
+    }
+}
+
+#[test]
+fn coolstreaming_into_matches_allocating_original() {
+    let mut scratch = SchedulerScratch::default();
+    let mut out = Vec::new();
+    for case in 0..200 {
+        let (candidates, ctx) = workload(case);
+        let reference = schedule_coolstreaming(&candidates, &ctx);
+        schedule_coolstreaming_into(&candidates, &ctx, &mut scratch, &mut out);
+        assert_assignments_eq(&reference, &out, "coolstreaming", case);
+        assert!(
+            reference.len() <= ctx.inbound_budget as usize,
+            "case {case}"
+        );
+    }
+}
+
+/// The Random policy must consume the RNG stream identically in both
+/// modes: same shuffle draws, same per-candidate feasible-pick draws.
+/// Two fresh RNGs seeded alike are stepped through both entry points;
+/// the outputs must match *and* the RNG states must remain in lockstep
+/// (pinned by comparing their next draws).
+#[test]
+fn random_into_matches_allocating_original_and_rng_stream() {
+    let mut scratch = SchedulerScratch::default();
+    let mut out = Vec::new();
+    for case in 0..200 {
+        let (candidates, ctx) = workload(case);
+        let mut rng_a = RngTree::new(case).child("sched-random");
+        let mut rng_b = RngTree::new(case).child("sched-random");
+        let reference = schedule_random(&candidates, &ctx, &mut rng_a);
+        schedule_random_into(&candidates, &ctx, &mut rng_b, &mut scratch, &mut out);
+        assert_assignments_eq(&reference, &out, "random", case);
+        // RNG-draw order: both streams must sit at the same position.
+        assert_eq!(
+            rng_a.gen::<u64>(),
+            rng_b.gen::<u64>(),
+            "case {case}: RNG streams diverged (draw count or order differs)"
+        );
+    }
+}
+
+/// One scratch, many workloads, interleaved policies: reuse must never
+/// leak state between calls (the scratch carries capacity only).
+#[test]
+fn scratch_reuse_across_policies_is_clean() {
+    let mut scratch = SchedulerScratch::default();
+    let mut out = Vec::new();
+    for case in 0..120 {
+        let (mut candidates, ctx) = workload(case);
+        match case % 3 {
+            0 => {
+                sort_candidates(&mut candidates);
+                schedule_greedy_into(&candidates, &ctx, &mut scratch, &mut out);
+                let fresh = schedule_greedy(&candidates, &ctx);
+                assert_assignments_eq(&fresh, &out, "greedy reuse", case);
+            }
+            1 => {
+                schedule_coolstreaming_into(&candidates, &ctx, &mut scratch, &mut out);
+                let fresh = schedule_coolstreaming(&candidates, &ctx);
+                assert_assignments_eq(&fresh, &out, "coolstreaming reuse", case);
+            }
+            _ => {
+                let mut rng_a = RngTree::new(case).child("reuse");
+                let mut rng_b = RngTree::new(case).child("reuse");
+                schedule_random_into(&candidates, &ctx, &mut rng_a, &mut scratch, &mut out);
+                let fresh = schedule_random(&candidates, &ctx, &mut rng_b);
+                assert_assignments_eq(&fresh, &out, "random reuse", case);
+            }
+        }
+    }
+}
+
+/// `out` is cleared by every `_into` call: stale assignments from a
+/// previous (larger) schedule never survive into the next result.
+#[test]
+fn out_buffer_is_cleared_per_call() {
+    let mut scratch = SchedulerScratch::default();
+    let mut out = Vec::new();
+    let (mut big, big_ctx) = workload(7);
+    sort_candidates(&mut big);
+    schedule_greedy_into(&big, &big_ctx, &mut scratch, &mut out);
+    // An empty candidate set must yield an empty result even though the
+    // buffer held assignments a moment ago.
+    let empty_ctx = ScheduleContext {
+        inbound_budget: 5,
+        period_secs: 1.0,
+        supplier_rates: vec![(10, 3.0)],
+        deadline_cutoff: None,
+    };
+    schedule_greedy_into(&[], &empty_ctx, &mut scratch, &mut out);
+    assert!(out.is_empty(), "stale assignments leaked through `out`");
+    schedule_coolstreaming_into(&[], &empty_ctx, &mut scratch, &mut out);
+    assert!(out.is_empty());
+    let mut rng = RngTree::new(1).child("clear");
+    schedule_random_into(&[], &empty_ctx, &mut rng, &mut scratch, &mut out);
+    assert!(out.is_empty());
+}

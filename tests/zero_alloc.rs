@@ -1,0 +1,165 @@
+//! Steady-state zero-allocation guarantee for the round loop.
+//!
+//! The PR-1/PR-2 arena work moved node state and round scratch into
+//! persistent buffers; the `_into` scheduler variants, the flat
+//! request arena, the sorted-Vec backup store and the scratch-based
+//! retrieval path finish the job. This test pins the result with a
+//! counting global allocator: once a static run has warmed up (buffers,
+//! queues and scratch at their high-water capacities), stepping further
+//! rounds — source emission, neighbour maintenance, buffer-map exchange,
+//! scheduling, supplier service, pre-fetch checks, playback, GC — must
+//! perform **zero heap allocations**. Not "few": zero, for every
+//! measured round and for all three scheduling policies.
+//!
+//! The counter is global, so the measured sections are serialised with a
+//! mutex (the test harness runs tests in this binary concurrently). The
+//! file is its own test binary, so the `#[global_allocator]` swap does
+//! not affect any other test.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use continustreaming::prelude::*;
+
+struct CountingAllocator;
+
+static COUNTING: AtomicBool = AtomicBool::new(false);
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+/// Serialises measured sections: the counter is process-global and the
+/// harness runs the tests below on separate threads.
+static MEASURE_LOCK: Mutex<()> = Mutex::new(());
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        if COUNTING.load(Ordering::Relaxed) {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        if COUNTING.load(Ordering::Relaxed) {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        unsafe { System.alloc_zeroed(layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        // A grow is a fresh allocation as far as the zero-alloc
+        // guarantee is concerned.
+        if COUNTING.load(Ordering::Relaxed) {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        // Frees are not counted: dropping a value that was allocated
+        // during warm-up is fine.
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAllocator = CountingAllocator;
+
+fn count_allocs(f: impl FnOnce()) -> u64 {
+    ALLOCS.store(0, Ordering::SeqCst);
+    COUNTING.store(true, Ordering::SeqCst);
+    f();
+    COUNTING.store(false, Ordering::SeqCst);
+    ALLOCS.load(Ordering::SeqCst)
+}
+
+fn steady_state_config(scheduler: SchedulerKind, prefetch: bool, rounds: u32) -> SystemConfig {
+    SystemConfig {
+        nodes: 300,
+        rounds,
+        scheduler,
+        prefetch_enabled: prefetch,
+        // Force the serial path: the parallel fan-out spawns threads,
+        // which allocates by design (this file is also built by the CI
+        // `--features parallel` job).
+        parallel_threads: Some(1),
+        seed: 20080414,
+        ..SystemConfig::default()
+    }
+}
+
+/// The headline guarantee: a warmed-up ContinuStreaming round — schedule
+/// (`_into` path), supplier service (flat-arena plan + merge), urgent-line
+/// pre-fetch checks, playback — allocates nothing, round after round.
+#[test]
+fn steady_state_rounds_allocate_nothing() {
+    let _guard = MEASURE_LOCK.lock().unwrap();
+    let mut sim = SystemSim::new(steady_state_config(
+        SchedulerKind::ContinuStreaming,
+        true,
+        100,
+    ));
+    // Warm up past startup buffering and past every buffer/queue/scratch
+    // high-water mark (the first rounds grow capacities; growth stops
+    // once the workload shape repeats).
+    for round in 0..60 {
+        sim.debug_step(round);
+    }
+    for round in 60..95 {
+        let n = count_allocs(|| sim.debug_step(round));
+        assert_eq!(
+            n, 0,
+            "round {round}: steady-state round loop must not allocate ({n} allocations)"
+        );
+    }
+}
+
+/// Same guarantee for the CoolStreaming baseline (exercises the
+/// `schedule_coolstreaming_into` ordering buffer instead of greedy's).
+#[test]
+fn coolstreaming_steady_state_allocates_nothing() {
+    let _guard = MEASURE_LOCK.lock().unwrap();
+    let mut sim = SystemSim::new(steady_state_config(
+        SchedulerKind::CoolStreaming,
+        false,
+        100,
+    ));
+    for round in 0..60 {
+        sim.debug_step(round);
+    }
+    for round in 60..80 {
+        let n = count_allocs(|| sim.debug_step(round));
+        assert_eq!(n, 0, "round {round}: CoolStreaming must not allocate");
+    }
+}
+
+/// And for the Random scheduler (exercises `schedule_random_into`'s
+/// shuffle/feasible buffers plus its RNG draws).
+#[test]
+fn random_scheduler_steady_state_allocates_nothing() {
+    let _guard = MEASURE_LOCK.lock().unwrap();
+    let mut sim = SystemSim::new(steady_state_config(SchedulerKind::Random, false, 100));
+    for round in 0..60 {
+        sim.debug_step(round);
+    }
+    for round in 60..80 {
+        let n = count_allocs(|| sim.debug_step(round));
+        assert_eq!(n, 0, "round {round}: Random scheduler must not allocate");
+    }
+}
+
+/// Control experiment: the counter itself works — building a simulator
+/// obviously allocates.
+#[test]
+fn counter_detects_allocations() {
+    let _guard = MEASURE_LOCK.lock().unwrap();
+    let n = count_allocs(|| {
+        let sim = SystemSim::new(steady_state_config(
+            SchedulerKind::ContinuStreaming,
+            true,
+            4,
+        ));
+        assert!(sim.alive() > 0);
+    });
+    assert!(n > 0, "constructing a simulator must allocate");
+}
