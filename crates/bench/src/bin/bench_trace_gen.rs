@@ -1,0 +1,85 @@
+//! Wall-clock scaling benchmark of trace generation + degree
+//! augmentation — the dominant remaining cost of `SystemSim::new` at
+//! 32k+ nodes (ROADMAP: "mildly superlinear at 32k+").
+//!
+//! Prints per-size timings for the generate and augment halves so the
+//! scaling exponent is visible directly, and optionally writes a JSON
+//! record like the other bench bins.
+//!
+//! ```text
+//! cargo run -p cs-bench --release --bin bench_trace_gen -- \
+//!     --sizes 8000,16000,32000,64000 --reps 3 --json BENCH_trace_gen.json
+//! ```
+
+use std::time::Instant;
+
+use cs_sim::RngTree;
+use cs_trace::{augment_to_min_degree, TraceGenConfig, TraceGenerator};
+
+fn arg_str(name: &str) -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    for i in 0..args.len() {
+        if args[i] == name && i + 1 < args.len() {
+            return Some(args[i + 1].clone());
+        }
+    }
+    None
+}
+
+fn main() {
+    let sizes: Vec<usize> = arg_str("--sizes")
+        .unwrap_or_else(|| "8000,16000,32000,64000".into())
+        .split(',')
+        .map(|s| s.trim().parse().expect("--sizes takes integers"))
+        .collect();
+    let reps: usize = arg_str("--reps")
+        .map(|s| s.parse().expect("--reps takes an integer"))
+        .unwrap_or(3)
+        .max(1);
+    let json_path = arg_str("--json");
+
+    let mut rows = Vec::new();
+    for &n in &sizes {
+        let mut gen_ms = f64::MAX;
+        let mut aug_ms = f64::MAX;
+        let mut edges = 0usize;
+        for _ in 0..reps {
+            let mut rng = RngTree::new(1).child("trace");
+            let t0 = Instant::now();
+            let mut topo = TraceGenerator::new(TraceGenConfig::with_nodes(n)).generate(&mut rng);
+            let t1 = t0.elapsed().as_secs_f64() * 1000.0;
+            let mut arng = RngTree::new(1).child("augment");
+            let t2 = Instant::now();
+            augment_to_min_degree(&mut topo, 5, &mut arng);
+            let t3 = t2.elapsed().as_secs_f64() * 1000.0;
+            gen_ms = gen_ms.min(t1);
+            aug_ms = aug_ms.min(t3);
+            edges = topo.edge_count();
+        }
+        println!("n={n:>6}  generate {gen_ms:>9.1} ms   augment {aug_ms:>9.1} ms   edges {edges}");
+        rows.push((n, gen_ms, aug_ms, edges));
+    }
+    // Scaling exponents between successive sizes (t ~ n^k ⇒ k = log ratio).
+    for w in rows.windows(2) {
+        let (n0, g0, a0, _) = w[0];
+        let (n1, g1, a1, _) = w[1];
+        let k = (n1 as f64 / n0 as f64).ln();
+        println!(
+            "n={n0}→{n1}: generate exponent {:.2}, augment exponent {:.2}",
+            (g1 / g0).ln() / k,
+            (a1 / a0).ln() / k
+        );
+    }
+    if let Some(path) = json_path {
+        let mut out = String::from("{\n  \"bench\": \"trace_gen\",\n  \"rows\": [\n");
+        for (i, (n, g, a, e)) in rows.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"nodes\": {n}, \"generate_ms\": {g:.1}, \"augment_ms\": {a:.1}, \"edges\": {e}}}{}\n",
+                if i + 1 < rows.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        std::fs::write(&path, out).expect("write json");
+        eprintln!("wrote {path}");
+    }
+}

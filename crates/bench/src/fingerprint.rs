@@ -19,14 +19,8 @@ use cs_net::BandwidthProfile;
 /// FNV-1a over a textual serialisation; the single hash implementation
 /// behind every fingerprint in the drift gates (system reports, round-0
 /// states, DHT route batches) and the pinned values in the test tree.
-pub fn fnv1a(bytes: &[u8]) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for &b in bytes {
-        h ^= b as u64;
-        h = h.wrapping_mul(0x1000_0000_01b3);
-    }
-    h
-}
+/// Re-exported from `cs-sim` so the workspace has exactly one copy.
+pub use cs_sim::rng::fnv1a;
 
 pub fn fingerprint(report: &RunReport) -> u64 {
     fnv1a(format!("{report:?}").as_bytes())

@@ -49,6 +49,7 @@ pub mod priority;
 pub mod rate;
 pub mod retrieval;
 pub mod scheduler;
+pub mod telemetry;
 pub mod urgent;
 
 pub mod system;
@@ -61,7 +62,8 @@ pub use priority::{PriorityInput, PriorityPolicy, PriorityTerms};
 pub use rate::RateController;
 pub use retrieval::{RetrievalOutcome, RetrievalScratch, RetrievalSummary};
 pub use scheduler::{Assignment, ScheduleContext, SchedulerScratch, SegmentCandidate};
-pub use system::SystemSim;
+pub use system::{EventOutcome, SeekTarget, SystemEvent, SystemSim};
+pub use telemetry::{StartupSample, Telemetry, TelemetryRound};
 pub use urgent::{PrefetchCheck, PrefetchDecision, UrgentLine};
 
 /// Identifier of a media data segment. The source numbers segments from 1

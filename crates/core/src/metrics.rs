@@ -27,6 +27,10 @@ pub struct RoundRecord {
     /// Playing nodes that had every segment of this round's demand.
     pub continuous: usize,
     /// The §5.3 continuity ratio: `continuous / alive` (0 when empty).
+    /// Nodes frozen by a VCR pause event are excluded from both sides —
+    /// a paused player needs no data, so counting it as discontinuous
+    /// would read pause pressure as a streaming stall. Without pause
+    /// events this is exactly `continuous / alive`.
     pub continuity: f64,
     /// Traffic moved during this round only.
     pub traffic: TrafficCounter,

@@ -61,7 +61,7 @@ use rand::Rng;
 use cs_dht::{DhtId, DhtNetwork, IdSpace};
 use cs_net::{BandwidthAssigner, MessageSizes, NodeBandwidth, TrafficClass, TrafficCounter};
 use cs_overlay::{plan_churn, ConnectedNeighbors, NeighborEntry, OverheardList, RpServer};
-use cs_sim::{Engine, RngTree, SimDuration, SimRng, SimTime};
+use cs_sim::{RngTree, SimDuration, SimRng, SimTime};
 use cs_trace::{augment_to_min_degree, derive_latency, TraceGenConfig, TraceGenerator};
 
 use crate::backup::VodBackupStore;
@@ -75,6 +75,7 @@ use crate::scheduler::{
     schedule_coolstreaming_into, schedule_greedy_into, schedule_random_into, sort_candidates,
     Assignment, ScheduleContext, SchedulerScratch, SegmentCandidate,
 };
+use crate::telemetry::{StartupSample, Telemetry, TelemetryRound};
 use crate::urgent::{PrefetchCheck, PrefetchDecision, UrgentLine};
 use crate::SegmentId;
 
@@ -159,6 +160,10 @@ struct NodeSim {
     outbound_carry: f64,
     /// Fractional left-over inbound budget carried between rounds.
     inbound_carry: f64,
+    /// VCR pause: playback is frozen (the play point holds still) but the
+    /// node keeps buffering and serving. Set only through
+    /// [`SystemEvent::Pause`]/[`SystemEvent::Resume`].
+    paused: bool,
     is_source: bool,
 }
 
@@ -432,6 +437,10 @@ struct ServiceCounters {
     dropped: u64,
     /// §4.3 Case-2 repetitions detected on delivery of tagged segments.
     repeated: u32,
+    /// Suppliers that delivered ≥ 1 segment this round (telemetry).
+    supplier_active: usize,
+    /// Largest delivery count by a single supplier this round (telemetry).
+    supplier_peak: u64,
 }
 
 /// The decision half of supplier service for one supplier slot: sort the
@@ -703,6 +712,67 @@ impl RoundScratch {
     }
 }
 
+/// A workload event applied between rounds — the hook API the
+/// `cs-scenario` engine (and any other external driver) uses to change
+/// the system mid-run. Events never consume the churn/scheduler/join RNG
+/// streams: everything they need to sample flows through a dedicated
+/// `"scenario"` child of the seed tree, so a run that applies no events
+/// is bit-identical to a plain [`SystemSim::run`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SystemEvent {
+    /// Admit one node through the §4.1 RP join protocol (the same path
+    /// churn joins take: close-ID ping, neighbour adoption, DHT join).
+    /// `None` fields are drawn from the joiner pools on the scenario
+    /// stream; `Some` fields express heterogeneous node classes
+    /// (capacity tiers, latency classes).
+    Join {
+        /// Override the joiner's ping time (latency class).
+        ping_ms: Option<f64>,
+        /// Override the joiner's capacity (upload tier).
+        bandwidth: Option<NodeBandwidth>,
+    },
+    /// Remove a node; `graceful` leaves hand their VoD backups to the
+    /// ring predecessor, abrupt failures just vanish.
+    Leave { id: DhtId, graceful: bool },
+    /// VCR: move a node's play anchor. The exchange window, the urgent
+    /// line and the pre-fetcher all re-derive from the new anchor on the
+    /// next round.
+    Seek { id: DhtId, target: SeekTarget },
+    /// VCR: freeze playback. The node keeps buffering, serving and
+    /// counting as alive, but its play point holds still and it is not
+    /// counted as playing until resumed.
+    Pause { id: DhtId },
+    /// VCR: resume a paused node at its frozen play point.
+    Resume { id: DhtId },
+    /// Change a node's capacity mid-run (tier upgrade or throttle).
+    SetBandwidth { id: DhtId, bandwidth: NodeBandwidth },
+}
+
+/// Where a [`SystemEvent::Seek`] moves the play anchor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SeekTarget {
+    /// Jump `n` segments toward the live frontier (clamped to it).
+    Forward(u64),
+    /// Jump `n` segments back (clamped to the oldest segment the buffer
+    /// window can still address).
+    Backward(u64),
+    /// Jump to the live frontier minus the startup buffering window.
+    ToLive,
+}
+
+/// What applying a [`SystemEvent`] did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventOutcome {
+    /// A join succeeded; the new node got this id.
+    Joined(DhtId),
+    /// The event applied to its target.
+    Applied,
+    /// The event had no effect: dead or unsuitable target (e.g. the
+    /// source, or a seek on a node that has not started playback), or a
+    /// join that found no reachable contact.
+    Rejected,
+}
+
 /// The full-system simulator.
 pub struct SystemSim {
     config: SystemConfig,
@@ -730,18 +800,21 @@ pub struct SystemSim {
     churn_rng: SimRng,
     sched_rng: SimRng,
     join_rng: SimRng,
+    /// Dedicated stream for [`SystemEvent`] internals (scenario joins'
+    /// ids, pings, capacities). Untouched streams above stay untouched:
+    /// a run that applies no events reproduces `run()` bit for bit.
+    scenario_rng: SimRng,
+    /// Next round index for the manual stepping API ([`Self::step`]).
+    next_round: u32,
+    /// Diagnostic collector; `None` (the default) costs one branch per
+    /// tap and allocates nothing.
+    telemetry: Option<Box<Telemetry>>,
     scratch: RoundScratch,
 }
 
 /// Debug introspection record: `(id, next_play, buffer_len, first_id,
 /// contiguous_from_first, connected, inbound_rate)`.
 pub type NodeDebugState = (DhtId, Option<u64>, u64, Option<u64>, u64, usize, f64);
-
-/// Internal event payload for the round engine.
-#[derive(Debug, Clone, Copy)]
-enum SysEvent {
-    Round(u32),
-}
 
 /// The requester's estimate of supplier `s`'s sending rate `R(j)`:
 /// the larger of the observed delivery EWMA and the supplier's
@@ -1162,6 +1235,9 @@ impl SystemSim {
             churn_rng: tree.child("churn"),
             sched_rng: tree.child("scheduler"),
             join_rng: tree.child("join"),
+            scenario_rng: tree.child("scenario"),
+            next_round: 0,
+            telemetry: None,
             scratch: RoundScratch::default(),
             config,
         };
@@ -1217,6 +1293,7 @@ impl SystemSim {
             round_inflow: 0,
             outbound_carry: 0.0,
             inbound_carry: 0.0,
+            paused: false,
             is_source,
         }
     }
@@ -1356,24 +1433,219 @@ impl SystemSim {
     }
 
     /// Run the configured number of rounds and produce the report.
+    ///
+    /// Equivalent to stepping every remaining round with [`Self::step`]
+    /// and calling [`Self::finish`] — external drivers (the `cs-scenario`
+    /// engine) interleave [`Self::apply_event`] calls between steps and
+    /// get bit-identical behaviour when they apply no events.
     pub fn run(mut self) -> RunReport {
+        while self.step() {}
+        self.finish()
+    }
+
+    /// Execute the next scheduling round. Returns `false` (without doing
+    /// anything) once the configured number of rounds has run.
+    ///
+    /// Round `r` ends at simulated time `(r + 1)·τ` exactly — integer
+    /// microsecond arithmetic, identical to the event-engine schedule
+    /// `run()` historically used (the pinned behavioural fingerprints
+    /// hold across both drivers).
+    pub fn step(&mut self) -> bool {
+        if self.next_round >= self.config.rounds {
+            return false;
+        }
         let tau = SimDuration::from_secs_f64(self.config.period_secs);
-        let rounds = self.config.rounds;
-        let mut engine: Engine<SysEvent> = Engine::new();
-        engine.schedule(SimTime::ZERO, SysEvent::Round(0));
-        let horizon = SimTime::ZERO + tau * rounds as u64;
-        engine.run_until(horizon, |ev, sched| {
-            let SysEvent::Round(r) = ev.payload;
-            self.step_round(r, sched.now() + tau);
-            if r + 1 < rounds {
-                sched.schedule_after(tau, SysEvent::Round(r + 1));
-            }
-        });
+        let round = self.next_round;
+        let end = SimTime::ZERO + tau * (round as u64 + 1);
+        self.step_round(round, end);
+        self.next_round += 1;
+        true
+    }
+
+    /// Rounds executed so far — equivalently, the index of the round the
+    /// next [`Self::step`] will run.
+    pub fn rounds_run(&self) -> u32 {
+        self.next_round
+    }
+
+    /// Consume the simulator and produce the report over every round
+    /// stepped so far.
+    ///
+    /// # Panics
+    /// If no round has run yet (there is nothing to summarise).
+    pub fn finish(self) -> RunReport {
         let summary = summarize(&self.records);
         RunReport {
             rounds: self.records,
             summary,
         }
+    }
+
+    /// The per-round records accumulated so far (one per stepped round).
+    pub fn records(&self) -> &[RoundRecord] {
+        &self.records
+    }
+
+    /// Alive node ids in deterministic (ascending) order, including the
+    /// source. External drivers use this to resolve event targets.
+    pub fn alive_ids(&self) -> &[DhtId] {
+        &self.order_ids
+    }
+
+    /// The id of the source node (it never leaves and ignores VCR/leave
+    /// events).
+    pub fn source_id(&self) -> DhtId {
+        self.source
+    }
+
+    /// Newest segment the source has emitted so far.
+    pub fn newest_segment(&self) -> SegmentId {
+        self.newest_emitted
+    }
+
+    /// The play state of a node: `None` if the id is dead,
+    /// `Some((next_play, paused))` otherwise (`next_play` is `None`
+    /// while the node is still buffering toward its first play).
+    pub fn play_state(&self, id: DhtId) -> Option<(Option<SegmentId>, bool)> {
+        let idx = self.nodes.lookup(id)?;
+        let node = self.nodes.node(idx);
+        Some((node.next_play, node.paused))
+    }
+
+    /// Turn on the diagnostic telemetry collector (idempotent). Purely
+    /// observational: enabling it changes no RNG stream and no simulated
+    /// behaviour, only records more.
+    pub fn enable_telemetry(&mut self) {
+        if self.telemetry.is_none() {
+            self.telemetry = Some(Box::default());
+        }
+    }
+
+    /// The telemetry collected so far, if enabled.
+    pub fn telemetry(&self) -> Option<&Telemetry> {
+        self.telemetry.as_deref()
+    }
+
+    /// Take ownership of the collected telemetry (collection continues
+    /// into a fresh collector if more rounds are stepped).
+    pub fn take_telemetry(&mut self) -> Option<Telemetry> {
+        self.telemetry.as_mut().map(|t| std::mem::take(&mut **t))
+    }
+
+    /// Apply one workload event between rounds. See [`SystemEvent`] for
+    /// the semantics of each variant; membership-changing events rebuild
+    /// the deterministic node order immediately, so an [`Self::alive_ids`]
+    /// read after the call is current.
+    pub fn apply_event(&mut self, event: SystemEvent) -> EventOutcome {
+        match event {
+            SystemEvent::Join { ping_ms, bandwidth } => {
+                let id = self.rp.assign_id(&mut self.scenario_rng);
+                let ping = match ping_ms {
+                    Some(p) => p,
+                    None => {
+                        let k = self.scenario_rng.gen_range(0..self.joiner_pings.len());
+                        self.joiner_pings[k]
+                    }
+                };
+                let bw = match bandwidth {
+                    Some(b) => b,
+                    None => self.bw_assigner.sample_node(&mut self.scenario_rng),
+                };
+                if self.admit_joiner(id, ping, bw, self.next_round, true) {
+                    self.rebuild_order();
+                    EventOutcome::Joined(id)
+                } else {
+                    EventOutcome::Rejected
+                }
+            }
+            SystemEvent::Leave { id, graceful } => {
+                if id == self.source || self.nodes.lookup(id).is_none() {
+                    return EventOutcome::Rejected;
+                }
+                if graceful {
+                    self.graceful_leave(id);
+                } else {
+                    self.abrupt_failure(id);
+                }
+                self.rebuild_order();
+                EventOutcome::Applied
+            }
+            SystemEvent::Seek { id, target } => self.apply_seek(id, target),
+            SystemEvent::Pause { id } => self.set_paused(id, true),
+            SystemEvent::Resume { id } => self.set_paused(id, false),
+            SystemEvent::SetBandwidth { id, bandwidth } => {
+                if id == self.source {
+                    return EventOutcome::Rejected;
+                }
+                let Some(idx) = self.nodes.lookup(id) else {
+                    return EventOutcome::Rejected;
+                };
+                self.nodes.node_mut(idx).bandwidth = bandwidth;
+                EventOutcome::Applied
+            }
+        }
+    }
+
+    /// VCR seek: move the play anchor and re-anchor the buffer window
+    /// when the jump leaves it. The exchange window, urgent line and
+    /// pre-fetcher all derive from the play anchor, so they follow on
+    /// the next round; pre-fetch tags behind the new anchor are dropped
+    /// (their Case-1/Case-2 deadlines no longer mean anything).
+    fn apply_seek(&mut self, id: DhtId, target: SeekTarget) -> EventOutcome {
+        if id == self.source {
+            return EventOutcome::Rejected;
+        }
+        let Some(idx) = self.nodes.lookup(id) else {
+            return EventOutcome::Rejected;
+        };
+        let newest = self.newest_emitted;
+        let startup = self.config.startup_segments;
+        let node = self.nodes.node_mut(idx);
+        let Some(np) = node.next_play else {
+            // Still buffering: only a jump to the live frontier makes
+            // sense (re-anchor the buffering there); relative seeks have
+            // no play point to be relative to.
+            if matches!(target, SeekTarget::ToLive) {
+                let anchor = newest.saturating_sub(startup).max(1);
+                node.buffer.slide_to(anchor);
+                node.prefetch_tags.retain(|&seg, _| seg >= anchor);
+                return EventOutcome::Applied;
+            }
+            return EventOutcome::Rejected;
+        };
+        let dest = match target {
+            SeekTarget::Forward(n) => np.saturating_add(n).min(newest.max(1)),
+            SeekTarget::Backward(n) => np.saturating_sub(n),
+            SeekTarget::ToLive => newest.saturating_sub(startup),
+        }
+        // Never below the buffer head: segments under it cannot be
+        // (re-)inserted, so a play anchor there could never advance.
+        .max(node.buffer.head())
+        .max(1);
+        if dest >= node.buffer.head() + node.buffer.capacity() {
+            // The jump leaves the current window entirely: re-anchor it
+            // at the destination (everything held is behind the new
+            // anchor and unreachable for own playback).
+            node.buffer.slide_to(dest);
+        }
+        node.next_play = Some(dest);
+        node.prefetch_tags.retain(|&seg, _| seg >= dest);
+        EventOutcome::Applied
+    }
+
+    fn set_paused(&mut self, id: DhtId, paused: bool) -> EventOutcome {
+        if id == self.source {
+            return EventOutcome::Rejected;
+        }
+        let Some(idx) = self.nodes.lookup(id) else {
+            return EventOutcome::Rejected;
+        };
+        let node = self.nodes.node_mut(idx);
+        if node.paused == paused {
+            return EventOutcome::Rejected;
+        }
+        node.paused = paused;
+        EventOutcome::Applied
     }
 
     /// Latency between two ids at the DHT/overlay boundary (unknown ids
@@ -1500,25 +1772,37 @@ impl SystemSim {
         let mut prefetch_successes = 0u32;
         let mut prefetch_overdue = 0u32;
         let mut prefetch_suppressed = 0u32;
+        let mut prefetch_routing_msgs = 0u64;
         if self.config.prefetch_enabled {
             self.plan_prefetch_phase(&mut scratch);
             for k in 0..self.order_idx.len() {
                 let idx = self.order_idx[k];
-                let (attempts, successes, overdue, suppressed, repeated) =
+                let (attempts, successes, overdue, suppressed, repeated, routing) =
                     self.execute_prefetch(idx, k, round, &mut scratch, &mut traffic);
                 prefetch_attempts += attempts;
                 prefetch_successes += successes;
                 prefetch_overdue += overdue;
                 prefetch_suppressed += suppressed;
                 prefetch_repeated += repeated;
+                prefetch_routing_msgs += routing;
             }
         }
 
         // --- 8. playback and continuity -----------------------------------------
+        let telemetry_on = self.telemetry.is_some();
         let mut playing = 0usize;
         let mut continuous = 0usize;
         let mut alive = 0usize;
+        let mut paused = 0usize;
         let mut alpha_sum = 0.0;
+        // Telemetry accumulators (all dead weight on the disabled path:
+        // a handful of untouched stack variables).
+        let mut runway_sum = 0u64;
+        let mut min_runway = u64::MAX;
+        let mut gap_sum = 0u64;
+        let mut occupancy_sum = 0.0f64;
+        let mut backup_total = 0u64;
+        let lookahead = (2 * self.config.startup_segments).max(4 * p);
         for k in 0..self.order_idx.len() {
             let node = self.nodes.node_mut(self.order_idx[k]);
             if node.is_source {
@@ -1526,6 +1810,9 @@ impl SystemSim {
             }
             alive += 1;
             alpha_sum += node.urgent.alpha();
+            if telemetry_on {
+                backup_total += node.backup.len() as u64;
+            }
             match node.next_play {
                 None => {
                     // Startup: like a real player, buffer for a fixed
@@ -1539,13 +1826,50 @@ impl SystemSim {
                     if let Some(fdr) = node.first_data_round {
                         if round >= fdr + startup_rounds {
                             node.next_play = node.buffer.iter().next();
+                            if telemetry_on && node.next_play.is_some() {
+                                let sample = StartupSample {
+                                    id: node.id,
+                                    spawn_round: node.spawn_round,
+                                    first_data_round: fdr,
+                                    start_round: round,
+                                };
+                                if let Some(t) = self.telemetry.as_deref_mut() {
+                                    t.startups.push(sample);
+                                }
+                            }
                         }
                     }
+                }
+                Some(_) if node.paused => {
+                    // VCR pause: the play point holds still. The node
+                    // needs no data to keep its (frozen) playback
+                    // smooth, so it leaves the continuity ratio
+                    // entirely — numerator *and* denominator — or pause
+                    // pressure would read as a streaming stall.
+                    paused += 1;
                 }
                 Some(np) => {
                     playing += 1;
                     if node.buffer.has_range(np, p) {
                         continuous += 1;
+                    }
+                    if telemetry_on {
+                        let runway = node.buffer.contiguous_from(np);
+                        runway_sum += runway;
+                        min_runway = min_runway.min(runway);
+                        gap_sum += self.newest_emitted.saturating_sub(np);
+                        // Mirror the scheduler's exchange-window bounds
+                        // (`plan_node`): how much of what the node will
+                        // pull over is already held.
+                        let window_end = (self.newest_emitted + 1)
+                            .min(np + lookahead)
+                            .min(np + self.config.buffer_size);
+                        if window_end > np {
+                            let held = (np..window_end)
+                                .filter(|&seg| node.buffer.contains(seg))
+                                .count();
+                            occupancy_sum += held as f64 / (window_end - np) as f64;
+                        }
                     }
                     let next = np + p;
                     node.next_play = Some(next);
@@ -1562,13 +1886,15 @@ impl SystemSim {
         }
 
         // --- 9. backup GC and DHT table aging -------------------------------------
+        let mut gc_evictions = 0u64;
         if round % 10 == 9 {
             let horizon = self.global_play_floor();
             for k in 0..self.order_idx.len() {
-                self.nodes
+                gc_evictions += self
+                    .nodes
                     .node_mut(self.order_idx[k])
                     .backup
-                    .gc_before(horizon);
+                    .gc_before(horizon) as u64;
             }
             self.dht.tick_tables();
         }
@@ -1585,8 +1911,11 @@ impl SystemSim {
             alive,
             playing,
             continuous,
-            continuity: if alive > 0 {
-                continuous as f64 / alive as f64
+            // Paused nodes are excluded from the ratio (see the pause
+            // arm above); with none paused this is exactly
+            // `continuous / alive`, the pinned historical definition.
+            continuity: if alive > paused {
+                continuous as f64 / (alive - paused) as f64
             } else {
                 0.0
             },
@@ -1607,6 +1936,34 @@ impl SystemSim {
             joins,
             leaves,
         });
+        if let Some(t) = self.telemetry.as_deref_mut() {
+            t.rounds.push(TelemetryRound {
+                round,
+                playing,
+                newest_emitted: self.newest_emitted,
+                mean_runway: if playing > 0 {
+                    runway_sum as f64 / playing as f64
+                } else {
+                    0.0
+                },
+                min_runway: if playing > 0 { min_runway } else { 0 },
+                mean_frontier_gap: if playing > 0 {
+                    gap_sum as f64 / playing as f64
+                } else {
+                    0.0
+                },
+                window_occupancy: if playing > 0 {
+                    occupancy_sum / playing as f64
+                } else {
+                    0.0
+                },
+                supplier_active: svc.supplier_active,
+                supplier_peak_load: svc.supplier_peak,
+                dht_routing_msgs: prefetch_routing_msgs,
+                gc_evictions,
+                backup_segments: backup_total,
+            });
+        }
         self.scratch = scratch;
     }
 
@@ -1870,11 +2227,17 @@ impl SystemSim {
             };
             svc.issued += issued;
             svc.dropped += dropped;
+            let mut delivered_here = 0u64;
             for ri in start..start + len {
                 let req = scratch.requests_sorted[ri];
                 if req.accepted {
                     self.deliver_one(sup_ref, req, traffic, svc);
+                    delivered_here += 1;
                 }
+            }
+            if delivered_here > 0 {
+                svc.supplier_active += 1;
+                svc.supplier_peak = svc.supplier_peak.max(delivered_here);
             }
         }
     }
@@ -1971,7 +2334,8 @@ impl SystemSim {
     /// signals, then run Algorithm 2 retrievals for the planned missed
     /// segments. Mutates shared state (DHT tables, the outbound-spend
     /// ledger, backups), so it always runs serially in node order.
-    /// Returns `(attempts, successes, overdue, suppressed, repeated)`.
+    /// Returns `(attempts, successes, overdue, suppressed, repeated,
+    /// routing_msgs)`.
     fn execute_prefetch(
         &mut self,
         idx: NodeIdx,
@@ -1979,9 +2343,9 @@ impl SystemSim {
         round: u32,
         scratch: &mut RoundScratch,
         traffic: &mut TrafficCounter,
-    ) -> (u32, u32, u32, u32, u32) {
+    ) -> (u32, u32, u32, u32, u32, u64) {
         if scratch.prefetch_plans[k].suppressed {
-            return (0, 0, 0, 1, 0);
+            return (0, 0, 0, 1, 0, 0);
         }
         let repeated = scratch.prefetch_plans[k].repeated;
         let max_fetches = scratch.prefetch_plans[k].max_fetches;
@@ -1989,7 +2353,7 @@ impl SystemSim {
             self.nodes.node_mut(idx).urgent.on_repeated();
         }
         if scratch.prefetch_plans[k].missed.is_empty() {
-            return (0, 0, 0, 0, repeated);
+            return (0, 0, 0, 0, repeated, 0);
         }
         let (requester_id, anchor, started) = {
             let node = self.nodes.node(idx);
@@ -2006,6 +2370,7 @@ impl SystemSim {
         let mut attempts = 0u32;
         let mut successes = 0u32;
         let mut overdue = 0u32;
+        let mut routing_msgs = 0u64;
         let period_ms = self.config.period_secs * 1000.0;
 
         for mi in 0..max_fetches {
@@ -2062,6 +2427,7 @@ impl SystemSim {
                 TrafficClass::PrefetchRouting,
                 outcome.routing_messages as u64 * self.sizes.routing_message_bits,
             );
+            routing_msgs += outcome.routing_messages as u64;
             // The requester overhears every node its lookups reached
             // (the located list stayed in the retrieval scratch).
             {
@@ -2108,7 +2474,7 @@ impl SystemSim {
                 }
             }
         }
-        (attempts, successes, overdue, 0, repeated)
+        (attempts, successes, overdue, 0, repeated, routing_msgs)
     }
 
     /// The node's *belief* about its ring successor: its closest clockwise
@@ -2299,12 +2665,29 @@ impl SystemSim {
         self.dht.leave(id);
     }
 
-    /// One join via the RP server (§4.1 protocol).
+    /// One churn join via the RP server (§4.1 protocol).
     fn join_one(&mut self, round: u32) -> bool {
         let id = self.rp.assign_id(&mut self.join_rng);
         let ping =
             self.joiner_pings[(round as usize * 31 + self.nodes.len()) % self.joiner_pings.len()];
         let bandwidth = self.bw_assigner.sample_node(&mut self.join_rng);
+        self.admit_joiner(id, ping, bandwidth, round, false)
+    }
+
+    /// The §4.1 admission protocol, shared by churn joins and scenario
+    /// [`SystemEvent::Join`]s: PING the RP's close-ID list, notify the
+    /// contacts, adopt a neighbour view, enter the DHT. `scenario`
+    /// selects which RNG stream the DHT join consumes — churn joins keep
+    /// drawing from the `"join"` stream exactly as before, scenario
+    /// joins stay on their own stream.
+    fn admit_joiner(
+        &mut self,
+        id: DhtId,
+        ping: f64,
+        bandwidth: NodeBandwidth,
+        round: u32,
+        scenario: bool,
+    ) -> bool {
         let t_fetch = cs_analysis::t_fetch(self.nodes.len().max(2) as u64, self.config.t_hop_secs);
         let mut node = Self::make_node(
             &self.config,
@@ -2419,6 +2802,11 @@ impl SystemSim {
         // The DHT join closure sees the joiner's real ping (it is in the
         // arena now), like the `pings` snapshot the id-keyed version
         // chained the joiner into.
+        let rng = if scenario {
+            &mut self.scenario_rng
+        } else {
+            &mut self.join_rng
+        };
         let nodes = &self.nodes;
         let latency = |a: DhtId, b: DhtId| {
             let ping = |n: DhtId| {
@@ -2430,7 +2818,7 @@ impl SystemSim {
             derive_latency(ping(a), ping(b))
         };
         self.dht
-            .join(id, &latency, &mut self.join_rng)
+            .join(id, &latency, rng)
             .expect("RP-assigned ids are unique");
         true
     }

@@ -20,6 +20,12 @@ use cs_sim::SimRng;
 /// I = 100" — the paper reuses the letter I for the source's outbound).
 pub const SOURCE_OUTBOUND_SEGMENTS: f64 = 100.0;
 
+/// The paper's mean per-node rate in Kbps ("let the average inbound
+/// rate be 450 Kbps"); the homogeneous environments give every node
+/// exactly this, and consumers that need a neutral default rate (e.g.
+/// half-pinned scenario node classes) use it by name.
+pub const PAPER_MEAN_KBPS: f64 = 450.0;
+
 /// Inbound/outbound capacity of one node, in kilobits per second.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct NodeBandwidth {
@@ -70,7 +76,7 @@ impl Default for BandwidthAssigner {
         BandwidthAssigner {
             lo_kbps: 300.0,
             hi_kbps: 1000.0,
-            mean_kbps: 450.0,
+            mean_kbps: PAPER_MEAN_KBPS,
             profile: BandwidthProfile::Heterogeneous,
         }
     }

@@ -22,5 +22,7 @@ pub mod bandwidth;
 pub mod message;
 
 pub use accounting::{OverheadReport, TrafficClass, TrafficCounter};
-pub use bandwidth::{BandwidthAssigner, BandwidthProfile, NodeBandwidth, SOURCE_OUTBOUND_SEGMENTS};
+pub use bandwidth::{
+    BandwidthAssigner, BandwidthProfile, NodeBandwidth, PAPER_MEAN_KBPS, SOURCE_OUTBOUND_SEGMENTS,
+};
 pub use message::{MessageSizes, SEGMENT_BITS_DEFAULT};

@@ -1,0 +1,335 @@
+//! Metrics export: the merged per-round view of a scenario run
+//! ([`RoundRecord`] + [`TelemetryRound`]) with CSV and JSON encoders, a
+//! human-readable summary, and per-round fingerprints for determinism
+//! gates.
+//!
+//! Encoders are hand-rolled: the build environment is offline, so no
+//! serde. Floats are written with Rust's shortest-roundtrip formatting,
+//! which is deterministic across runs and platforms for equal values —
+//! the scenario determinism suite pins exports byte for byte.
+
+use cs_core::telemetry::mean_startup_delay;
+use cs_core::{RoundRecord, RunReport, RunSummary, StartupSample, Telemetry, TelemetryRound};
+
+use crate::engine::EngineStats;
+use crate::spec::{fnv1a, ScenarioSpec};
+
+/// One merged metrics row: the paper metrics plus diagnostics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricsRow {
+    /// The §5.3 record of the round.
+    pub record: RoundRecord,
+    /// The diagnostic counters of the round (always present for runs
+    /// driven by [`crate::run_scenario`], which enables telemetry).
+    pub telemetry: Option<TelemetryRound>,
+}
+
+/// The complete export of one scenario run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricsLog {
+    /// Scenario name (from the spec).
+    pub scenario: String,
+    /// Fingerprint of the specification that produced the run.
+    pub spec_fingerprint: u64,
+    /// Master seed of the run.
+    pub seed: u64,
+    /// Merged per-round rows.
+    pub rows: Vec<MetricsRow>,
+    /// Per-joiner startup trajectories.
+    pub startups: Vec<StartupSample>,
+    /// The run summary (stable-phase means etc.).
+    pub summary: RunSummary,
+    /// What the scenario engine applied.
+    pub engine: EngineStats,
+}
+
+const CSV_HEADER: &str = "round,time_secs,alive,playing,continuous,continuity,joins,leaves,\
+gossip_deliveries,requests_issued,requests_dropped,prefetch_attempts,prefetch_successes,\
+prefetch_overdue,prefetch_repeated,prefetch_suppressed,mean_alpha,newest_emitted,\
+mean_runway,min_runway,mean_frontier_gap,window_occupancy,supplier_active,\
+supplier_peak_load,dht_routing_msgs,gc_evictions,backup_segments";
+
+impl MetricsLog {
+    /// Assemble the export from a run's pieces.
+    pub fn new(
+        spec: &ScenarioSpec,
+        report: &RunReport,
+        telemetry: &Telemetry,
+        engine: EngineStats,
+    ) -> Self {
+        // Both vectors are produced one entry per stepped round in
+        // ascending order; an in-order cursor merges them in O(R)
+        // (matters for the 10k-round diagnosis runs).
+        let mut tele = telemetry.rounds.iter().peekable();
+        let rows = report
+            .rounds
+            .iter()
+            .map(|record| {
+                while tele.peek().is_some_and(|t| t.round < record.round) {
+                    tele.next();
+                }
+                MetricsRow {
+                    record: record.clone(),
+                    telemetry: tele
+                        .peek()
+                        .filter(|t| t.round == record.round)
+                        .map(|t| (*t).clone()),
+                }
+            })
+            .collect();
+        MetricsLog {
+            scenario: spec.name.clone(),
+            spec_fingerprint: spec.fingerprint(),
+            seed: spec.config.seed,
+            rows,
+            startups: telemetry.startups.clone(),
+            summary: report.summary.clone(),
+            engine,
+        }
+    }
+
+    /// Per-round fingerprints: hash of each merged row's debug
+    /// serialisation. Equal specs must produce equal vectors.
+    pub fn round_fingerprints(&self) -> Vec<u64> {
+        self.rows
+            .iter()
+            .map(|r| fnv1a(format!("{r:?}").as_bytes()))
+            .collect()
+    }
+
+    /// Fingerprint of the whole export.
+    pub fn fingerprint(&self) -> u64 {
+        fnv1a(format!("{self:?}").as_bytes())
+    }
+
+    /// CSV encoding: one line per round, diagnostics columns empty when
+    /// telemetry was off.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::with_capacity(self.rows.len() * 160 + 256);
+        out.push_str(CSV_HEADER);
+        out.push('\n');
+        for row in &self.rows {
+            let r = &row.record;
+            out.push_str(&format!(
+                "{},{:?},{},{},{},{:?},{},{},{},{},{},{},{},{},{},{},{:?}",
+                r.round,
+                r.time_secs,
+                r.alive,
+                r.playing,
+                r.continuous,
+                r.continuity,
+                r.joins,
+                r.leaves,
+                r.gossip_deliveries,
+                r.requests_issued,
+                r.requests_dropped,
+                r.prefetch_attempts,
+                r.prefetch_successes,
+                r.prefetch_overdue,
+                r.prefetch_repeated,
+                r.prefetch_suppressed,
+                r.mean_alpha,
+            ));
+            match &row.telemetry {
+                Some(t) => out.push_str(&format!(
+                    ",{},{:?},{},{:?},{:?},{},{},{},{},{}\n",
+                    t.newest_emitted,
+                    t.mean_runway,
+                    t.min_runway,
+                    t.mean_frontier_gap,
+                    t.window_occupancy,
+                    t.supplier_active,
+                    t.supplier_peak_load,
+                    t.dht_routing_msgs,
+                    t.gc_evictions,
+                    t.backup_segments,
+                )),
+                None => out.push_str(",,,,,,,,,,\n"),
+            }
+        }
+        out
+    }
+
+    /// JSON encoding of the full export (summary, engine stats, rows,
+    /// startup samples).
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(self.rows.len() * 300 + 1024);
+        out.push_str("{\n");
+        out.push_str(&format!(
+            "  \"scenario\": {:?},\n  \"spec_fingerprint\": \"0x{:016x}\",\n  \"seed\": {},\n",
+            self.scenario, self.spec_fingerprint, self.seed
+        ));
+        let s = &self.summary;
+        out.push_str(&format!(
+            "  \"summary\": {{\"stable_continuity\": {:?}, \"mean_continuity\": {:?}, \
+             \"stabilization_secs\": {}, \"control_overhead\": {:?}, \
+             \"prefetch_overhead\": {:?}, \"prefetch_attempts\": {}, \
+             \"prefetch_successes\": {}}},\n",
+            s.stable_continuity,
+            s.mean_continuity,
+            s.stabilization_secs
+                .map_or("null".to_string(), |v| format!("{v:?}")),
+            s.control_overhead,
+            s.prefetch_overhead,
+            s.prefetch_attempts,
+            s.prefetch_successes,
+        ));
+        let e = &self.engine;
+        out.push_str(&format!(
+            "  \"engine\": {{\"joins\": {}, \"joins_rejected\": {}, \"leaves\": {}, \
+             \"seeks\": {}, \"pauses\": {}, \"resumes\": {}, \"capacity_changes\": {}}},\n",
+            e.joins, e.joins_rejected, e.leaves, e.seeks, e.pauses, e.resumes, e.capacity_changes,
+        ));
+        out.push_str(&format!(
+            "  \"mean_startup_delay_rounds\": {},\n",
+            mean_startup_delay(&self.startups).map_or("null".to_string(), |v| format!("{v:?}"))
+        ));
+        out.push_str("  \"rounds\": [\n");
+        for (i, row) in self.rows.iter().enumerate() {
+            let r = &row.record;
+            out.push_str(&format!(
+                "    {{\"round\": {}, \"alive\": {}, \"playing\": {}, \"continuity\": {:?}, \
+                 \"joins\": {}, \"leaves\": {}, \"deliveries\": {}, \"prefetch_attempts\": {}, \
+                 \"prefetch_successes\": {}",
+                r.round,
+                r.alive,
+                r.playing,
+                r.continuity,
+                r.joins,
+                r.leaves,
+                r.gossip_deliveries,
+                r.prefetch_attempts,
+                r.prefetch_successes,
+            ));
+            if let Some(t) = &row.telemetry {
+                out.push_str(&format!(
+                    ", \"mean_runway\": {:?}, \"min_runway\": {}, \"mean_frontier_gap\": {:?}, \
+                     \"window_occupancy\": {:?}, \"supplier_active\": {}, \
+                     \"supplier_peak_load\": {}, \"dht_routing_msgs\": {}, \
+                     \"gc_evictions\": {}, \"backup_segments\": {}",
+                    t.mean_runway,
+                    t.min_runway,
+                    t.mean_frontier_gap,
+                    t.window_occupancy,
+                    t.supplier_active,
+                    t.supplier_peak_load,
+                    t.dht_routing_msgs,
+                    t.gc_evictions,
+                    t.backup_segments,
+                ));
+            }
+            out.push_str(if i + 1 < self.rows.len() {
+                "},\n"
+            } else {
+                "}\n"
+            });
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// A short human-readable report.
+    pub fn summarize(&self) -> String {
+        let last = self.rows.last();
+        let mut out = String::new();
+        out.push_str(&format!(
+            "scenario `{}` (spec 0x{:016x}, seed {})\n",
+            self.scenario, self.spec_fingerprint, self.seed
+        ));
+        out.push_str(&format!(
+            "  rounds: {}   final size: {} alive, {} playing\n",
+            self.rows.len(),
+            last.map_or(0, |r| r.record.alive),
+            last.map_or(0, |r| r.record.playing),
+        ));
+        out.push_str(&format!(
+            "  continuity: mean {:.4}, stable-phase {:.4}{}\n",
+            self.summary.mean_continuity,
+            self.summary.stable_continuity,
+            match self.summary.stabilization_secs {
+                Some(t) => format!(", stabilised at {t:.0} s"),
+                None => ", never stabilised".to_string(),
+            }
+        ));
+        out.push_str(&format!(
+            "  engine: {} joins (+{} rejected), {} leaves, {} seeks, {} pauses, {} resumes, {} capacity changes\n",
+            self.engine.joins,
+            self.engine.joins_rejected,
+            self.engine.leaves,
+            self.engine.seeks,
+            self.engine.pauses,
+            self.engine.resumes,
+            self.engine.capacity_changes,
+        ));
+        if let Some(delay) = mean_startup_delay(&self.startups) {
+            out.push_str(&format!(
+                "  startup: {} nodes started playback, mean delay {delay:.1} rounds\n",
+                self.startups.len()
+            ));
+        }
+        out.push_str(&format!(
+            "  prefetch: {} attempts, {} successes, overhead {:.4}\n",
+            self.summary.prefetch_attempts,
+            self.summary.prefetch_successes,
+            self.summary.prefetch_overhead,
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::run_scenario;
+    use crate::spec::ScenarioSpec;
+    use cs_core::SystemConfig;
+
+    fn tiny() -> ScenarioSpec {
+        ScenarioSpec::null(
+            "tiny",
+            SystemConfig {
+                nodes: 30,
+                rounds: 8,
+                startup_segments: 20,
+                seed: 5,
+                ..SystemConfig::default()
+            },
+        )
+    }
+
+    #[test]
+    fn csv_has_header_and_one_line_per_round() {
+        let outcome = run_scenario(&tiny());
+        let csv = outcome.log.to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 9, "header + 8 rounds");
+        assert!(lines[0].starts_with("round,time_secs,alive"));
+        let cols = lines[0].split(',').count();
+        for l in &lines[1..] {
+            assert_eq!(l.split(',').count(), cols, "ragged CSV row: {l}");
+        }
+    }
+
+    #[test]
+    fn json_is_structurally_sound() {
+        let outcome = run_scenario(&tiny());
+        let json = outcome.log.to_json();
+        // No JSON parser in this offline environment; check balance and
+        // a few required keys instead.
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "unbalanced braces"
+        );
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+        for key in ["\"scenario\"", "\"summary\"", "\"engine\"", "\"rounds\""] {
+            assert!(json.contains(key), "missing {key}");
+        }
+        assert!(!json.contains("NaN") && !json.contains("inf"));
+    }
+
+    #[test]
+    fn summarize_mentions_the_name() {
+        let outcome = run_scenario(&tiny());
+        assert!(outcome.log.summarize().contains("`tiny`"));
+    }
+}

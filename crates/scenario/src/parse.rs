@@ -1,0 +1,444 @@
+//! The scenario spec text format.
+//!
+//! A deliberately small line-oriented format (the build environment has
+//! no serde): blank lines and `#` comments are ignored; every other
+//! line is one statement. Statements:
+//!
+//! ```text
+//! # run configuration (key = value)
+//! name = flash-crowd
+//! nodes = 300
+//! rounds = 60
+//! seed = 99
+//! scheduler = continustreaming        # continustreaming|coolstreaming|random
+//! startup_segments = 100              # any of: neighbors, buffer_size,
+//! id_space_slack = 8                  # playback_rate, replicas, prefetch_cap
+//! churn = 0.05 0.05 0.5               # baseline leave/join[/graceful] fractions
+//!
+//! # node classes (capacity tiers / latency classes)
+//! class dsl inbound=600 outbound=300 weight=3
+//! class fiber inbound=2000 outbound=1000 ping=40 weight=1
+//!
+//! # phases: models active over [start, end) rounds
+//! phase 0..60 arrivals=poisson:2.0 session=lognormal:2.5,0.8 classes=dsl,fiber
+//! phase 20..40 seek=0.05:30 pause=0.01 resume=0.25
+//!
+//! # timed events
+//! at 15 flash_crowd count=50 class=dsl
+//! at 30 mass_departure fraction=0.3 correlated graceful
+//! at 40 seek_storm fraction=0.5 jump=-50
+//! at 45 capacity_shift fraction=0.25 class=dsl
+//! ```
+
+use cs_core::{SchedulerKind, SystemConfig};
+use cs_overlay::ChurnConfig;
+
+use crate::spec::{
+    ArrivalModel, NodeClass, Phase, ScenarioEventKind, ScenarioSpec, SessionModel, TimedEvent,
+};
+
+/// A parse failure: line number (1-based) plus message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line the error occurred on.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn err<T>(line: usize, message: impl Into<String>) -> Result<T, ParseError> {
+    Err(ParseError {
+        line,
+        message: message.into(),
+    })
+}
+
+fn parse_num<T: std::str::FromStr>(line: usize, what: &str, s: &str) -> Result<T, ParseError> {
+    s.parse().map_err(|_| ParseError {
+        line,
+        message: format!("{what}: cannot parse `{s}`"),
+    })
+}
+
+/// Split `key=value` (no value ⇒ empty string, for bare flags).
+fn kv(token: &str) -> (&str, &str) {
+    match token.split_once('=') {
+        Some((k, v)) => (k, v),
+        None => (token, ""),
+    }
+}
+
+/// Parse a scenario spec from its text form. The result is validated.
+pub fn parse_scenario(text: &str) -> Result<ScenarioSpec, ParseError> {
+    let mut spec = ScenarioSpec::null("unnamed", SystemConfig::default());
+    for (i, raw) in text.lines().enumerate() {
+        let lineno = i + 1;
+        let line = match raw.split_once('#') {
+            Some((before, _)) => before.trim(),
+            None => raw.trim(),
+        };
+        if line.is_empty() {
+            continue;
+        }
+        let tokens: Vec<&str> = line.split_whitespace().collect();
+        match tokens[0] {
+            "class" => parse_class(lineno, &tokens, &mut spec)?,
+            "phase" => parse_phase(lineno, &tokens, &mut spec)?,
+            "at" => parse_event(lineno, &tokens, &mut spec)?,
+            _ => parse_config_line(lineno, line, &mut spec)?,
+        }
+    }
+    spec.validate().map_err(|e| ParseError {
+        line: 0,
+        message: e.0,
+    })?;
+    Ok(spec)
+}
+
+fn parse_config_line(lineno: usize, line: &str, spec: &mut ScenarioSpec) -> Result<(), ParseError> {
+    let Some((key, value)) = line.split_once('=') else {
+        return err(lineno, format!("expected `key = value`, got `{line}`"));
+    };
+    let (key, value) = (key.trim(), value.trim());
+    let c = &mut spec.config;
+    match key {
+        "name" => spec.name = value.to_string(),
+        "nodes" => c.nodes = parse_num(lineno, key, value)?,
+        "rounds" => c.rounds = parse_num(lineno, key, value)?,
+        "seed" => c.seed = parse_num(lineno, key, value)?,
+        "neighbors" => c.neighbors = parse_num(lineno, key, value)?,
+        "buffer_size" => c.buffer_size = parse_num(lineno, key, value)?,
+        "playback_rate" => c.playback_rate = parse_num(lineno, key, value)?,
+        "replicas" => c.replicas = parse_num(lineno, key, value)?,
+        "prefetch_cap" => c.prefetch_cap = parse_num(lineno, key, value)?,
+        "startup_segments" => c.startup_segments = parse_num(lineno, key, value)?,
+        "id_space_slack" => c.id_space_slack = parse_num(lineno, key, value)?,
+        "prefetch" => c.prefetch_enabled = parse_num::<u8>(lineno, key, value)? != 0,
+        "scheduler" => {
+            c.scheduler = match value {
+                "continustreaming" => SchedulerKind::ContinuStreaming,
+                "coolstreaming" => SchedulerKind::CoolStreaming,
+                "random" => SchedulerKind::Random,
+                other => return err(lineno, format!("unknown scheduler `{other}`")),
+            };
+            c.prefetch_enabled = matches!(c.scheduler, SchedulerKind::ContinuStreaming);
+        }
+        "churn" => {
+            let parts: Vec<&str> = value.split_whitespace().collect();
+            if parts.len() < 2 || parts.len() > 3 {
+                return err(lineno, "churn takes `leave join [graceful]` fractions");
+            }
+            c.churn = ChurnConfig {
+                leave_fraction: parse_num(lineno, "churn leave", parts[0])?,
+                join_fraction: parse_num(lineno, "churn join", parts[1])?,
+                graceful_fraction: match parts.get(2) {
+                    Some(g) => parse_num(lineno, "churn graceful", g)?,
+                    None => 0.5,
+                },
+            };
+        }
+        other => return err(lineno, format!("unknown configuration key `{other}`")),
+    }
+    Ok(())
+}
+
+fn parse_class(lineno: usize, tokens: &[&str], spec: &mut ScenarioSpec) -> Result<(), ParseError> {
+    if tokens.len() < 2 {
+        return err(lineno, "class needs a name: `class <name> [key=value…]`");
+    }
+    let mut class = NodeClass::default_class(tokens[1]);
+    for token in &tokens[2..] {
+        let (k, v) = kv(token);
+        match k {
+            "inbound" => class.inbound_kbps = Some(parse_num(lineno, k, v)?),
+            "outbound" => class.outbound_kbps = Some(parse_num(lineno, k, v)?),
+            "ping" => class.ping_ms = Some(parse_num(lineno, k, v)?),
+            "weight" => class.weight = parse_num(lineno, k, v)?,
+            other => return err(lineno, format!("unknown class key `{other}`")),
+        }
+    }
+    spec.classes.push(class);
+    Ok(())
+}
+
+fn parse_session(lineno: usize, v: &str) -> Result<SessionModel, ParseError> {
+    if v == "forever" {
+        return Ok(SessionModel::Forever);
+    }
+    let Some((kind, params)) = v.split_once(':') else {
+        return err(lineno, format!("session `{v}`: expected `kind:params`"));
+    };
+    let nums: Vec<f64> = params
+        .split(',')
+        .map(|p| parse_num(lineno, "session parameter", p))
+        .collect::<Result<_, _>>()?;
+    match (kind, nums.as_slice()) {
+        ("exp", [mean]) => Ok(SessionModel::Exponential { mean_rounds: *mean }),
+        ("weibull", [shape, scale]) => Ok(SessionModel::Weibull {
+            shape: *shape,
+            scale_rounds: *scale,
+        }),
+        ("lognormal", [mu, sigma]) => Ok(SessionModel::LogNormal {
+            mu: *mu,
+            sigma: *sigma,
+        }),
+        _ => err(
+            lineno,
+            format!("session `{v}`: expected exp:MEAN, weibull:SHAPE,SCALE or lognormal:MU,SIGMA"),
+        ),
+    }
+}
+
+fn parse_phase(lineno: usize, tokens: &[&str], spec: &mut ScenarioSpec) -> Result<(), ParseError> {
+    if tokens.len() < 2 {
+        return err(lineno, "phase needs a range: `phase <start>..<end> …`");
+    }
+    let Some((start, end)) = tokens[1].split_once("..") else {
+        return err(
+            lineno,
+            format!("phase range `{}`: expected start..end", tokens[1]),
+        );
+    };
+    let mut phase = Phase::quiet(
+        parse_num(lineno, "phase start", start)?,
+        parse_num(lineno, "phase end", end)?,
+    );
+    for token in &tokens[2..] {
+        let (k, v) = kv(token);
+        match k {
+            "arrivals" => {
+                let Some(rate) = v.strip_prefix("poisson:") else {
+                    return err(lineno, format!("arrivals `{v}`: expected poisson:RATE"));
+                };
+                phase.arrivals = ArrivalModel {
+                    poisson_rate: parse_num(lineno, "arrival rate", rate)?,
+                };
+            }
+            "session" => phase.session = parse_session(lineno, v)?,
+            "graceful" => phase.graceful_fraction = parse_num(lineno, k, v)?,
+            "classes" => phase.classes = v.split(',').map(str::to_string).collect(),
+            "seek" => {
+                let Some((prob, max)) = v.split_once(':') else {
+                    return err(lineno, format!("seek `{v}`: expected PROB:MAX_JUMP"));
+                };
+                phase.vcr.seek_prob = parse_num(lineno, "seek probability", prob)?;
+                phase.vcr.seek_max = parse_num(lineno, "seek max jump", max)?;
+            }
+            "pause" => phase.vcr.pause_prob = parse_num(lineno, k, v)?,
+            "resume" => phase.vcr.resume_prob = parse_num(lineno, k, v)?,
+            other => return err(lineno, format!("unknown phase key `{other}`")),
+        }
+    }
+    spec.phases.push(phase);
+    Ok(())
+}
+
+fn parse_event(lineno: usize, tokens: &[&str], spec: &mut ScenarioSpec) -> Result<(), ParseError> {
+    if tokens.len() < 3 {
+        return err(lineno, "event: `at <round> <kind> [key=value…]`");
+    }
+    let round = parse_num(lineno, "event round", tokens[1])?;
+    let args = &tokens[3..];
+    // Reject stray tokens instead of silently ignoring them: a typo
+    // like `correlated=true` (bare flags take no value) or `clas=dsl`
+    // must not quietly flip the workload being studied.
+    let (valued, flags): (&[&str], &[&str]) = match tokens[2] {
+        "flash_crowd" => (&["count", "class"], &[]),
+        "mass_departure" => (&["fraction"], &["correlated", "graceful"]),
+        "seek_storm" => (&["fraction", "jump"], &[]),
+        "capacity_shift" => (&["fraction", "class"], &[]),
+        other => return err(lineno, format!("unknown event kind `{other}`")),
+    };
+    for token in args {
+        let (k, v) = kv(token);
+        if flags.contains(&k) {
+            if token.contains('=') {
+                return err(
+                    lineno,
+                    format!("`{k}` is a bare flag: write `{k}`, not `{token}`"),
+                );
+            }
+        } else if !valued.contains(&k) {
+            return err(lineno, format!("unknown {} key `{k}`", tokens[2]));
+        } else if v.is_empty() {
+            return err(lineno, format!("`{k}` needs a value: `{k}=…`"));
+        }
+    }
+    let get = |key: &str| -> Option<&str> {
+        args.iter()
+            .map(|t| kv(t))
+            .find(|(k, _)| *k == key)
+            .map(|(_, v)| v)
+    };
+    let has_flag = |key: &str| args.contains(&key);
+    let kind = match tokens[2] {
+        "flash_crowd" => ScenarioEventKind::FlashCrowd {
+            count: parse_num(
+                lineno,
+                "flash_crowd count",
+                get("count").ok_or(ParseError {
+                    line: lineno,
+                    message: "flash_crowd needs count=N".into(),
+                })?,
+            )?,
+            class: get("class").map(str::to_string),
+        },
+        "mass_departure" => ScenarioEventKind::MassDeparture {
+            fraction: parse_num(
+                lineno,
+                "mass_departure fraction",
+                get("fraction").ok_or(ParseError {
+                    line: lineno,
+                    message: "mass_departure needs fraction=F".into(),
+                })?,
+            )?,
+            correlated: has_flag("correlated"),
+            graceful: has_flag("graceful"),
+        },
+        "seek_storm" => ScenarioEventKind::SeekStorm {
+            fraction: parse_num(
+                lineno,
+                "seek_storm fraction",
+                get("fraction").ok_or(ParseError {
+                    line: lineno,
+                    message: "seek_storm needs fraction=F".into(),
+                })?,
+            )?,
+            jump: match get("jump") {
+                Some(j) => parse_num(lineno, "seek_storm jump", j)?,
+                None => 0,
+            },
+        },
+        "capacity_shift" => ScenarioEventKind::CapacityShift {
+            fraction: parse_num(
+                lineno,
+                "capacity_shift fraction",
+                get("fraction").ok_or(ParseError {
+                    line: lineno,
+                    message: "capacity_shift needs fraction=F".into(),
+                })?,
+            )?,
+            class: get("class")
+                .ok_or(ParseError {
+                    line: lineno,
+                    message: "capacity_shift needs class=NAME".into(),
+                })?
+                .to_string(),
+        },
+        other => return err(lineno, format!("unknown event kind `{other}`")),
+    };
+    spec.events.push(TimedEvent { round, kind });
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "\
+# a sample scenario
+name = sample
+nodes = 120
+rounds = 40
+seed = 7
+scheduler = continustreaming
+startup_segments = 30
+
+class dsl inbound=600 outbound=300 weight=3
+class fiber inbound=2000 outbound=1000 ping=40
+
+phase 0..40 arrivals=poisson:1.5 session=weibull:0.7,20 classes=dsl,fiber
+phase 10..30 seek=0.02:40 pause=0.01 resume=0.3
+
+at 12 flash_crowd count=25 class=dsl
+at 20 mass_departure fraction=0.2 correlated
+at 25 seek_storm fraction=0.4 jump=-60
+at 30 capacity_shift fraction=0.3 class=dsl
+";
+
+    #[test]
+    fn sample_parses_and_validates() {
+        let spec = parse_scenario(SAMPLE).unwrap();
+        assert_eq!(spec.name, "sample");
+        assert_eq!(spec.config.nodes, 120);
+        assert_eq!(spec.config.rounds, 40);
+        assert_eq!(spec.classes.len(), 2);
+        assert_eq!(spec.phases.len(), 2);
+        assert_eq!(spec.events.len(), 4);
+        assert_eq!(
+            spec.phases[0].session,
+            SessionModel::Weibull {
+                shape: 0.7,
+                scale_rounds: 20.0
+            }
+        );
+        assert!(matches!(
+            spec.events[1].kind,
+            ScenarioEventKind::MassDeparture {
+                correlated: true,
+                graceful: false,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn parse_is_deterministic_and_fingerprintable() {
+        let a = parse_scenario(SAMPLE).unwrap();
+        let b = parse_scenario(SAMPLE).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.fingerprint(), b.fingerprint());
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let spec = parse_scenario("# only comments\n\n  # and blanks\n").unwrap();
+        assert_eq!(spec.phases.len(), 0);
+        assert_eq!(spec.name, "unnamed");
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let e = parse_scenario("nodes = 10\nbogus line here\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        let e = parse_scenario("at 5 flash_crowd\n").unwrap_err();
+        assert_eq!(e.line, 1);
+        assert!(e.message.contains("count"));
+    }
+
+    #[test]
+    fn stray_event_tokens_are_rejected() {
+        // A bare flag written as key=value must fail loudly, not parse
+        // as the flag being absent.
+        let e = parse_scenario("at 5 mass_departure fraction=0.2 correlated=true\n").unwrap_err();
+        assert!(e.message.contains("bare flag"), "{}", e.message);
+        // Typoed keys must not be silently ignored.
+        let e = parse_scenario("at 5 flash_crowd count=3 clas=dsl\n").unwrap_err();
+        assert!(e.message.contains("unknown"), "{}", e.message);
+        // Valued keys need values.
+        let e = parse_scenario("at 5 seek_storm fraction=0.5 jump\n").unwrap_err();
+        assert!(e.message.contains("needs a value"), "{}", e.message);
+    }
+
+    #[test]
+    fn unknown_class_reference_fails_validation() {
+        let e = parse_scenario("at 5 flash_crowd count=3 class=ghost\n").unwrap_err();
+        assert!(e.message.contains("ghost"));
+    }
+
+    #[test]
+    fn scheduler_sets_prefetch() {
+        let spec = parse_scenario("scheduler = coolstreaming\n").unwrap();
+        assert!(!spec.config.prefetch_enabled);
+        let spec = parse_scenario("scheduler = continustreaming\n").unwrap();
+        assert!(spec.config.prefetch_enabled);
+    }
+}

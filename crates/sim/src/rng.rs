@@ -31,9 +31,12 @@ pub fn splitmix64(mut x: u64) -> u64 {
 
 /// FNV-1a over a byte string; used to hash textual labels into the seed
 /// derivation so that child streams are identified by *name*, not by the
-/// order in which subsystems happen to initialise.
+/// order in which subsystems happen to initialise. Public because it is
+/// also the workspace's shared fingerprint hash (`cs-bench`'s drift
+/// gates, `cs-scenario`'s spec/round fingerprints) — one implementation,
+/// so pinned values stay comparable across crates.
 #[inline]
-fn fnv1a(bytes: &[u8]) -> u64 {
+pub fn fnv1a(bytes: &[u8]) -> u64 {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
     for &b in bytes {
         h ^= b as u64;

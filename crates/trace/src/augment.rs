@@ -10,6 +10,7 @@ use rand::Rng;
 
 use cs_sim::SimRng;
 
+use crate::edgeset::EdgeSet;
 use crate::topology::Topology;
 
 /// Add random edges until every node has degree at least `m`.
@@ -17,6 +18,13 @@ use crate::topology::Topology;
 /// Low-degree nodes are processed in index order; partners are drawn
 /// uniformly, preferring other low-degree nodes first so the added edges
 /// spread evenly instead of piling onto hubs.
+///
+/// All queries the partner search needs run against a flat degree array
+/// and a flat [`EdgeSet`] (seeded from the topology in one linear pass),
+/// and the new edges land in the topology in a single bulk append — the
+/// same draws, the same graph, but none of the per-probe pointer chasing
+/// into per-node adjacency allocations that made augmentation visibly
+/// superlinear at 32k+ nodes.
 ///
 /// # Panics
 /// If `m >= n` (a simple graph cannot give every node degree `m`).
@@ -30,11 +38,27 @@ pub fn augment_to_min_degree(topo: &mut Topology, m: usize, rng: &mut SimRng) {
         "cannot reach minimum degree {m} in a simple graph of {n} nodes"
     );
 
+    let mut deg: Vec<u32> = (0..n).map(|v| topo.degree(v) as u32).collect();
+    let deficit: usize = deg
+        .iter()
+        .map(|&d| m.saturating_sub(d as usize))
+        .sum::<usize>()
+        .div_ceil(2);
+    let mut seen = EdgeSet::with_capacity(topo.edge_count() + deficit);
+    for v in 0..n {
+        for &w in topo.neighbors(v) {
+            if v < w {
+                seen.insert(v, w);
+            }
+        }
+    }
+    let mut new_edges: Vec<(usize, usize)> = Vec::with_capacity(deficit);
+
     for v in 0..n {
         // Re-check degree each iteration: earlier augmentations may have
         // already lifted v past the threshold.
         let mut guard = 0usize;
-        while topo.degree(v) < m {
+        while (deg[v] as usize) < m {
             guard += 1;
             assert!(
                 guard < n * 20 + 1000,
@@ -42,30 +66,41 @@ pub fn augment_to_min_degree(topo: &mut Topology, m: usize, rng: &mut SimRng) {
                  graph too small for degree {m}?"
             );
             // Prefer partners that are themselves below the threshold.
-            let candidate = pick_partner(topo, v, m, rng);
-            let _ = topo
-                .add_edge(v, candidate)
-                .expect("partner is a valid distinct node");
+            let candidate = pick_partner(&deg, &seen, v, m, n, rng);
+            let inserted = seen.insert(v, candidate);
+            debug_assert!(inserted, "partner search returned an existing edge");
+            deg[v] += 1;
+            deg[candidate] += 1;
+            new_edges.push((v, candidate));
         }
     }
+    topo.add_edges_bulk(&new_edges);
 }
 
-fn pick_partner(topo: &Topology, v: usize, m: usize, rng: &mut SimRng) -> usize {
-    let n = topo.len();
+fn pick_partner(
+    deg: &[u32],
+    seen: &EdgeSet,
+    v: usize,
+    m: usize,
+    n: usize,
+    rng: &mut SimRng,
+) -> usize {
     // A bounded number of biased draws, then fall back to uniform draws
     // over all non-neighbours. Biasing keeps added edges between the
     // sparse fringe rather than attaching everything to well-connected
     // nodes — closer to what "random edges until M neighbours" does when
-    // applied to a whole trace.
+    // applied to a whole trace. The degree test runs first: it is a flat
+    // read, and most failed draws fail on it, so the membership probe is
+    // rarely reached (the accepted partner is identical either way).
     for _ in 0..16 {
         let c = rng.gen_range(0..n);
-        if c != v && !topo.has_edge(v, c) && topo.degree(c) < m {
+        if c != v && (deg[c] as usize) < m && !seen.contains(v, c) {
             return c;
         }
     }
     loop {
         let c = rng.gen_range(0..n);
-        if c != v && !topo.has_edge(v, c) {
+        if c != v && !seen.contains(v, c) {
             return c;
         }
     }

@@ -1,0 +1,143 @@
+//! A flat, open-addressed set of undirected edges.
+//!
+//! Trace generation and degree augmentation probe edge membership once
+//! or more per RNG draw. Doing that through `Topology`'s per-node
+//! adjacency lists means a pointer chase into a separate heap
+//! allocation per probe — at 32k+ nodes the adjacency working set no
+//! longer fits in cache and construction turns visibly superlinear.
+//! This set packs each edge `{a, b}` (with `a < b`) into a single `u64`
+//! in one flat table, so a membership probe is one hash and (almost
+//! always) one cache line.
+//!
+//! Determinism: the table uses SplitMix64 over the packed key with
+//! linear probing — no per-process state — and the builders only ask
+//! membership questions, so swapping it in changes no RNG draw and no
+//! resulting topology (pinned behavioural fingerprints verify this).
+
+use cs_sim::splitmix64;
+
+const EMPTY: u64 = u64::MAX;
+
+/// A set of undirected edges over dense node indices `< u32::MAX`.
+pub(crate) struct EdgeSet {
+    slots: Vec<u64>,
+    mask: usize,
+    len: usize,
+}
+
+#[inline]
+fn pack(a: usize, b: usize) -> u64 {
+    let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+    ((lo as u64) << 32) | hi as u64
+}
+
+impl EdgeSet {
+    /// A set sized for `edges` insertions without rehashing (the table
+    /// keeps load factor ≤ 0.5).
+    pub(crate) fn with_capacity(edges: usize) -> Self {
+        let slots = (edges.max(1) * 2).next_power_of_two();
+        EdgeSet {
+            slots: vec![EMPTY; slots],
+            mask: slots - 1,
+            len: 0,
+        }
+    }
+
+    /// Number of edges stored.
+    #[cfg(test)]
+    pub(crate) fn len(&self) -> usize {
+        self.len
+    }
+
+    #[inline]
+    fn probe(&self, key: u64) -> (bool, usize) {
+        let mut i = splitmix64(key) as usize & self.mask;
+        loop {
+            let slot = self.slots[i];
+            if slot == EMPTY {
+                return (false, i);
+            }
+            if slot == key {
+                return (true, i);
+            }
+            i = (i + 1) & self.mask;
+        }
+    }
+
+    /// Whether the edge `{a, b}` is present.
+    #[inline]
+    pub(crate) fn contains(&self, a: usize, b: usize) -> bool {
+        self.probe(pack(a, b)).0
+    }
+
+    /// Insert `{a, b}`; returns `true` if the edge was new.
+    #[inline]
+    pub(crate) fn insert(&mut self, a: usize, b: usize) -> bool {
+        let key = pack(a, b);
+        let (present, mut i) = self.probe(key);
+        if present {
+            return false;
+        }
+        if (self.len + 1) * 2 > self.slots.len() {
+            self.grow();
+            i = self.probe(key).1;
+        }
+        self.slots[i] = key;
+        self.len += 1;
+        true
+    }
+
+    fn grow(&mut self) {
+        let old = std::mem::replace(&mut self.slots, vec![EMPTY; 0]);
+        let new_size = (old.len() * 2).max(16);
+        self.slots = vec![EMPTY; new_size];
+        self.mask = new_size - 1;
+        for key in old {
+            if key != EMPTY {
+                let (_, i) = self.probe(key);
+                self.slots[i] = key;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_and_contains_are_symmetric() {
+        let mut s = EdgeSet::with_capacity(4);
+        assert!(s.insert(3, 7));
+        assert!(!s.insert(7, 3), "undirected: reverse is the same edge");
+        assert!(s.contains(3, 7));
+        assert!(s.contains(7, 3));
+        assert!(!s.contains(3, 8));
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn grows_past_initial_capacity() {
+        let mut s = EdgeSet::with_capacity(2);
+        for i in 0..1000usize {
+            assert!(s.insert(i, i + 1));
+        }
+        assert_eq!(s.len(), 1000);
+        for i in 0..1000usize {
+            assert!(s.contains(i, i + 1));
+            assert!(!s.contains(i, i + 2), "only consecutive pairs were added");
+        }
+    }
+
+    #[test]
+    fn dense_pairs() {
+        let mut s = EdgeSet::with_capacity(1);
+        for a in 0..40usize {
+            for b in (a + 1)..40 {
+                assert!(s.insert(a, b));
+            }
+        }
+        assert_eq!(s.len(), 40 * 39 / 2);
+        assert!(s.contains(17, 31));
+    }
+}

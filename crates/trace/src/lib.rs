@@ -22,6 +22,7 @@
 //! simulator depends on.
 
 pub mod augment;
+mod edgeset;
 pub mod format;
 pub mod generate;
 pub mod latency;

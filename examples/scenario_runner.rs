@@ -1,0 +1,56 @@
+//! Run a scenario spec file end to end and export its metrics.
+//!
+//! ```text
+//! cargo run --release --example scenario_runner -- scenarios/flash_crowd.scn
+//! cargo run --release --example scenario_runner -- scenarios/heavy_vcr.scn \
+//!     --csv vcr.csv --json vcr.json
+//! ```
+//!
+//! Prints the human summary to stdout; `--csv`/`--json` write the full
+//! per-round exports (the CI scenario-smoke job uploads the JSON as an
+//! artifact). The run is deterministic in the spec: re-running produces
+//! byte-identical exports.
+
+use continustreaming::prelude::*;
+
+fn arg_value(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let Some(path) = args.get(1).filter(|a| !a.starts_with("--")) else {
+        eprintln!("usage: scenario_runner <spec.scn> [--csv out.csv] [--json out.json]");
+        std::process::exit(2);
+    };
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("cannot read {path}: {e}");
+        std::process::exit(2);
+    });
+    let spec = parse_scenario(&text).unwrap_or_else(|e| {
+        eprintln!("{path}: {e}");
+        std::process::exit(2);
+    });
+
+    eprintln!(
+        "running `{}`: {} nodes x {} rounds, seed {}, spec 0x{:016x}",
+        spec.name,
+        spec.config.nodes,
+        spec.config.rounds,
+        spec.config.seed,
+        spec.fingerprint()
+    );
+    let outcome = run_scenario(&spec);
+    print!("{}", outcome.log.summarize());
+
+    if let Some(csv_path) = arg_value(&args, "--csv") {
+        std::fs::write(&csv_path, outcome.log.to_csv()).expect("write csv");
+        eprintln!("wrote {csv_path}");
+    }
+    if let Some(json_path) = arg_value(&args, "--json") {
+        std::fs::write(&json_path, outcome.log.to_json()).expect("write json");
+        eprintln!("wrote {json_path}");
+    }
+}

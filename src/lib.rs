@@ -64,6 +64,7 @@ pub use cs_core as core;
 pub use cs_dht as dht;
 pub use cs_net as net;
 pub use cs_overlay as overlay;
+pub use cs_scenario as scenario;
 pub use cs_sim as sim;
 pub use cs_trace as trace;
 
@@ -71,12 +72,17 @@ pub use cs_trace as trace;
 pub mod prelude {
     pub use cs_analysis::{ContinuityModel, ContinuityPrediction};
     pub use cs_core::{
-        BufferMap, PriorityPolicy, RoundRecord, RunReport, RunSummary, SchedulerKind, SegmentId,
-        StreamBuffer, SystemConfig, SystemSim,
+        BufferMap, EventOutcome, PriorityPolicy, RoundRecord, RunReport, RunSummary, SchedulerKind,
+        SeekTarget, SegmentId, StreamBuffer, SystemConfig, SystemEvent, SystemSim, Telemetry,
+        TelemetryRound,
     };
     pub use cs_dht::{DhtId, DhtNetwork, IdSpace};
-    pub use cs_net::{BandwidthProfile, TrafficClass, TrafficCounter};
+    pub use cs_net::{BandwidthProfile, NodeBandwidth, TrafficClass, TrafficCounter};
     pub use cs_overlay::ChurnConfig;
+    pub use cs_scenario::{
+        parse_scenario, run_scenario, ArrivalModel, MetricsLog, NodeClass, Phase,
+        ScenarioEventKind, ScenarioSpec, SessionModel, TimedEvent, VcrModel,
+    };
     pub use cs_sim::{RngTree, SimDuration, SimTime};
     pub use cs_trace::{Topology, TraceGenConfig, TraceGenerator};
 }

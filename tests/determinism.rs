@@ -159,6 +159,29 @@ fn init_path_causes_no_round0_drift() {
     }
 }
 
+/// Layer 2c: the **null scenario** — the `cs-scenario` driver with an
+/// empty spec — reproduces the pinned pre-arena fingerprints exactly.
+/// The scenario runner steps the simulator manually and interleaves
+/// (zero) events, so this pins the whole stepping/hook path against the
+/// same hashes `run()` must match.
+#[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+#[test]
+fn null_scenario_reproduces_pinned_fingerprints() {
+    use cs_scenario::{run_scenario, ScenarioSpec};
+    let pinned = PINNED_RUN_HASHES;
+    let computed = scenarios();
+    assert_eq!(computed.len(), pinned.len());
+    for ((name, config), &(pin_name, pin_hash)) in computed.into_iter().zip(pinned) {
+        assert_eq!(name, pin_name, "scenario order changed");
+        let outcome = run_scenario(&ScenarioSpec::null(name, config));
+        let hash = fingerprint(&outcome.report);
+        assert_eq!(
+            hash, pin_hash,
+            "null-scenario drift in `{name}`: 0x{hash:016x} != pinned 0x{pin_hash:016x}"
+        );
+    }
+}
+
 /// Layer 3 (requires `--features parallel`): the phase fan-outs —
 /// scheduling, supplier-service planning, pre-fetch planning — must be
 /// **bit-identical to serial at every thread count**. Each scenario runs

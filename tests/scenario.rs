@@ -1,0 +1,357 @@
+//! Scenario-subsystem integration: determinism, null-scenario
+//! equivalence, the event hook API, and the committed spec files.
+//!
+//! Three layers:
+//!
+//! 1. **Null equivalence** — driving `SystemSim` through the scenario
+//!    runner with an empty spec must be *bit-identical* to `run()`, for
+//!    every pinned fingerprint scenario (static, dynamic, every
+//!    scheduler). This is what makes the scenario layer trustworthy: a
+//!    workload of zero events measures exactly the system the rest of
+//!    the test tree pins.
+//! 2. **Scenario determinism** — a rich spec (churn phases, flash
+//!    crowd, VCR, capacity shifts) must reproduce byte-identical CSV and
+//!    JSON exports and identical per-round fingerprints across runs.
+//! 3. **Committed specs** — the `scenarios/*.scn` files parse, validate
+//!    and express the workloads CI smokes.
+
+use continustreaming::prelude::*;
+use cs_bench::fingerprint::{fingerprint, scenarios};
+
+/// Layer 1: the null scenario is the identity — for every pinned
+/// scenario config, the scenario runner reproduces `SystemSim::run()`
+/// exactly (records, summary, and debug serialisation).
+#[test]
+fn null_scenario_is_bit_identical_to_plain_run() {
+    for (name, config) in scenarios() {
+        let plain = SystemSim::new(config.clone()).run();
+        let outcome = run_scenario(&ScenarioSpec::null(name, config));
+        assert_eq!(
+            plain.rounds, outcome.report.rounds,
+            "`{name}`: null scenario drifted from run()"
+        );
+        assert_eq!(plain.summary, outcome.report.summary, "`{name}`");
+        assert_eq!(
+            fingerprint(&plain),
+            fingerprint(&outcome.report),
+            "`{name}`: fingerprint drift through the scenario driver"
+        );
+    }
+}
+
+fn rich_spec(seed: u64) -> ScenarioSpec {
+    let mut spec = ScenarioSpec::null(
+        "rich",
+        SystemConfig {
+            nodes: 80,
+            rounds: 25,
+            startup_segments: 30,
+            id_space_slack: 4,
+            seed,
+            ..SystemConfig::default()
+        },
+    );
+    spec.classes = vec![
+        NodeClass {
+            name: "dsl".into(),
+            inbound_kbps: Some(600.0),
+            outbound_kbps: Some(300.0),
+            ping_ms: None,
+            weight: 2.0,
+        },
+        NodeClass {
+            name: "fiber".into(),
+            inbound_kbps: Some(1800.0),
+            outbound_kbps: Some(900.0),
+            ping_ms: Some(35.0),
+            weight: 1.0,
+        },
+    ];
+    spec.phases = vec![Phase {
+        start: 2,
+        end: 25,
+        arrivals: ArrivalModel { poisson_rate: 1.2 },
+        session: SessionModel::LogNormal {
+            mu: 2.2,
+            sigma: 0.8,
+        },
+        graceful_fraction: 0.6,
+        classes: vec!["dsl".into(), "fiber".into()],
+        vcr: VcrModel {
+            seek_prob: 0.03,
+            seek_max: 40,
+            pause_prob: 0.01,
+            resume_prob: 0.25,
+        },
+    }];
+    spec.events = vec![
+        TimedEvent {
+            round: 8,
+            kind: ScenarioEventKind::FlashCrowd {
+                count: 25,
+                class: Some("dsl".into()),
+            },
+        },
+        TimedEvent {
+            round: 14,
+            kind: ScenarioEventKind::MassDeparture {
+                fraction: 0.2,
+                correlated: true,
+                graceful: false,
+            },
+        },
+        TimedEvent {
+            round: 18,
+            kind: ScenarioEventKind::SeekStorm {
+                fraction: 0.4,
+                jump: -50,
+            },
+        },
+        TimedEvent {
+            round: 20,
+            kind: ScenarioEventKind::CapacityShift {
+                fraction: 0.3,
+                class: "dsl".into(),
+            },
+        },
+    ];
+    spec
+}
+
+/// Layer 2: same spec + seed ⇒ byte-identical exports and identical
+/// round fingerprints; a different seed diverges.
+#[test]
+fn scenario_exports_are_byte_identical_across_runs() {
+    let spec = rich_spec(31);
+    let a = run_scenario(&spec);
+    let b = run_scenario(&spec);
+    assert_eq!(a.report.rounds, b.report.rounds);
+    assert_eq!(a.telemetry, b.telemetry);
+    assert_eq!(a.log.to_csv(), b.log.to_csv(), "CSV export must reproduce");
+    assert_eq!(
+        a.log.to_json(),
+        b.log.to_json(),
+        "JSON export must reproduce"
+    );
+    assert_eq!(a.log.round_fingerprints(), b.log.round_fingerprints());
+    assert_eq!(a.log.fingerprint(), b.log.fingerprint());
+
+    let c = run_scenario(&rich_spec(32));
+    assert_ne!(
+        a.log.round_fingerprints(),
+        c.log.round_fingerprints(),
+        "a different seed must actually change the run"
+    );
+    // The workload did what it says: joins, leaves, seeks all happened.
+    assert!(a.log.engine.joins >= 25, "flash crowd + arrivals");
+    assert!(a.log.engine.leaves > 0, "mass departure + sessions");
+    assert!(a.log.engine.seeks > 0, "VCR + seek storm");
+    assert!(a.log.engine.capacity_changes > 0, "capacity shift");
+}
+
+/// Layer 2b: telemetry is purely observational — a run with the
+/// collector enabled produces the same records as one without.
+#[test]
+fn telemetry_collection_causes_no_drift() {
+    let config = SystemConfig {
+        nodes: 60,
+        rounds: 15,
+        startup_segments: 30,
+        seed: 41,
+        ..SystemConfig::default()
+    }
+    .with_dynamic_churn();
+    let plain = SystemSim::new(config.clone()).run();
+    let mut sim = SystemSim::new(config);
+    sim.enable_telemetry();
+    while sim.step() {}
+    let telemetry = sim.take_telemetry().expect("enabled");
+    let observed = sim.finish();
+    assert_eq!(plain.rounds, observed.rounds);
+    assert_eq!(telemetry.rounds.len(), 15);
+    // The taps recorded something real.
+    let last = telemetry.rounds.last().unwrap();
+    assert!(last.supplier_active > 0);
+    assert!(last.mean_runway > 0.0);
+    assert!(last.window_occupancy > 0.0 && last.window_occupancy <= 1.0);
+    assert!(!telemetry.startups.is_empty(), "nodes started playback");
+}
+
+/// The event hook API end to end: seek/pause/resume/capacity events on
+/// explicitly chosen nodes behave as documented.
+#[test]
+fn apply_event_hooks_behave() {
+    let config = SystemConfig {
+        nodes: 40,
+        rounds: 30,
+        startup_segments: 20,
+        seed: 51,
+        ..SystemConfig::default()
+    };
+    let mut sim = SystemSim::new(config);
+    for _ in 0..12 {
+        sim.step();
+    }
+    let source = sim.source_id();
+    let victim = *sim
+        .alive_ids()
+        .iter()
+        .find(|&&id| id != source && matches!(sim.play_state(id), Some((Some(_), false))))
+        .expect("someone is playing by round 12");
+
+    // Source is protected from every event.
+    assert_eq!(
+        sim.apply_event(SystemEvent::Pause { id: source }),
+        EventOutcome::Rejected
+    );
+    assert_eq!(
+        sim.apply_event(SystemEvent::Leave {
+            id: source,
+            graceful: true
+        }),
+        EventOutcome::Rejected
+    );
+
+    // Pause freezes the play point across rounds; resume unfreezes.
+    let (before, _) = sim.play_state(victim).unwrap();
+    assert_eq!(
+        sim.apply_event(SystemEvent::Pause { id: victim }),
+        EventOutcome::Applied
+    );
+    sim.step();
+    sim.step();
+    let (frozen, paused) = sim.play_state(victim).unwrap();
+    assert!(paused);
+    assert_eq!(before, frozen, "paused play point must hold still");
+    assert_eq!(
+        sim.apply_event(SystemEvent::Resume { id: victim }),
+        EventOutcome::Applied
+    );
+    sim.step();
+    let (after, paused) = sim.play_state(victim).unwrap();
+    assert!(!paused);
+    assert!(after > frozen, "resumed playback advances again");
+
+    // Seeks move the anchor where they say.
+    let (Some(np), _) = sim.play_state(victim).unwrap() else {
+        panic!("victim is playing");
+    };
+    assert_eq!(
+        sim.apply_event(SystemEvent::Seek {
+            id: victim,
+            target: SeekTarget::Backward(5),
+        }),
+        EventOutcome::Applied
+    );
+    let (Some(rewound), _) = sim.play_state(victim).unwrap() else {
+        panic!("still playing");
+    };
+    assert!(rewound <= np, "backward seek moves the anchor back");
+
+    assert_eq!(
+        sim.apply_event(SystemEvent::Seek {
+            id: victim,
+            target: SeekTarget::ToLive,
+        }),
+        EventOutcome::Applied
+    );
+    let (Some(live), _) = sim.play_state(victim).unwrap() else {
+        panic!("still playing");
+    };
+    assert!(
+        live + sim.config().startup_segments >= sim.newest_segment(),
+        "to-live lands near the frontier"
+    );
+
+    // A scenario join really joins; a leave really leaves.
+    let before_n = sim.alive_ids().len();
+    let EventOutcome::Joined(newbie) = sim.apply_event(SystemEvent::Join {
+        ping_ms: Some(45.0),
+        bandwidth: Some(NodeBandwidth {
+            inbound_kbps: 900.0,
+            outbound_kbps: 450.0,
+        }),
+    }) else {
+        panic!("join should succeed in a healthy overlay");
+    };
+    assert_eq!(sim.alive_ids().len(), before_n + 1);
+    assert_eq!(
+        sim.apply_event(SystemEvent::Leave {
+            id: newbie,
+            graceful: true
+        }),
+        EventOutcome::Applied
+    );
+    assert_eq!(sim.alive_ids().len(), before_n);
+    // Dead target ⇒ rejected.
+    assert_eq!(
+        sim.apply_event(SystemEvent::Pause { id: newbie }),
+        EventOutcome::Rejected
+    );
+}
+
+/// Layer 3: the committed spec files parse, validate, and carry the
+/// workloads they claim (CI smokes them end to end).
+#[test]
+fn committed_scenario_files_parse() {
+    let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/scenarios");
+    let mut names = Vec::new();
+    for file in ["static.scn", "flash_crowd.scn", "heavy_vcr.scn"] {
+        let text = std::fs::read_to_string(format!("{dir}/{file}"))
+            .unwrap_or_else(|e| panic!("{file}: {e}"));
+        let spec = parse_scenario(&text).unwrap_or_else(|e| panic!("{file}: {e}"));
+        names.push(spec.name.clone());
+        match spec.name.as_str() {
+            "static" => {
+                assert!(spec.events.is_empty() && spec.phases.is_empty());
+                assert!(spec.config.churn.is_static());
+            }
+            "flash-crowd" => {
+                assert!(spec
+                    .events
+                    .iter()
+                    .any(|e| matches!(e.kind, ScenarioEventKind::FlashCrowd { .. })));
+                assert!(spec.events.iter().any(|e| matches!(
+                    e.kind,
+                    ScenarioEventKind::MassDeparture {
+                        correlated: true,
+                        ..
+                    }
+                )));
+                assert!(!spec.classes.is_empty());
+            }
+            "heavy-vcr" => {
+                assert!(spec.phases.iter().any(|p| p.vcr.seek_prob > 0.0));
+                assert!(spec
+                    .events
+                    .iter()
+                    .any(|e| matches!(e.kind, ScenarioEventKind::SeekStorm { .. })));
+            }
+            other => panic!("unexpected scenario name `{other}`"),
+        }
+    }
+    assert_eq!(names, ["static", "flash-crowd", "heavy-vcr"]);
+}
+
+/// A quick end-to-end smoke of one committed file at reduced size: the
+/// flash-crowd scenario runs, grows, shrinks, and stays playable.
+#[test]
+fn flash_crowd_file_runs_end_to_end() {
+    let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/scenarios");
+    let text = std::fs::read_to_string(format!("{dir}/flash_crowd.scn")).unwrap();
+    let mut spec = parse_scenario(&text).unwrap();
+    // Shrink for test time; keep the workload shape.
+    spec.config.nodes = 80;
+    spec.config.rounds = 30;
+    let outcome = run_scenario(&spec);
+    assert_eq!(outcome.report.rounds.len(), 30);
+    assert!(outcome.log.engine.joins > 40, "flash crowd landed");
+    assert!(outcome.log.engine.leaves > 10, "mass departure landed");
+    let peak = outcome.report.rounds.iter().map(|r| r.alive).max().unwrap();
+    assert!(peak > 100, "membership peaked above the seed size");
+    assert!(
+        outcome.report.summary.mean_continuity > 0.2,
+        "the swarm keeps playing through the crowd: {}",
+        outcome.report.summary.mean_continuity
+    );
+}

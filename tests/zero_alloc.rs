@@ -163,3 +163,29 @@ fn counter_detects_allocations() {
     });
     assert!(n > 0, "constructing a simulator must allocate");
 }
+
+/// The scenario-driver path — the public `step()` API, with telemetry
+/// left disabled — is the same zero-alloc round loop. This is the
+/// acceptance guarantee for the `cs-scenario` layer: opting out of
+/// diagnostics costs nothing.
+#[test]
+fn public_step_api_allocates_nothing_when_warm() {
+    let _guard = MEASURE_LOCK.lock().unwrap();
+    let mut sim = SystemSim::new(steady_state_config(
+        SchedulerKind::ContinuStreaming,
+        true,
+        100,
+    ));
+    for _ in 0..60 {
+        assert!(sim.step());
+    }
+    for round in 60..95 {
+        let n = count_allocs(|| {
+            sim.step();
+        });
+        assert_eq!(
+            n, 0,
+            "round {round}: step() with telemetry disabled must not allocate ({n})"
+        );
+    }
+}
