@@ -180,6 +180,38 @@ impl StreamBuffer {
         }
     }
 
+    /// Number of present segments with ids in `[from, to)`, counted
+    /// word-level (popcount with edge masks) — the per-round occupancy
+    /// probes scan windows of hundreds of segments, and a per-bit
+    /// `contains` loop there would undo the word-level design of the
+    /// rest of the hot path.
+    pub fn count_range(&self, from: SegmentId, to: SegmentId) -> u64 {
+        let lo = from.max(self.head);
+        let hi = to.min(self.head + self.capacity);
+        if lo >= hi {
+            return 0;
+        }
+        let start = lo - self.head;
+        let end = hi - self.head; // exclusive, ≤ capacity
+        let (sw, sb) = ((start / 64) as usize, (start % 64) as u32);
+        let (ew, eb) = ((end / 64) as usize, (end % 64) as u32);
+        let mut count = 0u32;
+        if sw == ew {
+            // Same word: `eb > sb` here, so the width is in 1..=63.
+            let mask = ((1u64 << (eb - sb)) - 1) << sb;
+            count += (self.words[sw] & mask).count_ones();
+        } else {
+            count += (self.words[sw] >> sb).count_ones();
+            for w in &self.words[sw + 1..ew] {
+                count += w.count_ones();
+            }
+            if eb > 0 {
+                count += (self.words[ew] & ((1u64 << eb) - 1)).count_ones();
+            }
+        }
+        count as u64
+    }
+
     /// Iterate over the IDs present, in increasing order.
     pub fn iter(&self) -> impl Iterator<Item = SegmentId> + '_ {
         self.words.iter().enumerate().flat_map(move |(wi, &w)| {
@@ -427,6 +459,35 @@ impl BufferMap {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn count_range_matches_per_bit_reference() {
+        // Randomised fills across word-boundary-straddling windows and
+        // ranges: the popcount path must agree with a contains() scan.
+        let mut state = 0x5EEDu64;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            state >> 33
+        };
+        for case in 0..200 {
+            let capacity = 1 + next() % 300;
+            let head = 1 + next() % 500;
+            let mut b = StreamBuffer::with_head(capacity, head);
+            for _ in 0..(next() % 200) {
+                b.insert(head + next() % capacity);
+            }
+            let from = next() % (head + capacity + 40);
+            let to = from + next() % (capacity + 80);
+            let reference = (from..to).filter(|&id| b.contains(id)).count() as u64;
+            assert_eq!(
+                b.count_range(from, to),
+                reference,
+                "case {case}: capacity {capacity}, head {head}, range {from}..{to}"
+            );
+        }
+    }
 
     #[test]
     fn insert_and_contains() {

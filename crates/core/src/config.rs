@@ -3,6 +3,7 @@
 use cs_net::BandwidthProfile;
 use cs_overlay::ChurnConfig;
 
+use crate::policy::PolicyKind;
 use crate::priority::PriorityPolicy;
 
 /// Which data-scheduling policy a run uses.
@@ -88,6 +89,12 @@ pub struct SystemConfig {
     /// Results are bit-identical for every value; without the `parallel`
     /// feature the field is ignored.
     pub parallel_threads: Option<usize>,
+    /// The continuity policy layer (see [`crate::policy`]). The default,
+    /// [`PolicyKind::Legacy`], reproduces the pre-policy behaviour bit
+    /// for bit — every pinned fingerprint holds; [`PolicyKind::Adaptive`]
+    /// enables deficit-scaled rescue, the occupancy-adaptive exchange
+    /// window and the steady-state slack knob.
+    pub policy: PolicyKind,
     /// Master seed.
     pub seed: u64,
 }
@@ -114,6 +121,7 @@ impl Default for SystemConfig {
             t_hop_secs: 0.05,
             rescue_budget_fraction: 0.2,
             parallel_threads: None,
+            policy: PolicyKind::Legacy,
             seed: 20080414, // IPDPS 2008 in Miami started on April 14.
         }
     }
@@ -148,6 +156,13 @@ impl SystemConfig {
         self
     }
 
+    /// Switch on the adaptive rescue / window-diversity policy layer
+    /// with its default knobs (see [`crate::policy`]).
+    pub fn with_adaptive_policy(mut self) -> Self {
+        self.policy = PolicyKind::adaptive();
+        self
+    }
+
     /// Validate invariants; called by the simulator constructor.
     pub fn validate(&self) {
         assert!(self.nodes >= 2, "need at least a source and one receiver");
@@ -172,6 +187,9 @@ impl SystemConfig {
             self.parallel_threads != Some(0),
             "parallel_threads must be at least 1 when set"
         );
+        if let PolicyKind::Adaptive(p) = &self.policy {
+            p.validate();
+        }
         self.churn.validate();
     }
 

@@ -45,6 +45,7 @@ pub mod backup;
 pub mod buffer;
 pub mod config;
 pub mod metrics;
+pub mod policy;
 pub mod priority;
 pub mod rate;
 pub mod retrieval;
@@ -58,6 +59,7 @@ pub use backup::VodBackupStore;
 pub use buffer::{BufferMap, StreamBuffer};
 pub use config::{SchedulerKind, SystemConfig};
 pub use metrics::{RoundRecord, RunReport, RunSummary};
+pub use policy::{AdaptivePolicy, PolicyKind};
 pub use priority::{PriorityInput, PriorityPolicy, PriorityTerms};
 pub use rate::RateController;
 pub use retrieval::{RetrievalOutcome, RetrievalScratch, RetrievalSummary};

@@ -1,0 +1,361 @@
+//! The config-gated rescue / window-diversity policy layer.
+//!
+//! PR 4's telemetry localised the 1000×200 continuity cliff as a chain of
+//! three compounding mechanisms (ROADMAP, "Continuity at scale"):
+//!
+//! 1. the steady state has **zero slack** — aggregate gossip deliveries
+//!    run at exactly demand (`n·p` segments/round), so any
+//!    rarity-induced inefficiency (lost budget races, duplicate pulls)
+//!    accumulates as permanent holes;
+//! 2. **holdings synchronise** — as window occupancy erodes, connected
+//!    neighbourhoods converge on identical buffer contents until nobody
+//!    advertises a fresh segment its neighbours miss, and both requests
+//!    and deliveries decay;
+//! 3. when the play-anchor runway finally drops under a couple of rounds
+//!    of demand, the urgent line fires en masse, DHT routing explodes
+//!    (119 → 65k msgs/round), and the fixed Case-3 cutoff (`N_miss > l`)
+//!    **switches the rescue off for everyone at once** — exactly when it
+//!    is most needed.
+//!
+//! [`PolicyKind`] gates the countermeasures. The default,
+//! [`PolicyKind::Legacy`], changes *nothing*: every pinned behavioural
+//! fingerprint (`tests/determinism.rs`), the zero-alloc guarantee and
+//! the cliff canary (`tests/continuity_cliff.rs`) reproduce bit for bit.
+//! [`PolicyKind::Adaptive`] enables three knobs, one per mechanism:
+//!
+//! * **steady-state slack** ([`AdaptivePolicy::inbound_slack`]) —
+//!   over-provision the inbound delivery budget by a small fraction so
+//!   nodes can heal holes faster than playback consumes runway;
+//! * **occupancy-adaptive exchange window**
+//!   ([`AdaptivePolicy::occupancy_floor`],
+//!   [`AdaptivePolicy::lookahead_factor`],
+//!   [`AdaptivePolicy::rarity_bias`]) — when a node's window occupancy
+//!   falls below the floor, widen the scheduling lookahead (never below
+//!   the legacy window) and bias its pull order toward segments few of
+//!   its neighbours hold, breaking the holdings-synchronisation spiral;
+//! * **deficit-scaled rescue** ([`AdaptivePolicy::rescue_cap`],
+//!   [`AdaptivePolicy::suppression_threshold`]) — scale the per-round
+//!   pre-fetch cap and the Case-3 suppression threshold with the
+//!   measured runway deficit, so the DHT rescue *throttles* under load
+//!   instead of shutting off.
+//!
+//! All decisions are **pure functions** of per-round state (no retained
+//! policy state, no RNG draws), so they run identically on the serial
+//! and parallel planning paths and reset trivially with the round
+//! scratch. The invariants the property suite pins
+//! (`tests/properties.rs`):
+//!
+//! * `rescue_cap` is monotone non-decreasing in the deficit and never
+//!   below 1 while the deficit is positive;
+//! * `suppression_threshold` is monotone non-decreasing in the deficit
+//!   and never below the effective cap;
+//! * `lookahead` is never narrower than the legacy window;
+//! * zero deficit and healthy occupancy reproduce the legacy values.
+
+/// Which continuity policy a run uses. The default ([`Self::Legacy`])
+/// reproduces the pre-policy behaviour bit for bit.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum PolicyKind {
+    /// The original fixed-parameter behaviour: fixed Case-3 cutoff at
+    /// `prefetch_cap`, fixed exchange-window lookahead, inbound budget
+    /// exactly `I·τ`.
+    #[default]
+    Legacy,
+    /// The adaptive rescue / window-diversity layer.
+    Adaptive(AdaptivePolicy),
+}
+
+impl PolicyKind {
+    /// The adaptive policy with its default knobs.
+    pub fn adaptive() -> Self {
+        PolicyKind::Adaptive(AdaptivePolicy::default())
+    }
+
+    /// The adaptive knobs, if this is [`Self::Adaptive`].
+    #[inline]
+    pub fn as_adaptive(&self) -> Option<&AdaptivePolicy> {
+        match self {
+            PolicyKind::Legacy => None,
+            PolicyKind::Adaptive(p) => Some(p),
+        }
+    }
+
+    /// The per-round inbound delivery budget under this policy: `base`
+    /// itself for Legacy (bit-identical), the slack-over-provisioned
+    /// value for Adaptive. The single implementation behind both the
+    /// scheduler's and the pre-fetcher's budget — the two share the
+    /// inbound rate (§4.3) and must never diverge.
+    #[inline]
+    pub fn provisioned_inbound(&self, base: f64) -> f64 {
+        match self {
+            PolicyKind::Legacy => base,
+            PolicyKind::Adaptive(p) => p.inbound_budget(base),
+        }
+    }
+}
+
+/// Knobs of the adaptive policy. All decision methods are pure and
+/// allocation-free; see the module docs for what each knob counters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdaptivePolicy {
+    /// Runway target in **rounds of demand**: a node whose contiguous
+    /// run ahead of the play anchor covers fewer than
+    /// `target_runway_rounds · p·τ` segments is in deficit, and the
+    /// rescue cap / suppression threshold scale with that deficit.
+    pub target_runway_rounds: u64,
+    /// Segments of runway deficit that buy one extra pre-fetch slot on
+    /// top of the configured `prefetch_cap`.
+    pub deficit_per_extra_fetch: u64,
+    /// Hard ceiling on the per-node, per-round pre-fetch cap — the
+    /// throttle that keeps a systemic deficit from reproducing the
+    /// 65k-msgs/round DHT explosion node by node.
+    pub rescue_cap_max: usize,
+    /// Extra predicted-miss head room per segment of deficit before
+    /// Case-3 suppression re-engages (`threshold = prefetch_cap +
+    /// suppress_slope · deficit`, and never below the effective cap).
+    pub suppress_slope: usize,
+    /// Exchange-window occupancy below which the lookahead widens and
+    /// the rarity bias engages.
+    pub occupancy_floor: f64,
+    /// Maximum widening of the scheduling lookahead (at occupancy 0 the
+    /// window is `lookahead_factor ×` the legacy width; at the floor it
+    /// is exactly the legacy width).
+    pub lookahead_factor: f64,
+    /// Scale of the additive priority bonus for locally-rare segments
+    /// when occupancy is below the floor: a candidate `nᵢ` neighbours
+    /// advertise gets `rarity_bias · (floor − occ)/floor / nᵢ` on top
+    /// of its legacy priority. Added *on top of* the diversification
+    /// jitter (replacing the jitter with a rarity rank synchronises
+    /// pull orders across neighbours and makes the spiral worse — the
+    /// A1-style sweep in this PR measured it), so per-node diversity is
+    /// preserved while rare segments rise within — and, under real
+    /// stress, slightly above — the non-urgent band.
+    pub rarity_bias: f64,
+    /// Fractional over-provision of the inbound delivery budget
+    /// (`I·τ·(1 + inbound_slack)`), the steady-state slack knob.
+    pub inbound_slack: f64,
+}
+
+impl Default for AdaptivePolicy {
+    fn default() -> Self {
+        AdaptivePolicy {
+            target_runway_rounds: 4,
+            deficit_per_extra_fetch: 4,
+            rescue_cap_max: 16,
+            suppress_slope: 8,
+            occupancy_floor: 0.85,
+            lookahead_factor: 2.0,
+            rarity_bias: 0.5,
+            inbound_slack: 0.15,
+        }
+    }
+}
+
+impl AdaptivePolicy {
+    /// Panic on nonsensical knob values (called from
+    /// `SystemConfig::validate`).
+    pub fn validate(&self) {
+        assert!(
+            self.target_runway_rounds > 0,
+            "target_runway_rounds must be positive"
+        );
+        assert!(
+            self.deficit_per_extra_fetch > 0,
+            "deficit_per_extra_fetch must be positive"
+        );
+        assert!(self.rescue_cap_max >= 1, "rescue_cap_max must be ≥ 1");
+        assert!(
+            self.occupancy_floor > 0.0 && self.occupancy_floor <= 1.0,
+            "occupancy_floor must be in (0, 1]"
+        );
+        assert!(
+            self.lookahead_factor >= 1.0 && self.lookahead_factor.is_finite(),
+            "lookahead_factor must be ≥ 1"
+        );
+        assert!(
+            self.rarity_bias >= 0.0 && self.rarity_bias.is_finite(),
+            "rarity_bias must be non-negative"
+        );
+        assert!(
+            self.inbound_slack >= 0.0 && self.inbound_slack.is_finite(),
+            "inbound_slack must be non-negative"
+        );
+    }
+
+    /// The runway deficit in segments: how far the contiguous run ahead
+    /// of the play anchor falls short of the target
+    /// (`target_runway_rounds` rounds of demand `p`).
+    #[inline]
+    pub fn runway_deficit(&self, runway: u64, demand_per_round: u64) -> u64 {
+        (self.target_runway_rounds * demand_per_round).saturating_sub(runway)
+    }
+
+    /// The effective per-round pre-fetch cap for a node with the given
+    /// runway deficit. Monotone non-decreasing in `deficit`, exactly
+    /// `base_cap` at zero deficit (the legacy value — Adaptive never
+    /// rescues *less* than Legacy, even when `base_cap` exceeds
+    /// [`Self::rescue_cap_max`]), never below 1, and never above
+    /// `rescue_cap_max.max(base_cap)`.
+    #[inline]
+    pub fn rescue_cap(&self, base_cap: usize, deficit: u64) -> usize {
+        let extra = (deficit / self.deficit_per_extra_fetch) as usize;
+        base_cap
+            .saturating_add(extra)
+            .min(self.rescue_cap_max.max(base_cap))
+            .max(1)
+    }
+
+    /// The Case-3 suppression threshold for a node with the given
+    /// runway deficit: retrieval is suppressed only when the predicted
+    /// miss count exceeds this. Monotone non-decreasing in `deficit`,
+    /// equal to `base_cap` at zero deficit (the legacy cutoff), and
+    /// never below the effective [`Self::rescue_cap`].
+    #[inline]
+    pub fn suppression_threshold(&self, base_cap: usize, deficit: u64) -> usize {
+        let scaled = base_cap.saturating_add(self.suppress_slope.saturating_mul(deficit as usize));
+        scaled.max(self.rescue_cap(base_cap, deficit))
+    }
+
+    /// The minimum probe horizon of the deficit-scaled rescue, in
+    /// segments past the play anchor: the whole runway target. A healthy
+    /// node (runway ≥ target) has no hole inside it, so the probe
+    /// triggers nothing; a node in deficit starts healing its nearest
+    /// holes while they are still rounds away from their deadline,
+    /// instead of waiting for them to enter the (much narrower)
+    /// α-window.
+    #[inline]
+    pub fn rescue_horizon(&self, demand_per_round: u64) -> u64 {
+        self.target_runway_rounds * demand_per_round
+    }
+
+    /// The scheduling lookahead for a node at the given window
+    /// occupancy: the legacy width at or above the floor, widening
+    /// linearly to `lookahead_factor ×` as occupancy falls to zero.
+    /// Never narrower than `legacy`, never wider than
+    /// [`Self::max_lookahead`].
+    #[inline]
+    pub fn lookahead(&self, legacy: u64, occupancy: f64) -> u64 {
+        if occupancy >= self.occupancy_floor {
+            return legacy;
+        }
+        let shortfall = ((self.occupancy_floor - occupancy) / self.occupancy_floor).clamp(0.0, 1.0);
+        let widened = legacy as f64 * (1.0 + (self.lookahead_factor - 1.0) * shortfall);
+        (widened.floor() as u64).clamp(legacy, self.max_lookahead(legacy))
+    }
+
+    /// The widest lookahead [`Self::lookahead`] can return for a given
+    /// legacy width — what the round scratch pre-sizes its window
+    /// buffers to, so adaptive widening mid-run never allocates.
+    #[inline]
+    pub fn max_lookahead(&self, legacy: u64) -> u64 {
+        ((legacy as f64 * self.lookahead_factor).floor() as u64).max(legacy)
+    }
+
+    /// The additive priority bonus for a candidate `supplier_count`
+    /// neighbours advertise at the given window occupancy. Zero at or
+    /// above the floor (the legacy order); below it, decreasing in both
+    /// occupancy and supplier count — locally-rare segments get pulled
+    /// preferentially — and bounded by [`Self::rarity_bias`].
+    #[inline]
+    pub fn rarity_bonus(&self, occupancy: f64, supplier_count: usize) -> f64 {
+        if occupancy >= self.occupancy_floor {
+            return 0.0;
+        }
+        let shortfall = ((self.occupancy_floor - occupancy) / self.occupancy_floor).clamp(0.0, 1.0);
+        self.rarity_bias * shortfall / supplier_count.max(1) as f64
+    }
+
+    /// The over-provisioned inbound delivery budget (the steady-state
+    /// slack knob): `base · (1 + inbound_slack)`.
+    #[inline]
+    pub fn inbound_budget(&self, base: f64) -> f64 {
+        base * (1.0 + self.inbound_slack)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_kind_is_legacy() {
+        assert_eq!(PolicyKind::default(), PolicyKind::Legacy);
+        assert!(PolicyKind::default().as_adaptive().is_none());
+        assert!(PolicyKind::adaptive().as_adaptive().is_some());
+    }
+
+    #[test]
+    fn zero_deficit_reproduces_legacy_cutoff() {
+        let p = AdaptivePolicy::default();
+        assert_eq!(p.rescue_cap(5, 0), 5);
+        assert_eq!(p.suppression_threshold(5, 0), 5);
+    }
+
+    #[test]
+    fn cap_grows_with_deficit_and_saturates() {
+        let p = AdaptivePolicy::default();
+        let mut last = 0;
+        for d in 0..200 {
+            let cap = p.rescue_cap(5, d);
+            assert!(cap >= last, "monotone");
+            assert!(cap <= p.rescue_cap_max);
+            last = cap;
+        }
+        assert_eq!(p.rescue_cap(5, 10_000), p.rescue_cap_max);
+    }
+
+    #[test]
+    fn threshold_never_below_cap() {
+        let p = AdaptivePolicy::default();
+        for d in 0..200 {
+            assert!(p.suppression_threshold(5, d) >= p.rescue_cap(5, d));
+        }
+    }
+
+    #[test]
+    fn healthy_occupancy_keeps_legacy_window() {
+        let p = AdaptivePolicy::default();
+        assert_eq!(p.lookahead(200, 0.9), 200);
+        assert_eq!(p.lookahead(200, p.occupancy_floor), 200);
+        assert_eq!(p.rarity_bonus(0.9, 3), 0.0);
+    }
+
+    #[test]
+    fn starved_window_widens_but_never_narrows() {
+        let p = AdaptivePolicy::default();
+        assert_eq!(p.lookahead(200, 0.0), 400);
+        for occ in [0.0, 0.1, 0.3, 0.5, 0.69, 0.7, 0.9, 1.0] {
+            assert!(p.lookahead(200, occ) >= 200);
+            assert!(p.lookahead(200, occ) <= p.max_lookahead(200));
+        }
+    }
+
+    #[test]
+    fn rarity_bonus_prefers_rare_segments_under_stress() {
+        let p = AdaptivePolicy::default();
+        let rare = p.rarity_bonus(0.3, 1);
+        let common = p.rarity_bonus(0.3, 5);
+        assert!(rare > common && common > 0.0);
+        assert!(rare <= p.rarity_bias);
+        let mut last = -1.0;
+        for occ in [0.9, 0.8, 0.6, 0.4, 0.2, 0.0] {
+            let b = p.rarity_bonus(occ, 2);
+            assert!(b >= last, "bonus must not fall as occupancy falls");
+            last = b;
+        }
+    }
+
+    #[test]
+    fn slack_scales_budget() {
+        let p = AdaptivePolicy {
+            inbound_slack: 0.1,
+            ..AdaptivePolicy::default()
+        };
+        assert!((p.inbound_budget(10.0) - 11.0).abs() < 1e-12);
+        let zero = AdaptivePolicy {
+            inbound_slack: 0.0,
+            ..AdaptivePolicy::default()
+        };
+        assert_eq!(zero.inbound_budget(10.0), 10.0);
+    }
+}

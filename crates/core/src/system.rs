@@ -68,6 +68,7 @@ use crate::backup::VodBackupStore;
 use crate::buffer::{BufferMap, StreamBuffer};
 use crate::config::{SchedulerKind, SystemConfig};
 use crate::metrics::{summarize, RoundRecord, RunReport};
+use crate::policy::PolicyKind;
 use crate::priority::{PriorityPolicy, PriorityTerms};
 use crate::rate::RateController;
 use crate::retrieval::{retrieve_one_into, RetrievalScratch};
@@ -76,7 +77,7 @@ use crate::scheduler::{
     Assignment, ScheduleContext, SchedulerScratch, SegmentCandidate,
 };
 use crate::telemetry::{StartupSample, Telemetry, TelemetryRound};
-use crate::urgent::{PrefetchCheck, PrefetchDecision, UrgentLine};
+use crate::urgent::{PrefetchCheck, UrgentLine};
 use crate::SegmentId;
 
 /// Dense handle into the node arena. Plain slot index — the arena's
@@ -419,7 +420,8 @@ struct ServePlan {
 /// bit-identical to interleaving plan and execution node by node.
 #[derive(Default)]
 struct PrefetchPlan {
-    /// Case 3: retrieval suppressed (`N_miss > l`).
+    /// Case 3: retrieval suppressed (`N_miss > l`, or past the policy's
+    /// deficit-scaled threshold).
     suppressed: bool,
     /// The predicted-missed segments to fetch (empty ⇒ not triggered).
     missed: Vec<SegmentId>,
@@ -427,6 +429,10 @@ struct PrefetchPlan {
     repeated: u32,
     /// How many of `missed` fit the inbound budget.
     max_fetches: usize,
+    /// The effective per-round fetch cap the urgent-line check ran with
+    /// (`prefetch_cap` under Legacy, deficit-scaled under Adaptive; 0
+    /// when the node never reached the check). Telemetry only.
+    cap: usize,
 }
 
 /// Step-6 outcome counters, accumulated by the serial merge half.
@@ -518,6 +524,38 @@ fn decide_service(
     (issued, dropped)
 }
 
+/// The urgent-line parameters the active policy grants a node at this
+/// anchor: `(fetch_cap, suppression_threshold, min_horizon)`. Legacy is
+/// the paper's fixed `N_miss > l` cutoff (cap == threshold == `l`,
+/// horizon 0 — which makes `decide_scaled_into` exactly `decide_into`);
+/// Adaptive scales all three with the runway deficit, with the probe
+/// clamped to the buffer window — a probe past `head + capacity` would
+/// make every successful fetch slide the window and evict still-unplayed
+/// segments (reachable with an oversized runway-target knob, or right
+/// after a backward seek re-anchored playback near the buffer head).
+/// The single implementation behind the planning path and the
+/// `CS_DEBUG_ROUNDS` dump, so the dump always reports the decisions the
+/// round actually makes.
+fn rescue_params(
+    config: &SystemConfig,
+    buffer: &StreamBuffer,
+    anchor: SegmentId,
+    p: u64,
+) -> (usize, usize, u64) {
+    match &config.policy {
+        PolicyKind::Legacy => (config.prefetch_cap, config.prefetch_cap, 0),
+        PolicyKind::Adaptive(ap) => {
+            let deficit = ap.runway_deficit(buffer.contiguous_from(anchor), p.max(1));
+            (
+                ap.rescue_cap(config.prefetch_cap, deficit),
+                ap.suppression_threshold(config.prefetch_cap, deficit),
+                ap.rescue_horizon(p.max(1))
+                    .min((buffer.head() + buffer.capacity()).saturating_sub(anchor)),
+            )
+        }
+    }
+}
+
 /// The decision half of pre-fetch for one node: the urgent-line check,
 /// the Case-2 repeated scan against the round's snapshots, and the
 /// inbound budget. Reads only the owning node's state plus round-stable
@@ -534,6 +572,7 @@ fn plan_prefetch(
     plan.missed.clear();
     plan.repeated = 0;
     plan.max_fetches = 0;
+    plan.cap = 0;
     let node = nodes.node(idx);
     if node.is_source {
         return;
@@ -547,12 +586,24 @@ fn plan_prefetch(
         return;
     };
     let started = node.next_play.is_some();
-    let check = node.urgent.decide_into(
+    let p = config.demand_per_round();
+    // Deficit-scaled rescue (the policy layer): under Adaptive the
+    // fetch cap, the Case-3 cutoff and the probe horizon all grow with
+    // the node's runway deficit, so a stressed swarm's rescue
+    // *throttles* to the cap instead of switching off for everyone at
+    // once — and holes start getting healed while they are still many
+    // rounds from their deadline. See [`rescue_params`].
+    let (cap, threshold, horizon) = rescue_params(config, &node.buffer, anchor, p);
+    plan.cap = cap;
+    let check = node.urgent.decide_scaled_into(
         &node.buffer,
         anchor,
         newest_emitted,
         |_| false, // deliveries already committed this round
         &mut plan.missed,
+        cap,
+        threshold,
+        horizon,
     );
     match check {
         PrefetchCheck::NotTriggered => return,
@@ -570,7 +621,6 @@ fn plan_prefetch(
     // fetches it anyway and uses the repetition as the α-down signal;
     // we do the same (skipping the fetch and trusting gossip turned
     // out to strand segments whose pulls kept losing the budget race).
-    let p = config.demand_per_round();
     for &seg in &plan.missed {
         let deadline_far = !started || seg >= anchor + p;
         let neighbour_has = deadline_far
@@ -584,12 +634,13 @@ fn plan_prefetch(
             plan.repeated += 1;
         }
     }
-    // Pre-fetch shares the inbound rate with the scheduler (§4.3).
-    let inbound_room = node.inbound_carry
-        + node
-            .bandwidth
-            .inbound_segments_per_sec(config.segment_kbits)
-            * config.period_secs;
+    // Pre-fetch shares the inbound rate with the scheduler (§4.3); the
+    // adaptive policy's slack over-provision applies here too.
+    let base_room = node
+        .bandwidth
+        .inbound_segments_per_sec(config.segment_kbits)
+        * config.period_secs;
+    let inbound_room = node.inbound_carry + config.policy.provisioned_inbound(base_room);
     plan.max_fetches = plan
         .missed
         .len()
@@ -891,7 +942,28 @@ fn plan_node(
     // far-future segments starves near-deadline ones (the failure the
     // §4.2 urgency term exists to avoid; real CoolStreaming bounds
     // its exchange window the same way).
-    let lookahead = (2 * config.startup_segments).max(4 * p);
+    let legacy_lookahead = (2 * config.startup_segments).max(4 * p);
+    // Occupancy-adaptive window (the policy layer): measure how much of
+    // the legacy window the node already holds; below the policy floor
+    // the lookahead widens and the rarity bias on candidate priorities
+    // (applied below) engages, counter-acting the
+    // holdings-synchronisation spiral. Legacy keeps the fixed window
+    // and a zero bias.
+    let (lookahead, occupancy) = match &config.policy {
+        PolicyKind::Legacy => (legacy_lookahead, 1.0),
+        PolicyKind::Adaptive(ap) => {
+            let legacy_end = (newest_emitted + 1)
+                .min(play_anchor + legacy_lookahead)
+                .min(play_anchor + config.buffer_size);
+            let occ = if legacy_end > play_anchor {
+                let held = node.buffer.count_range(play_anchor, legacy_end);
+                held as f64 / (legacy_end - play_anchor) as f64
+            } else {
+                1.0
+            };
+            (ap.lookahead(legacy_lookahead, occ), occ)
+        }
+    };
     let window_end = (newest_emitted + 1)
         .min(play_anchor + lookahead)
         .min(play_anchor + config.buffer_size);
@@ -911,8 +983,14 @@ fn plan_node(
     // hundreds of rounds. Each offset's supplier list is bounded by the
     // connected-neighbour count, so pre-sizing it means first touches of
     // deep offsets don't allocate either (the zero-alloc assertion pins
-    // both).
-    let wcap = lookahead.min(config.buffer_size) as usize;
+    // both). Under the adaptive policy the cap is the *widest* window
+    // the policy can ask for, so occupancy-driven widening mid-run
+    // never re-grows the scratch.
+    let wcap = match &config.policy {
+        PolicyKind::Legacy => legacy_lookahead,
+        PolicyKind::Adaptive(ap) => ap.max_lookahead(legacy_lookahead),
+    }
+    .min(config.buffer_size) as usize;
     if sched.window.len() < wcap {
         let m = config.neighbors;
         sched
@@ -1013,22 +1091,40 @@ fn plan_node(
         let jitter = 1.0
             * (cs_sim::splitmix64(node_id ^ seg.wrapping_mul(0x9E37_79B9)) as f64
                 / u64::MAX as f64);
+        // Below the policy's occupancy floor the adaptive policy adds a
+        // bounded rarity bonus on top of the jitter: candidates few
+        // neighbours advertise are pulled preferentially, re-creating
+        // the holdings diversity that neighbourhood trading needs —
+        // while the per-node jitter keeps neighbouring pull orders
+        // decorrelated (replacing the jitter with a shared rarity rank
+        // synchronises them and accelerates the spiral).
+        let priority = match &config.policy {
+            PolicyKind::Legacy => policy.evaluate_terms(&terms) + jitter,
+            PolicyKind::Adaptive(ap) => {
+                policy.evaluate_terms(&terms)
+                    + jitter
+                    + ap.rarity_bonus(occupancy, terms.supplier_count)
+            }
+        };
         let mut suppliers = sched.spare.pop().unwrap_or_default();
         suppliers.clear();
         suppliers.extend_from_slice(&sched.window[off].1);
         sched.candidates.push(SegmentCandidate {
             id: seg,
-            priority: policy.evaluate_terms(&terms) + jitter,
+            priority,
             suppliers,
         });
     }
 
-    // Inbound budget with carry.
-    let budget_f = node
+    // Inbound budget with carry. The adaptive policy over-provisions
+    // the per-round allotment by the slack fraction (the steady-state
+    // slack knob: a budget exactly equal to demand lets every
+    // inefficiency compound into permanent holes).
+    let base_budget = node
         .bandwidth
         .inbound_segments_per_sec(config.segment_kbits)
-        * config.period_secs
-        + node.inbound_carry;
+        * config.period_secs;
+    let budget_f = config.policy.provisioned_inbound(base_budget) + node.inbound_carry;
     let budget = budget_f.floor().max(0.0) as u32;
     let new_carry = (budget_f - budget as f64).clamp(0.0, 1.0);
 
@@ -1288,7 +1384,17 @@ impl SystemSim {
             next_play: None,
             first_data_round: None,
             spawn_round: 0,
-            prefetch_tags: HashMap::new(),
+            // Sized so steady-state tag churn (insert on fetch, retain
+            // at the play point) never regrows the table: outstanding
+            // tags are bounded by the rescue probe depth, so size to
+            // twice the policy's horizon (the zero-alloc suite pins
+            // this; Legacy's α-window rescue keeps far fewer).
+            prefetch_tags: HashMap::with_capacity(match &config.policy {
+                PolicyKind::Legacy => 64,
+                PolicyKind::Adaptive(ap) => {
+                    64.max(2 * ap.rescue_horizon(config.demand_per_round().max(1)) as usize)
+                }
+            }),
             last_inflow: 0,
             round_inflow: 0,
             outbound_carry: 0.0,
@@ -1768,15 +1874,22 @@ impl SystemSim {
         // fan out; the DHT retrievals mutate shared state (routing
         // tables, the outbound-spend ledger, backups) and stay serial in
         // node order (see [`PrefetchPlan`]).
+        let telemetry_on = self.telemetry.is_some();
         let mut prefetch_attempts = 0u32;
         let mut prefetch_successes = 0u32;
         let mut prefetch_overdue = 0u32;
         let mut prefetch_suppressed = 0u32;
         let mut prefetch_routing_msgs = 0u64;
+        // Telemetry: the largest effective per-node fetch cap this round
+        // (watches the policy layer's deficit-scaled throttle ramp).
+        let mut rescue_cap_peak = 0usize;
         if self.config.prefetch_enabled {
             self.plan_prefetch_phase(&mut scratch);
             for k in 0..self.order_idx.len() {
                 let idx = self.order_idx[k];
+                if telemetry_on {
+                    rescue_cap_peak = rescue_cap_peak.max(scratch.prefetch_plans[k].cap);
+                }
                 let (attempts, successes, overdue, suppressed, repeated, routing) =
                     self.execute_prefetch(idx, k, round, &mut scratch, &mut traffic);
                 prefetch_attempts += attempts;
@@ -1789,7 +1902,6 @@ impl SystemSim {
         }
 
         // --- 8. playback and continuity -----------------------------------------
-        let telemetry_on = self.telemetry.is_some();
         let mut playing = 0usize;
         let mut continuous = 0usize;
         let mut alive = 0usize;
@@ -1802,6 +1914,7 @@ impl SystemSim {
         let mut gap_sum = 0u64;
         let mut occupancy_sum = 0.0f64;
         let mut backup_total = 0u64;
+        let mut slack_used = 0u64;
         let lookahead = (2 * self.config.startup_segments).max(4 * p);
         for k in 0..self.order_idx.len() {
             let node = self.nodes.node_mut(self.order_idx[k]);
@@ -1854,6 +1967,9 @@ impl SystemSim {
                         continuous += 1;
                     }
                     if telemetry_on {
+                        // Inflow beyond per-round demand: how much slack
+                        // the node actually used to heal holes.
+                        slack_used += (node.round_inflow as u64).saturating_sub(p);
                         let runway = node.buffer.contiguous_from(np);
                         runway_sum += runway;
                         min_runway = min_runway.min(runway);
@@ -1865,9 +1981,7 @@ impl SystemSim {
                             .min(np + lookahead)
                             .min(np + self.config.buffer_size);
                         if window_end > np {
-                            let held = (np..window_end)
-                                .filter(|&seg| node.buffer.contains(seg))
-                                .count();
+                            let held = node.buffer.count_range(np, window_end);
                             occupancy_sum += held as f64 / (window_end - np) as f64;
                         }
                     }
@@ -1962,6 +2076,9 @@ impl SystemSim {
                 dht_routing_msgs: prefetch_routing_msgs,
                 gc_evictions,
                 backup_segments: backup_total,
+                rescue_cap: rescue_cap_peak as u64,
+                suppressed_nodes: prefetch_suppressed as u64,
+                slack_used,
             });
         }
         self.scratch = scratch;
@@ -2287,7 +2404,17 @@ impl SystemSim {
     fn plan_prefetch_phase(&self, scratch: &mut RoundScratch) {
         let n = self.order_idx.len();
         if scratch.prefetch_plans.len() < n {
-            scratch.prefetch_plans.resize_with(n, PrefetchPlan::default);
+            // Pre-size each plan's miss list to the widest cap the
+            // policy can grant, so a node hitting a new deficit
+            // high-water mid-run never regrows it (zero-alloc pin).
+            let cap_max = match &self.config.policy {
+                PolicyKind::Legacy => self.config.prefetch_cap,
+                PolicyKind::Adaptive(ap) => ap.rescue_cap_max.max(self.config.prefetch_cap),
+            };
+            scratch.prefetch_plans.resize_with(n, || PrefetchPlan {
+                missed: Vec::with_capacity(cap_max),
+                ..PrefetchPlan::default()
+            });
         }
         #[cfg(feature = "parallel")]
         {
@@ -2823,12 +2950,17 @@ impl SystemSim {
         true
     }
 
-    /// The `CS_DEBUG_ROUNDS` diagnostic dump (development aid).
+    /// The `CS_DEBUG_ROUNDS` diagnostic dump (development aid). Mirrors
+    /// the *active* policy's urgent-line parameters (deficit-scaled
+    /// cap/threshold/horizon under Adaptive), so the counters report the
+    /// decisions the round actually made.
     fn debug_round_report(&self, round: u32) {
         let mut not_triggered = 0u32;
         let mut too_many = 0u32;
         let mut fetch = 0u32;
         let mut no_anchor = 0u32;
+        let p = self.config.demand_per_round();
+        let mut missed = Vec::new();
         for &idx in &self.order_idx {
             let n = self.nodes.node(idx);
             if n.is_source {
@@ -2838,13 +2970,20 @@ impl SystemSim {
                 no_anchor += 1;
                 continue;
             };
-            match n
-                .urgent
-                .decide(&n.buffer, anchor, self.newest_emitted, |_| false)
-            {
-                PrefetchDecision::NotTriggered => not_triggered += 1,
-                PrefetchDecision::TooMany(_) => too_many += 1,
-                PrefetchDecision::Fetch(_) => fetch += 1,
+            let (cap, threshold, horizon) = rescue_params(&self.config, &n.buffer, anchor, p);
+            match n.urgent.decide_scaled_into(
+                &n.buffer,
+                anchor,
+                self.newest_emitted,
+                |_| false,
+                &mut missed,
+                cap,
+                threshold,
+                horizon,
+            ) {
+                PrefetchCheck::NotTriggered => not_triggered += 1,
+                PrefetchCheck::TooMany(_) => too_many += 1,
+                PrefetchCheck::Fetch => fetch += 1,
             }
         }
         let mean_inflow: f64 = self

@@ -60,6 +60,19 @@ pub struct TelemetryRound {
     pub gc_evictions: u64,
     /// Total backed-up segments across all alive nodes at end of round.
     pub backup_segments: u64,
+    /// Largest effective per-node pre-fetch cap this round: the policy
+    /// layer's deficit-scaled throttle (constant `prefetch_cap` under
+    /// `PolicyKind::Legacy` whenever any node reached the urgent-line
+    /// check; 0 when none did or pre-fetch is disabled).
+    pub rescue_cap: u64,
+    /// Nodes whose Case-3 check suppressed retrieval this round
+    /// (mirrors `RoundRecord::prefetch_suppressed` into the diagnostic
+    /// export).
+    pub suppressed_nodes: u64,
+    /// Segments delivered to playing nodes beyond their per-round
+    /// demand (`Σ max(0, inflow − p·τ)` over playing nodes): how much
+    /// slack the swarm actually used to heal holes this round.
+    pub slack_used: u64,
 }
 
 /// One node's startup trajectory: from overlay admission to playback.

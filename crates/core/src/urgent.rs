@@ -137,20 +137,64 @@ impl UrgentLine {
         expected: impl Fn(SegmentId) -> bool,
         missed: &mut Vec<SegmentId>,
     ) -> PrefetchCheck {
+        self.decide_scaled_into(
+            buffer,
+            play_from,
+            newest_available,
+            expected,
+            missed,
+            self.max_per_period,
+            self.max_per_period,
+            0,
+        )
+    }
+
+    /// [`Self::decide_into`] with the fetch cap, the Case-3 suppression
+    /// cutoff and a minimum probe horizon supplied by the caller — the
+    /// entry point of the adaptive policy layer (see [`crate::policy`]),
+    /// which scales all three with the measured runway deficit instead
+    /// of using the fixed `l` and the bare α-window.
+    ///
+    /// The probe covers `[play_from, max(urgent_id, play_from +
+    /// min_horizon))`: the adaptive rescue watches the whole runway
+    /// target, not just the α-window, so it starts healing holes long
+    /// before they become deadline-critical. Up to `fetch_cap` missed
+    /// ids (the most urgent first — the scan runs in ascending id order
+    /// from the play point) are written into `missed`; retrieval is
+    /// suppressed only when the *total* predicted miss count exceeds
+    /// `suppress_above`, so a deficit between the two throttles the
+    /// rescue to the cap rather than switching it off. With `fetch_cap
+    /// == suppress_above == l` and `min_horizon == 0` this is exactly
+    /// the legacy [`Self::decide_into`] (which delegates here).
+    #[allow(clippy::too_many_arguments)]
+    pub fn decide_scaled_into(
+        &self,
+        buffer: &StreamBuffer,
+        play_from: SegmentId,
+        newest_available: SegmentId,
+        expected: impl Fn(SegmentId) -> bool,
+        missed: &mut Vec<SegmentId>,
+        fetch_cap: usize,
+        suppress_above: usize,
+        min_horizon: u64,
+    ) -> PrefetchCheck {
         missed.clear();
-        let urgent_end = self.urgent_id(play_from).min(newest_available + 1);
+        let urgent_end = self
+            .urgent_id(play_from)
+            .max(play_from + min_horizon)
+            .min(newest_available + 1);
         let mut count = 0usize;
         for id in play_from..urgent_end {
             if !buffer.contains(id) && !expected(id) {
                 count += 1;
-                if count <= self.max_per_period {
+                if count <= fetch_cap {
                     missed.push(id);
                 }
             }
         }
         if count == 0 {
             PrefetchCheck::NotTriggered
-        } else if count <= self.max_per_period {
+        } else if count <= suppress_above {
             PrefetchCheck::Fetch
         } else {
             // A partial prefix is meaningless in the suppressed case.

@@ -47,7 +47,8 @@ const CSV_HEADER: &str = "round,time_secs,alive,playing,continuous,continuity,jo
 gossip_deliveries,requests_issued,requests_dropped,prefetch_attempts,prefetch_successes,\
 prefetch_overdue,prefetch_repeated,prefetch_suppressed,mean_alpha,newest_emitted,\
 mean_runway,min_runway,mean_frontier_gap,window_occupancy,supplier_active,\
-supplier_peak_load,dht_routing_msgs,gc_evictions,backup_segments";
+supplier_peak_load,dht_routing_msgs,gc_evictions,backup_segments,rescue_cap,\
+suppressed_nodes,slack_used";
 
 impl MetricsLog {
     /// Assemble the export from a run's pieces.
@@ -132,7 +133,7 @@ impl MetricsLog {
             ));
             match &row.telemetry {
                 Some(t) => out.push_str(&format!(
-                    ",{},{:?},{},{:?},{:?},{},{},{},{},{}\n",
+                    ",{},{:?},{},{:?},{:?},{},{},{},{},{},{},{},{}\n",
                     t.newest_emitted,
                     t.mean_runway,
                     t.min_runway,
@@ -143,8 +144,11 @@ impl MetricsLog {
                     t.dht_routing_msgs,
                     t.gc_evictions,
                     t.backup_segments,
+                    t.rescue_cap,
+                    t.suppressed_nodes,
+                    t.slack_used,
                 )),
-                None => out.push_str(",,,,,,,,,,\n"),
+                None => out.push_str(",,,,,,,,,,,,,\n"),
             }
         }
         out
@@ -206,7 +210,8 @@ impl MetricsLog {
                     ", \"mean_runway\": {:?}, \"min_runway\": {}, \"mean_frontier_gap\": {:?}, \
                      \"window_occupancy\": {:?}, \"supplier_active\": {}, \
                      \"supplier_peak_load\": {}, \"dht_routing_msgs\": {}, \
-                     \"gc_evictions\": {}, \"backup_segments\": {}",
+                     \"gc_evictions\": {}, \"backup_segments\": {}, \
+                     \"rescue_cap\": {}, \"suppressed_nodes\": {}, \"slack_used\": {}",
                     t.mean_runway,
                     t.min_runway,
                     t.mean_frontier_gap,
@@ -216,6 +221,9 @@ impl MetricsLog {
                     t.dht_routing_msgs,
                     t.gc_evictions,
                     t.backup_segments,
+                    t.rescue_cap,
+                    t.suppressed_nodes,
+                    t.slack_used,
                 ));
             }
             out.push_str(if i + 1 < self.rows.len() {

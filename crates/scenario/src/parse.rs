@@ -14,6 +14,11 @@
 //! startup_segments = 100              # any of: neighbors, buffer_size,
 //! id_space_slack = 8                  # playback_rate, replicas, prefetch_cap
 //! churn = 0.05 0.05 0.5               # baseline leave/join[/graceful] fractions
+//! policy = adaptive inbound_slack=0.2 # legacy (default) | adaptive [knob=value…]
+//!                                     # knobs: target_runway_rounds,
+//!                                     # deficit_per_extra_fetch, rescue_cap_max,
+//!                                     # suppress_slope, occupancy_floor,
+//!                                     # lookahead_factor, rarity_bias, inbound_slack
 //!
 //! # node classes (capacity tiers / latency classes)
 //! class dsl inbound=600 outbound=300 weight=3
@@ -30,7 +35,7 @@
 //! at 45 capacity_shift fraction=0.25 class=dsl
 //! ```
 
-use cs_core::{SchedulerKind, SystemConfig};
+use cs_core::{PolicyKind, SchedulerKind, SystemConfig};
 use cs_overlay::ChurnConfig;
 
 use crate::spec::{
@@ -122,6 +127,41 @@ fn parse_config_line(lineno: usize, line: &str, spec: &mut ScenarioSpec) -> Resu
         "startup_segments" => c.startup_segments = parse_num(lineno, key, value)?,
         "id_space_slack" => c.id_space_slack = parse_num(lineno, key, value)?,
         "prefetch" => c.prefetch_enabled = parse_num::<u8>(lineno, key, value)? != 0,
+        "policy" => {
+            let mut parts = value.split_whitespace();
+            let kind = parts.next().unwrap_or("");
+            c.policy = match kind {
+                "legacy" => {
+                    if parts.next().is_some() {
+                        return err(lineno, "policy legacy takes no knobs");
+                    }
+                    PolicyKind::Legacy
+                }
+                "adaptive" => {
+                    let mut p = cs_core::AdaptivePolicy::default();
+                    for token in parts {
+                        let (k, v) = kv(token);
+                        match k {
+                            "target_runway_rounds" => {
+                                p.target_runway_rounds = parse_num(lineno, k, v)?
+                            }
+                            "deficit_per_extra_fetch" => {
+                                p.deficit_per_extra_fetch = parse_num(lineno, k, v)?
+                            }
+                            "rescue_cap_max" => p.rescue_cap_max = parse_num(lineno, k, v)?,
+                            "suppress_slope" => p.suppress_slope = parse_num(lineno, k, v)?,
+                            "occupancy_floor" => p.occupancy_floor = parse_num(lineno, k, v)?,
+                            "lookahead_factor" => p.lookahead_factor = parse_num(lineno, k, v)?,
+                            "rarity_bias" => p.rarity_bias = parse_num(lineno, k, v)?,
+                            "inbound_slack" => p.inbound_slack = parse_num(lineno, k, v)?,
+                            other => return err(lineno, format!("unknown policy knob `{other}`")),
+                        }
+                    }
+                    PolicyKind::Adaptive(p)
+                }
+                other => return err(lineno, format!("unknown policy `{other}`")),
+            };
+        }
         "scheduler" => {
             c.scheduler = match value {
                 "continustreaming" => SchedulerKind::ContinuStreaming,
@@ -432,6 +472,31 @@ at 30 capacity_shift fraction=0.3 class=dsl
     fn unknown_class_reference_fails_validation() {
         let e = parse_scenario("at 5 flash_crowd count=3 class=ghost\n").unwrap_err();
         assert!(e.message.contains("ghost"));
+    }
+
+    #[test]
+    fn policy_key_parses_kind_and_knobs() {
+        use cs_core::PolicyKind;
+        let spec = parse_scenario("policy = legacy\n").unwrap();
+        assert_eq!(spec.config.policy, PolicyKind::Legacy);
+        let spec = parse_scenario("policy = adaptive\n").unwrap();
+        assert_eq!(spec.config.policy, PolicyKind::adaptive());
+        let spec =
+            parse_scenario("policy = adaptive inbound_slack=0.2 rescue_cap_max=8\n").unwrap();
+        let knobs = spec.config.policy.as_adaptive().unwrap();
+        assert_eq!(knobs.inbound_slack, 0.2);
+        assert_eq!(knobs.rescue_cap_max, 8);
+        // Unaltered knobs keep their defaults.
+        assert_eq!(
+            knobs.occupancy_floor,
+            cs_core::AdaptivePolicy::default().occupancy_floor
+        );
+        let e = parse_scenario("policy = adaptive bogus=1\n").unwrap_err();
+        assert!(e.message.contains("unknown policy knob"), "{}", e.message);
+        let e = parse_scenario("policy = legacy inbound_slack=0.2\n").unwrap_err();
+        assert!(e.message.contains("no knobs"), "{}", e.message);
+        let e = parse_scenario("policy = maximal\n").unwrap_err();
+        assert!(e.message.contains("unknown policy"), "{}", e.message);
     }
 
     #[test]

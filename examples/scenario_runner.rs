@@ -4,12 +4,16 @@
 //! cargo run --release --example scenario_runner -- scenarios/flash_crowd.scn
 //! cargo run --release --example scenario_runner -- scenarios/heavy_vcr.scn \
 //!     --csv vcr.csv --json vcr.json
+//! cargo run --release --example scenario_runner -- scenarios/dynamic_churn.scn \
+//!     --policy adaptive --csv churn_adaptive.csv
 //! ```
 //!
 //! Prints the human summary to stdout; `--csv`/`--json` write the full
 //! per-round exports (the CI scenario-smoke job uploads the JSON as an
-//! artifact). The run is deterministic in the spec: re-running produces
-//! byte-identical exports.
+//! artifact). `--policy legacy|adaptive` overrides the spec's continuity
+//! policy — how the CI smoke matrix produces its Legacy-vs-Adaptive
+//! continuity comparison from one spec file. The run is deterministic in
+//! the spec (+ override): re-running produces byte-identical exports.
 
 use continustreaming::prelude::*;
 
@@ -29,10 +33,20 @@ fn main() {
         eprintln!("cannot read {path}: {e}");
         std::process::exit(2);
     });
-    let spec = parse_scenario(&text).unwrap_or_else(|e| {
+    let mut spec = parse_scenario(&text).unwrap_or_else(|e| {
         eprintln!("{path}: {e}");
         std::process::exit(2);
     });
+    if let Some(policy) = arg_value(&args, "--policy") {
+        spec.config.policy = match policy.as_str() {
+            "legacy" => PolicyKind::Legacy,
+            "adaptive" => PolicyKind::adaptive(),
+            other => {
+                eprintln!("unknown --policy `{other}` (legacy|adaptive)");
+                std::process::exit(2);
+            }
+        };
+    }
 
     eprintln!(
         "running `{}`: {} nodes x {} rounds, seed {}, spec 0x{:016x}",

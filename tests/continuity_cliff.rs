@@ -8,12 +8,15 @@
 //! with every node still alive and "playing". This is a **known open
 //! bug**, not desired behaviour.
 //!
-//! The point of pinning it: the collapse is the top open item on the
-//! ROADMAP, so *any* change to it must be loud. A future PR that fixes
-//! the cliff will trip the `0.0` assertions below and should then flip
-//! them (celebrating); a perf refactor that accidentally shifts the
-//! cliff — in either direction — trips them too and must be treated as
-//! behavioural drift.
+//! The point of pinning it: *any* change to the collapse must be loud.
+//! The cliff is now **fixed** behind the config-gated policy layer —
+//! `SystemConfig::policy = PolicyKind::Adaptive` holds continuity ≥
+//! 0.99 through all 200 rounds (see `tests/continuity_policy.rs`) — but
+//! the default, `PolicyKind::Legacy`, must keep reproducing the
+//! collapse bit for bit: this canary now pins the policy layer's
+//! *invisibility* when disabled. A perf refactor that accidentally
+//! shifts the cliff — in either direction — trips it and must be
+//! treated as behavioural drift.
 //!
 //! One release-profile run of this configuration takes ~1.4 s; the dev
 //! profile used by `cargo test` takes ~8 s, which is why the whole

@@ -390,3 +390,132 @@ fn routing_bound_holds_over_many_networks() {
         assert!(ok >= 190, "seed {seed}: success rate too low: {ok}/200");
     }
 }
+
+/// Policy-layer invariants over randomised deficits and knob settings:
+/// the effective rescue cap is monotone non-decreasing in the runway
+/// deficit, never below 1 while the deficit is positive, never above
+/// the configured ceiling, and exactly the legacy `prefetch_cap` at
+/// zero deficit.
+#[test]
+fn policy_rescue_cap_is_monotone_and_bounded() {
+    for case in 0..CASES {
+        let mut rng = RngTree::new(0xADA9).child_indexed("rescue-cap", case);
+        let policy = AdaptivePolicy {
+            target_runway_rounds: rng.gen_range(1u64..12),
+            deficit_per_extra_fetch: rng.gen_range(1u64..10),
+            rescue_cap_max: rng.gen_range(1usize..40),
+            suppress_slope: rng.gen_range(0usize..20),
+            ..AdaptivePolicy::default()
+        };
+        policy.validate();
+        let base_cap = rng.gen_range(1usize..12);
+        let mut last_cap = 0usize;
+        let mut last_threshold = 0usize;
+        for deficit in 0..300u64 {
+            let cap = policy.rescue_cap(base_cap, deficit);
+            let threshold = policy.suppression_threshold(base_cap, deficit);
+            assert!(
+                cap >= 1,
+                "case {case}: cap {cap} below 1 at deficit {deficit}"
+            );
+            assert!(
+                cap <= policy.rescue_cap_max.max(base_cap),
+                "case {case}: cap {cap} above ceiling at deficit {deficit}"
+            );
+            assert!(
+                cap >= base_cap,
+                "case {case}: adaptive must never rescue less than legacy \
+                 (cap {cap} < base {base_cap} at deficit {deficit})"
+            );
+            assert!(
+                cap >= last_cap,
+                "case {case}: cap not monotone at deficit {deficit}"
+            );
+            assert!(
+                threshold >= last_threshold,
+                "case {case}: suppression threshold not monotone at deficit {deficit}"
+            );
+            assert!(
+                threshold >= cap,
+                "case {case}: threshold {threshold} below cap {cap} — a fetchable \
+                 miss count would be suppressed"
+            );
+            if deficit == 0 {
+                assert_eq!(
+                    cap,
+                    base_cap.max(1),
+                    "case {case}: zero deficit must reproduce the legacy cutoff exactly"
+                );
+            }
+            last_cap = cap;
+            last_threshold = threshold;
+        }
+    }
+}
+
+/// The occupancy-adaptive window is never narrower than the legacy
+/// window, never wider than the policy maximum, and monotone
+/// non-increasing in occupancy; healthy occupancy reproduces the legacy
+/// width exactly.
+#[test]
+fn policy_window_never_narrower_than_legacy() {
+    for case in 0..CASES {
+        let mut rng = RngTree::new(0x71D0).child_indexed("window", case);
+        let policy = AdaptivePolicy {
+            occupancy_floor: rng.gen_range(0.05f64..1.0),
+            lookahead_factor: rng.gen_range(1.0f64..4.0),
+            ..AdaptivePolicy::default()
+        };
+        policy.validate();
+        let legacy = rng.gen_range(1u64..600);
+        let mut last = u64::MAX;
+        for step in 0..=20u64 {
+            let occ = step as f64 / 20.0;
+            let w = policy.lookahead(legacy, occ);
+            assert!(
+                w >= legacy,
+                "case {case}: window {w} narrower than legacy {legacy} at occ {occ}"
+            );
+            assert!(w <= policy.max_lookahead(legacy), "case {case}");
+            assert!(
+                w <= last,
+                "case {case}: window must not widen as occupancy rises"
+            );
+            last = w;
+        }
+        assert_eq!(
+            policy.lookahead(legacy, policy.occupancy_floor),
+            legacy,
+            "case {case}: at the floor the window is exactly legacy"
+        );
+        assert_eq!(policy.lookahead(legacy, 1.0), legacy, "case {case}");
+    }
+}
+
+/// Adaptive rounds reusing the persistent `RoundScratch` (and the
+/// scheduler scratch inside it) carry no policy state across rounds:
+/// the scratch invariants hold after every round, and a fresh simulator
+/// over the same config reproduces the run byte for byte — the policy
+/// decisions are pure functions of per-round state, so scratch reuse
+/// cannot leak them.
+#[test]
+fn adaptive_policy_state_resets_with_scratch_reuse() {
+    let config = SystemConfig {
+        nodes: 60,
+        rounds: 30,
+        startup_segments: 30,
+        seed: 0xADA50,
+        policy: PolicyKind::adaptive(),
+        ..SystemConfig::default()
+    }
+    .with_dynamic_churn();
+    let mut sim = SystemSim::new(config.clone());
+    for round in 0..30 {
+        sim.debug_step(round);
+        sim.debug_check_scratch();
+    }
+    let a = SystemSim::new(config.clone()).run();
+    let b = SystemSim::new(config).run();
+    assert_eq!(a.rounds, b.rounds, "adaptive runs must reproduce");
+    assert_eq!(format!("{a:?}"), format!("{b:?}"));
+}

@@ -290,13 +290,70 @@ fn apply_event_hooks_behave() {
     );
 }
 
+/// Golden-file stability of the CSV export: the header (incl. the
+/// policy-layer diagnostics `rescue_cap`, `suppressed_nodes`,
+/// `slack_used`) is pinned byte for byte, every row has exactly the
+/// header's column count, and — on the reference platform — two full
+/// rows of a fixed tiny run are pinned verbatim. Any accidental
+/// reordering, renaming or format change of the export trips this
+/// before it silently breaks downstream consumers of the CI artifacts.
+#[test]
+fn csv_export_header_and_rows_are_stable() {
+    const GOLDEN_HEADER: &str = "round,time_secs,alive,playing,continuous,continuity,joins,\
+leaves,gossip_deliveries,requests_issued,requests_dropped,prefetch_attempts,\
+prefetch_successes,prefetch_overdue,prefetch_repeated,prefetch_suppressed,mean_alpha,\
+newest_emitted,mean_runway,min_runway,mean_frontier_gap,window_occupancy,supplier_active,\
+supplier_peak_load,dht_routing_msgs,gc_evictions,backup_segments,rescue_cap,\
+suppressed_nodes,slack_used";
+    let spec = ScenarioSpec::null(
+        "golden",
+        SystemConfig {
+            nodes: 30,
+            rounds: 6,
+            startup_segments: 20,
+            seed: 20080414,
+            ..SystemConfig::default()
+        },
+    );
+    let csv = run_scenario(&spec).log.to_csv();
+    let lines: Vec<&str> = csv.lines().collect();
+    assert_eq!(lines[0], GOLDEN_HEADER, "CSV header drifted");
+    assert_eq!(lines.len(), 7, "header + one row per round");
+    let cols = GOLDEN_HEADER.split(',').count();
+    for line in &lines[1..] {
+        assert_eq!(line.split(',').count(), cols, "ragged CSV row: {line}");
+    }
+    // Full-row goldens involve floats whose last bits depend on the
+    // platform libm (same policy as the pinned fingerprints).
+    #[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+    {
+        assert_eq!(
+            lines[1],
+            "0,1.0,29,0,0,0.0,0,0,50,50,0,0,0,0,0,0,0.016666666666666666,10,0.0,0,0.0,0.0,\
+             1,50,0,0,7,5,0,0",
+            "round-0 row drifted"
+        );
+        assert_eq!(
+            lines[6],
+            "5,6.0,29,29,29,1.0,0,0,328,349,21,3,3,3,0,0,0.01675287356321839,60,\
+             19.655172413793103,10,50.37931034482759,0.7086206896551723,29,50,47,0,138,5,0,44",
+            "round-5 row drifted"
+        );
+    }
+}
+
 /// Layer 3: the committed spec files parse, validate, and carry the
 /// workloads they claim (CI smokes them end to end).
 #[test]
 fn committed_scenario_files_parse() {
     let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/scenarios");
     let mut names = Vec::new();
-    for file in ["static.scn", "flash_crowd.scn", "heavy_vcr.scn"] {
+    for file in [
+        "static.scn",
+        "flash_crowd.scn",
+        "heavy_vcr.scn",
+        "dynamic_churn.scn",
+    ] {
         let text = std::fs::read_to_string(format!("{dir}/{file}"))
             .unwrap_or_else(|e| panic!("{file}: {e}"));
         let spec = parse_scenario(&text).unwrap_or_else(|e| panic!("{file}: {e}"));
@@ -327,10 +384,20 @@ fn committed_scenario_files_parse() {
                     .iter()
                     .any(|e| matches!(e.kind, ScenarioEventKind::SeekStorm { .. })));
             }
+            "dynamic-churn" => {
+                assert!(!spec.config.churn.is_static(), "5%+5% churn");
+                assert!(spec
+                    .events
+                    .iter()
+                    .any(|e| matches!(e.kind, ScenarioEventKind::MassDeparture { .. })));
+            }
             other => panic!("unexpected scenario name `{other}`"),
         }
     }
-    assert_eq!(names, ["static", "flash-crowd", "heavy-vcr"]);
+    assert_eq!(
+        names,
+        ["static", "flash-crowd", "heavy-vcr", "dynamic-churn"]
+    );
 }
 
 /// A quick end-to-end smoke of one committed file at reduced size: the

@@ -148,6 +148,31 @@ fn random_scheduler_steady_state_allocates_nothing() {
     }
 }
 
+/// The adaptive policy layer runs inside the same zero-alloc round: the
+/// occupancy probe, the rarity bonus, the deficit-scaled cap and the
+/// widened-window scratch (pre-sized to the policy's *maximum*
+/// lookahead) must all work out of the persistent buffers. Warm-up
+/// covers the startup phase, where deficits push the fetch cap — and
+/// with it the per-node `missed` buffers — to their high-water marks.
+#[test]
+fn adaptive_policy_steady_state_allocates_nothing() {
+    let _guard = MEASURE_LOCK.lock().unwrap();
+    let mut sim = SystemSim::new(SystemConfig {
+        policy: PolicyKind::adaptive(),
+        ..steady_state_config(SchedulerKind::ContinuStreaming, true, 100)
+    });
+    for round in 0..60 {
+        sim.debug_step(round);
+    }
+    for round in 60..95 {
+        let n = count_allocs(|| sim.debug_step(round));
+        assert_eq!(
+            n, 0,
+            "round {round}: a warmed-up Adaptive round must not allocate ({n})"
+        );
+    }
+}
+
 /// Control experiment: the counter itself works — building a simulator
 /// obviously allocates.
 #[test]
