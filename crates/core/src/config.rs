@@ -3,6 +3,7 @@
 use cs_net::BandwidthProfile;
 use cs_overlay::ChurnConfig;
 
+use crate::faults::FaultPlan;
 use crate::policy::PolicyKind;
 use crate::priority::PriorityPolicy;
 
@@ -95,6 +96,11 @@ pub struct SystemConfig {
     /// enables deficit-scaled rescue, the occupancy-adaptive exchange
     /// window and the steady-state slack knob.
     pub policy: PolicyKind,
+    /// The deterministic fault plane (see [`crate::faults`]). The
+    /// default all-zero plan is inert: no `"faults"` RNG draws, no
+    /// allocations, bit-identical behaviour — same gating discipline as
+    /// the policy layer.
+    pub faults: FaultPlan,
     /// Master seed.
     pub seed: u64,
 }
@@ -122,6 +128,7 @@ impl Default for SystemConfig {
             rescue_budget_fraction: 0.2,
             parallel_threads: None,
             policy: PolicyKind::Legacy,
+            faults: FaultPlan::default(),
             seed: 20080414, // IPDPS 2008 in Miami started on April 14.
         }
     }
@@ -190,6 +197,7 @@ impl SystemConfig {
         if let PolicyKind::Adaptive(p) = &self.policy {
             p.validate();
         }
+        self.faults.validate();
         self.churn.validate();
     }
 

@@ -44,6 +44,7 @@
 pub mod backup;
 pub mod buffer;
 pub mod config;
+pub mod faults;
 pub mod metrics;
 pub mod policy;
 pub mod priority;
@@ -58,6 +59,7 @@ pub mod system;
 pub use backup::VodBackupStore;
 pub use buffer::{BufferMap, StreamBuffer};
 pub use config::{SchedulerKind, SystemConfig};
+pub use faults::{FaultPlan, FaultRoundRecord, FaultTrace};
 pub use metrics::{RoundRecord, RunReport, RunSummary};
 pub use policy::{AdaptivePolicy, PolicyKind};
 pub use priority::{PriorityInput, PriorityPolicy, PriorityTerms};

@@ -134,6 +134,48 @@ pub struct AdaptivePolicy {
     /// Fractional over-provision of the inbound delivery budget
     /// (`I·τ·(1 + inbound_slack)`), the steady-state slack knob.
     pub inbound_slack: f64,
+    /// Recovery plane: rounds a lost pull may stay unanswered before the
+    /// recovery scan declares a supplier timeout.
+    pub supplier_timeout_rounds: u32,
+    /// Recovery plane: maximum backed-off re-issues per lost pull.
+    pub retry_max: u32,
+    /// Recovery plane: base of the exponential retry backoff, in rounds
+    /// (the delay before retry `a` is `base · factor^(a-1)` plus
+    /// jitter).
+    pub backoff_base_rounds: u32,
+    /// Recovery plane: multiplicative growth of the retry backoff.
+    pub backoff_factor: u32,
+    /// Recovery plane: maximum uniform jitter (in rounds) added to each
+    /// backoff delay, drawn from the `"faults"` RNG stream so retry
+    /// storms de-synchronise deterministically.
+    pub backoff_jitter_rounds: u32,
+    /// Recovery plane: rounds a timed-out supplier stays evicted from
+    /// its requester's neighbour set (the failover window — neighbour
+    /// maintenance refills the slot from the overheard list).
+    pub evict_rounds: u32,
+    /// Recovery plane: per-node, per-round ceiling on origin-fallback
+    /// fetches — when every §4.3 replica lookup comes up empty (the
+    /// holders crashed, or the epidemic wave broke and *nobody* has the
+    /// segment yet), the node may fetch directly from the source, which
+    /// always holds the full stream. Bounded by the source's shared
+    /// outbound-spend ledger, so desperate rounds cannot mint bandwidth:
+    /// the fallback re-seeds a broken distribution wave (the gossip
+    /// plane re-amplifies from the seeded copies) rather than serving
+    /// the swarm. `0` (the default) disables the fallback and reproduces
+    /// the pre-knob behaviour bit for bit.
+    pub source_rescue_cap: usize,
+    /// Frontier push seeding: copies of each newly emitted segment the
+    /// source pushes to deterministic ring-spread positions, charged to
+    /// the same shared outbound ledger as every other source transfer.
+    /// Without it a fresh segment can only enter the swarm through the
+    /// source's handful of gossip neighbours, and under sustained loss
+    /// that narrow injection funnel saturates and the fresh-segment
+    /// epidemic wave starves (the holdings-synchronisation collapse).
+    /// Pushing the first `source_push` copies to spread positions
+    /// diversifies the amplification base so the wave survives the
+    /// funnel. `0` (the default) disables seeding and reproduces the
+    /// pre-knob behaviour bit for bit.
+    pub source_push: usize,
 }
 
 impl Default for AdaptivePolicy {
@@ -147,6 +189,14 @@ impl Default for AdaptivePolicy {
             lookahead_factor: 2.0,
             rarity_bias: 0.5,
             inbound_slack: 0.15,
+            supplier_timeout_rounds: 2,
+            retry_max: 3,
+            backoff_base_rounds: 1,
+            backoff_factor: 2,
+            backoff_jitter_rounds: 1,
+            evict_rounds: 8,
+            source_rescue_cap: 0,
+            source_push: 0,
         }
     }
 }
@@ -180,6 +230,16 @@ impl AdaptivePolicy {
             self.inbound_slack >= 0.0 && self.inbound_slack.is_finite(),
             "inbound_slack must be non-negative"
         );
+        assert!(
+            self.supplier_timeout_rounds >= 1,
+            "supplier_timeout_rounds must be ≥ 1"
+        );
+        assert!(
+            self.backoff_base_rounds >= 1,
+            "backoff_base_rounds must be ≥ 1"
+        );
+        assert!(self.backoff_factor >= 1, "backoff_factor must be ≥ 1");
+        assert!(self.evict_rounds >= 1, "evict_rounds must be ≥ 1");
     }
 
     /// The runway deficit in segments: how far the contiguous run ahead
@@ -270,6 +330,18 @@ impl AdaptivePolicy {
     #[inline]
     pub fn inbound_budget(&self, base: f64) -> f64 {
         base * (1.0 + self.inbound_slack)
+    }
+
+    /// The deterministic (jitter-free) backoff delay before retry
+    /// `attempt` (1-based), in rounds: `base · factor^(attempt-1)`,
+    /// saturating. Monotone non-decreasing in `attempt` and never below
+    /// `backoff_base_rounds` — pinned by the recovery-invariant suite.
+    #[inline]
+    pub fn backoff_rounds(&self, attempt: u32) -> u32 {
+        let exp = attempt.saturating_sub(1).min(16);
+        (self.backoff_base_rounds as u64)
+            .saturating_mul((self.backoff_factor as u64).saturating_pow(exp))
+            .min(u32::MAX as u64) as u32
     }
 }
 

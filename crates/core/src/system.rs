@@ -67,6 +67,7 @@ use cs_trace::{augment_to_min_degree, derive_latency, TraceGenConfig, TraceGener
 use crate::backup::VodBackupStore;
 use crate::buffer::{BufferMap, StreamBuffer};
 use crate::config::{SchedulerKind, SystemConfig};
+use crate::faults::{FaultPlan, FaultRoundRecord, FaultTrace};
 use crate::metrics::{summarize, RoundRecord, RunReport};
 use crate::policy::PolicyKind;
 use crate::priority::{PriorityPolicy, PriorityTerms};
@@ -785,6 +786,12 @@ pub enum SystemEvent {
     /// Remove a node; `graceful` leaves hand their VoD backups to the
     /// ring predecessor, abrupt failures just vanish.
     Leave { id: DhtId, graceful: bool },
+    /// Crash a node (fault plane). Unlike [`SystemEvent::Leave`] with
+    /// `graceful: false` — which still tells the RP server and the DHT —
+    /// a crash is silent: backups are stranded, DHT routing entries go
+    /// stale until lazily repaired on contact, and neighbours only learn
+    /// on their next maintenance pass.
+    Crash { id: DhtId },
     /// VCR: move a node's play anchor. The exchange window, the urgent
     /// line and the pre-fetcher all re-derive from the new anchor on the
     /// next round.
@@ -824,6 +831,137 @@ pub enum EventOutcome {
     Rejected,
 }
 
+/// A pull whose delivery was lost to the fault plane and is being
+/// watched by the recovery plane (Adaptive policy only): the requester
+/// times the supplier out, retries with exponential backoff and fails
+/// over to a DHT rescue fetch that shuns suspected-dead suppliers.
+#[derive(Debug, Clone, Copy)]
+struct PendingRetry {
+    requester: DhtId,
+    segment: SegmentId,
+    /// The supplier whose delivery went dark (`None` for losses with no
+    /// attributable peer). Suspected and evicted on first timeout.
+    supplier: Option<DhtId>,
+    /// Round the original pull was lost (time-to-recover baseline).
+    lost_round: u32,
+    /// Backed-off retries issued so far (bounded by `retry_max`).
+    attempts: u32,
+    /// Round at which the timeout/backoff timer next fires.
+    next_check: u32,
+    /// Whether the supplier has already been suspected (failover counted
+    /// once per lost pull).
+    suspected: bool,
+}
+
+/// What the fault plane did to one control-path fetch.
+enum ControlFault {
+    None,
+    Lost,
+    Delayed(f64),
+}
+
+/// All fault-injection and failure-recovery state. Grouped so the hot
+/// path can gate every fault check on one `active` flag: with the
+/// default inert [`FaultPlan`] and no scripted fault events, nothing
+/// here is read past that flag, no `"faults"` RNG draw happens and the
+/// run is bit-identical to a fault-free build.
+struct FaultState {
+    /// Dedicated stream for every fault/recovery draw. Deriving the
+    /// child consumes nothing from the sibling streams, so creating it
+    /// unconditionally is free.
+    rng: SimRng,
+    /// Steady-state config baseline (phase overlays stack on top).
+    base: FaultPlan,
+    /// Effective steady-state rates: `base` plus the scenario's current
+    /// per-phase overlay.
+    plan: FaultPlan,
+    /// Scripted transient loss burst: extra loss probability while
+    /// `round < burst_until`.
+    burst_loss: f64,
+    burst_until: u32,
+    /// Scripted partition: sorted arc members; messages crossing the
+    /// arc boundary drop deterministically while `round < partition_until`.
+    partition: Vec<DhtId>,
+    partition_until: u32,
+    /// RP/bootstrap outage: joins are rejected while
+    /// `round < rp_outage_until`.
+    rp_outage_until: u32,
+    /// Whether the fault plane ever armed. Gates all per-round work.
+    active: bool,
+    /// Whether any crash ever happened; gates the lazy stale-route
+    /// repair scan (only crashes leave stale DHT entries behind).
+    crashed_any: bool,
+    /// Scratch: steady-state crash victims drawn this round.
+    victims: Vec<DhtId>,
+    /// Suppliers suspected dead by the recovery plane, each with the
+    /// round its eviction window expires.
+    dead_until: Vec<(DhtId, u32)>,
+    /// Lost pulls under timeout/retry watch.
+    pending: Vec<PendingRetry>,
+    /// Counters accumulating for the current round; drained into the
+    /// trace at end of round.
+    counters: FaultRoundRecord,
+    /// The per-round fault/recovery trace (empty while inert).
+    trace: FaultTrace,
+}
+
+impl FaultState {
+    fn new(rng: SimRng, base: FaultPlan) -> Self {
+        FaultState {
+            rng,
+            base,
+            plan: base,
+            burst_loss: 0.0,
+            burst_until: 0,
+            partition: Vec::new(),
+            partition_until: 0,
+            rp_outage_until: 0,
+            active: base.enabled(),
+            crashed_any: false,
+            victims: Vec::new(),
+            dead_until: Vec::new(),
+            pending: Vec::new(),
+            counters: FaultRoundRecord::default(),
+            trace: FaultTrace::default(),
+        }
+    }
+
+    /// Whether the scripted partition drops messages between `a` and `b`
+    /// this round (exactly one endpoint inside the arc).
+    fn partition_blocks(&self, round: u32, a: DhtId, b: DhtId) -> bool {
+        if round >= self.partition_until || self.partition.is_empty() {
+            return false;
+        }
+        let inside = |id| self.partition.binary_search(&id).is_ok();
+        inside(a) != inside(b)
+    }
+
+    /// Effective loss probability on the data path this round.
+    fn data_loss(&self, round: u32) -> f64 {
+        let burst = if round < self.burst_until {
+            self.burst_loss
+        } else {
+            0.0
+        };
+        (self.plan.data_loss + burst).min(1.0)
+    }
+
+    /// Effective loss probability on the control path this round.
+    fn control_loss(&self, round: u32) -> f64 {
+        let burst = if round < self.burst_until {
+            self.burst_loss
+        } else {
+            0.0
+        };
+        (self.plan.control_loss + burst).min(1.0)
+    }
+
+    /// Whether `id` is currently under recovery-plane eviction.
+    fn evicted(&self, id: DhtId) -> bool {
+        self.dead_until.iter().any(|&(d, _)| d == id)
+    }
+}
+
 /// The full-system simulator.
 pub struct SystemSim {
     config: SystemConfig,
@@ -860,6 +998,10 @@ pub struct SystemSim {
     /// Diagnostic collector; `None` (the default) costs one branch per
     /// tap and allocates nothing.
     telemetry: Option<Box<Telemetry>>,
+    /// Fault-injection / failure-recovery state; inert (one branch per
+    /// gate, no draws, no allocations) unless armed by the config plan
+    /// or a scripted fault event.
+    faults: FaultState,
     scratch: RoundScratch,
 }
 
@@ -1334,6 +1476,7 @@ impl SystemSim {
             scenario_rng: tree.child("scenario"),
             next_round: 0,
             telemetry: None,
+            faults: FaultState::new(tree.child("faults"), config.faults),
             scratch: RoundScratch::default(),
             config,
         };
@@ -1638,6 +1781,92 @@ impl SystemSim {
         self.telemetry.as_mut().map(|t| std::mem::take(&mut **t))
     }
 
+    /// The per-round fault/recovery trace. Empty while the fault plane
+    /// is inert; once armed it gains exactly one record per stepped
+    /// round, and its digest is the run's fault fingerprint (two runs
+    /// with the same seed and workload produce byte-identical traces).
+    pub fn fault_trace(&self) -> &FaultTrace {
+        &self.faults.trace
+    }
+
+    /// Stack a scenario phase's steady-state fault rates on top of the
+    /// config baseline: `loss` raises both the data- and control-path
+    /// loss probability, `crash` the per-node per-round crash
+    /// probability. Passing zeros restores the baseline.
+    pub fn set_phase_fault_rates(&mut self, loss: f64, crash: f64) {
+        assert!(
+            (0.0..=1.0).contains(&loss),
+            "phase loss must be a probability"
+        );
+        assert!(
+            (0.0..=1.0).contains(&crash),
+            "phase crash must be a probability"
+        );
+        let f = &mut self.faults;
+        f.plan.crash_rate = (f.base.crash_rate + crash).min(1.0);
+        f.plan.data_loss = (f.base.data_loss + loss).min(1.0);
+        f.plan.control_loss = (f.base.control_loss + loss).min(1.0);
+        if f.plan.enabled() {
+            f.active = true;
+        }
+    }
+
+    /// Script a transient loss burst: `loss` extra loss probability on
+    /// every message path for the next `rounds` rounds.
+    pub fn begin_loss_burst(&mut self, loss: f64, rounds: u32) {
+        assert!(
+            (0.0..=1.0).contains(&loss),
+            "burst loss must be a probability"
+        );
+        self.faults.burst_loss = loss;
+        self.faults.burst_until = self.next_round.saturating_add(rounds);
+        if loss > 0.0 && rounds > 0 {
+            self.faults.active = true;
+        }
+    }
+
+    /// Script a network partition: messages between `members` and the
+    /// rest of the overlay drop deterministically for the next `rounds`
+    /// rounds.
+    pub fn set_partition(&mut self, mut members: Vec<DhtId>, rounds: u32) {
+        members.sort_unstable();
+        members.dedup();
+        let arms = !members.is_empty() && rounds > 0;
+        self.faults.partition = members;
+        self.faults.partition_until = self.next_round.saturating_add(rounds);
+        if arms {
+            self.faults.active = true;
+        }
+    }
+
+    /// Script an RP/bootstrap outage: every join (churn or scenario) is
+    /// rejected for the next `rounds` rounds. Consumes no randomness, so
+    /// it does not arm the fault plane's per-round machinery.
+    pub fn set_rp_outage(&mut self, rounds: u32) {
+        self.faults.rp_outage_until = self.next_round.saturating_add(rounds);
+    }
+
+    /// Debug invariant (fault suite): every connected neighbour of every
+    /// alive node resolves to an alive node — crashed nodes were
+    /// detected and dropped by the end of the round, so nothing serves
+    /// from or schedules against a dark supplier.
+    #[doc(hidden)]
+    pub fn debug_neighbors_alive(&self) -> bool {
+        self.order_idx.iter().all(|&idx| {
+            self.nodes
+                .node(idx)
+                .connected
+                .ids()
+                .all(|r| self.nodes.resolve(r).is_some())
+        })
+    }
+
+    /// Debug: lost pulls currently under recovery watch.
+    #[doc(hidden)]
+    pub fn debug_pending_retries(&self) -> usize {
+        self.faults.pending.len()
+    }
+
     /// Apply one workload event between rounds. See [`SystemEvent`] for
     /// the semantics of each variant; membership-changing events rebuild
     /// the deterministic node order immediately, so an [`Self::alive_ids`]
@@ -1645,6 +1874,12 @@ impl SystemSim {
     pub fn apply_event(&mut self, event: SystemEvent) -> EventOutcome {
         match event {
             SystemEvent::Join { ping_ms, bandwidth } => {
+                // A bootstrap outage rejects the join before any
+                // scenario-stream draw: a rejected join consumes zero
+                // randomness, exactly like every other rejection path.
+                if self.next_round < self.faults.rp_outage_until {
+                    return EventOutcome::Rejected;
+                }
                 let id = self.rp.assign_id(&mut self.scenario_rng);
                 let ping = match ping_ms {
                     Some(p) => p,
@@ -1673,6 +1908,15 @@ impl SystemSim {
                 } else {
                     self.abrupt_failure(id);
                 }
+                self.rebuild_order();
+                EventOutcome::Applied
+            }
+            SystemEvent::Crash { id } => {
+                if id == self.source || self.nodes.lookup(id).is_none() {
+                    return EventOutcome::Rejected;
+                }
+                self.faults.active = true;
+                self.crash(id);
                 self.rebuild_order();
                 EventOutcome::Applied
             }
@@ -1819,6 +2063,12 @@ impl SystemSim {
             }
             self.rebuild_order();
         }
+        // Fault plane: steady-state crash failures. Crashes are *not*
+        // churn — no RP report, no DHT leave, no backup handover — so
+        // they run off the churn books and the `"faults"` stream.
+        if self.faults.active {
+            self.inject_crashes();
+        }
 
         // --- 2. source emission -------------------------------------------
         let p = self.config.demand_per_round();
@@ -1851,6 +2101,12 @@ impl SystemSim {
             }
         }
 
+        // --- 4b. frontier push seeding (recovery plane) ----------------------
+        // After the snapshots so the seeded copies are advertised (and
+        // gossip-amplified) from next round, before scheduling so the
+        // source's ledger reflects the pushes when pulls are served.
+        let pushed = self.push_frontier(round, first_new, &mut scratch, &mut traffic);
+
         // --- 5. scheduling ---------------------------------------------------
         self.run_schedule_phase(round, &mut scratch);
 
@@ -1862,8 +2118,8 @@ impl SystemSim {
         let mut svc = ServiceCounters::default();
         let salt = cs_sim::splitmix64(round as u64 ^ self.config.seed);
         self.plan_service_phase(salt, &mut scratch);
-        self.apply_service_phase(&mut scratch, &mut traffic, &mut svc);
-        let gossip_deliveries = svc.deliveries;
+        self.apply_service_phase(round, &mut scratch, &mut traffic, &mut svc);
+        let gossip_deliveries = svc.deliveries + pushed;
         let requests_issued = svc.issued;
         let requests_dropped = svc.dropped;
         let mut prefetch_repeated = svc.repeated;
@@ -1899,6 +2155,14 @@ impl SystemSim {
                 prefetch_repeated += repeated;
                 prefetch_routing_msgs += routing;
             }
+        }
+
+        // --- 7b. failure recovery (fault plane) ---------------------------------
+        // Timeout detection, backed-off retries and supplier failover
+        // for pulls the fault plane swallowed. Runs before playback so a
+        // successful retry still counts toward this round's continuity.
+        if self.faults.active {
+            self.run_recovery_phase(round, &mut scratch, &mut traffic);
         }
 
         // --- 8. playback and continuity -----------------------------------------
@@ -2050,6 +2314,18 @@ impl SystemSim {
             joins,
             leaves,
         });
+        // Fault plane: drain the round's counters into the trace. While
+        // inert this is one branch — the trace stays empty and the
+        // counters are never touched.
+        let frec = if self.faults.active {
+            let mut rec = self.faults.counters;
+            rec.round = round;
+            self.faults.counters = FaultRoundRecord::default();
+            self.faults.trace.push(rec);
+            rec
+        } else {
+            FaultRoundRecord::default()
+        };
         if let Some(t) = self.telemetry.as_deref_mut() {
             t.rounds.push(TelemetryRound {
                 round,
@@ -2079,6 +2355,16 @@ impl SystemSim {
                 rescue_cap: rescue_cap_peak as u64,
                 suppressed_nodes: prefetch_suppressed as u64,
                 slack_used,
+                faults_injected: frec.injected() as u64,
+                timeouts_detected: frec.timeouts as u64,
+                retries_issued: frec.retries as u64,
+                failovers: frec.failovers as u64,
+                stale_repairs: frec.stale_repairs as u64,
+                mean_time_to_recover: if frec.recoveries > 0 {
+                    frec.recovery_rounds as f64 / frec.recoveries as f64
+                } else {
+                    0.0
+                },
             });
         }
         self.scratch = scratch;
@@ -2308,10 +2594,12 @@ impl SystemSim {
     /// therefore bit-identical to serial at any worker count.
     fn apply_service_phase(
         &mut self,
+        round: u32,
         scratch: &mut RoundScratch,
         traffic: &mut TrafficCounter,
         svc: &mut ServiceCounters,
     ) {
+        let faults_on = self.faults.active;
         for k in 0..self.order_idx.len() {
             let sidx = self.order_idx[k];
             let slot = sidx.0 as usize;
@@ -2348,6 +2636,14 @@ impl SystemSim {
             for ri in start..start + len {
                 let req = scratch.requests_sorted[ri];
                 if req.accepted {
+                    // Fault plane: the supplier sent, but the segment
+                    // never arrives — the requester cannot tell a lost
+                    // delivery from a silent supplier, which is what the
+                    // recovery plane's timeout exists to resolve.
+                    if faults_on && self.data_delivery_lost(round, sup_ref.id, req.requester_id) {
+                        self.note_lost_pull(round, req.requester_id, req.segment, Some(sup_ref.id));
+                        continue;
+                    }
                     self.deliver_one(sup_ref, req, traffic, svc);
                     delivered_here += 1;
                 }
@@ -2499,6 +2795,12 @@ impl SystemSim {
         let mut overdue = 0u32;
         let mut routing_msgs = 0u64;
         let period_ms = self.config.period_secs * 1000.0;
+        let source_cap = self
+            .config
+            .policy
+            .as_adaptive()
+            .map_or(0, |pol| pol.source_rescue_cap);
+        let mut source_fallbacks = 0usize;
 
         for mi in 0..max_fetches {
             let seg = scratch.prefetch_plans[k].missed[mi];
@@ -2555,6 +2857,12 @@ impl SystemSim {
                 outcome.routing_messages as u64 * self.sizes.routing_message_bits,
             );
             routing_msgs += outcome.routing_messages as u64;
+            // Lazy DHT repair: routing just contacted these nodes, so
+            // any crashed one among them is detected now and evicted
+            // from the routing tables before it is overheard.
+            if self.faults.crashed_any {
+                self.repair_stale_routes(&scratch.retrieval.located);
+            }
             // The requester overhears every node its lookups reached
             // (the located list stayed in the retrieval scratch).
             {
@@ -2569,12 +2877,26 @@ impl SystemSim {
                 }
             }
             if let Some(supplier) = outcome.supplier {
+                // Fault plane: the rescue fetch rides the control path —
+                // it can be swallowed outright or delayed past its
+                // deadline.
+                let mut extra_delay_ms = 0.0;
+                if self.faults.active {
+                    match self.control_fetch_fault(round, requester_id, supplier) {
+                        ControlFault::Lost => {
+                            self.note_lost_pull(round, requester_id, seg, Some(supplier));
+                            continue;
+                        }
+                        ControlFault::Delayed(ms) => extra_delay_ms = ms,
+                        ControlFault::None => {}
+                    }
+                }
                 successes += 1;
                 traffic.add(TrafficClass::PrefetchData, self.sizes.segment_bits);
                 if let Some(sup_idx) = self.nodes.lookup(supplier) {
                     scratch.add_spent(sup_idx, 1.0 / self.config.period_secs);
                 }
-                let fetch_ms = outcome.fetch_latency_ms.unwrap_or(period_ms);
+                let fetch_ms = outcome.fetch_latency_ms.unwrap_or(period_ms) + extra_delay_ms;
                 // Deadline: the start of the round in which `seg` plays.
                 // Buffering nodes have no deadline yet.
                 let deadline_ms = if !started {
@@ -2598,6 +2920,30 @@ impl SystemSim {
                     // deadline round.
                     node.urgent.on_overdue();
                     overdue += 1;
+                }
+            } else if source_fallbacks < source_cap {
+                // No replica holds the segment at all. Origin fallback:
+                // re-seed the copy from the source so the gossip plane
+                // can re-amplify it (see [`Self::source_fetch`]).
+                source_fallbacks += 1;
+                routing_msgs += 1;
+                if let Some(fetch_ms) =
+                    self.source_fetch(round, idx, requester_id, seg, scratch, traffic)
+                {
+                    successes += 1;
+                    let deadline_ms = if !started {
+                        f64::INFINITY
+                    } else if seg < anchor + p {
+                        0.0
+                    } else {
+                        ((seg - anchor) / p) as f64 * period_ms
+                    };
+                    let node = self.nodes.node_mut(idx);
+                    node.prefetch_tags.insert(seg, round);
+                    if fetch_ms > deadline_ms.max(f64::EPSILON) && deadline_ms < period_ms {
+                        node.urgent.on_overdue();
+                        overdue += 1;
+                    }
                 }
             }
         }
@@ -2626,13 +2972,17 @@ impl SystemSim {
     }
 
     fn maintain_neighbors(&mut self, round: u32, scratch: &mut RoundScratch) {
+        // Recovery plane: suppliers under timeout-eviction are dropped
+        // exactly like dead ones — failover to the overheard refill.
+        let evict_on = self.faults.active && !self.faults.dead_until.is_empty();
         for k in 0..self.order_idx.len() {
             let idx = self.order_idx[k];
             let self_id = self.nodes.node(idx).id;
             // Drop dead neighbours.
             scratch.tmp_refs.clear();
             for nref in self.nodes.node(idx).connected.ids() {
-                if self.nodes.resolve(nref).is_none() {
+                if self.nodes.resolve(nref).is_none() || (evict_on && self.faults.evicted(nref.id))
+                {
                     scratch.tmp_refs.push(nref);
                 }
             }
@@ -2682,6 +3032,7 @@ impl SystemSim {
                     if e.id.id != self_id
                         && self.nodes.resolve(e.id).is_some()
                         && !node.connected.contains(e.id)
+                        && !(evict_on && self.faults.evicted(e.id.id))
                     {
                         scratch.tmp_pairs.push((e.id, e.latency_ms));
                     }
@@ -2747,6 +3098,7 @@ impl SystemSim {
                                     || c == w
                                     || self.nodes.resolve(c).is_none()
                                     || node.connected.contains(c)
+                                    || (evict_on && self.faults.evicted(c.id))
                             })
                             .map(|e| (e.id, e.latency_ms))
                     };
@@ -2792,8 +3144,484 @@ impl SystemSim {
         self.dht.leave(id);
     }
 
+    /// Crash failure (fault plane): the node goes silently dark. Unlike
+    /// [`Self::abrupt_failure`], *nothing else is told* — the RP keeps
+    /// the id allocated (so it is never reused), the DHT keeps routing
+    /// through the stale entry until [`Self::repair_stale_routes`]
+    /// evicts it on contact, and neighbours only notice on their next
+    /// maintenance pass. Backups the node held are stranded.
+    fn crash(&mut self, id: DhtId) {
+        self.nodes.remove_id(id);
+        self.faults.crashed_any = true;
+        self.faults.counters.crashes += 1;
+    }
+
+    /// Steady-state crash injection: each alive non-source node crashes
+    /// this round with probability `crash_rate`, drawn on the `"faults"`
+    /// stream in deterministic id order.
+    fn inject_crashes(&mut self) {
+        let rate = self.faults.plan.crash_rate;
+        if rate <= 0.0 {
+            return;
+        }
+        let source = self.source;
+        self.faults.victims.clear();
+        for &id in &self.order_ids {
+            if id != source && self.faults.rng.gen_bool(rate) {
+                self.faults.victims.push(id);
+            }
+        }
+        if self.faults.victims.is_empty() {
+            return;
+        }
+        for vi in 0..self.faults.victims.len() {
+            let id = self.faults.victims[vi];
+            self.crash(id);
+        }
+        self.rebuild_order();
+    }
+
+    /// Lazily repair stale DHT routing state: every crashed node a
+    /// retrieval routed through or located is evicted from the routing
+    /// tables on contact. Only crashes leave stale entries behind
+    /// (leaves and failures already call `dht.leave`), so the scan is
+    /// gated on any crash ever having happened.
+    fn repair_stale_routes(&mut self, located: &[DhtId]) {
+        for &l in located {
+            if self.nodes.lookup(l).is_none() && self.dht.leave(l) {
+                self.faults.counters.stale_repairs += 1;
+            }
+        }
+    }
+
+    /// Whether the fault plane swallows one data-path delivery. Only
+    /// called while the plane is active.
+    fn data_delivery_lost(&mut self, round: u32, supplier: DhtId, requester: DhtId) -> bool {
+        let f = &mut self.faults;
+        if f.partition_blocks(round, supplier, requester) {
+            f.counters.data_losses += 1;
+            return true;
+        }
+        let p = f.data_loss(round);
+        if p > 0.0 && f.rng.gen_bool(p) {
+            f.counters.data_losses += 1;
+            return true;
+        }
+        false
+    }
+
+    /// What the fault plane does to one control-path fetch (DHT rescue
+    /// download). Only called while the plane is active.
+    fn control_fetch_fault(
+        &mut self,
+        round: u32,
+        requester: DhtId,
+        supplier: DhtId,
+    ) -> ControlFault {
+        let f = &mut self.faults;
+        if f.partition_blocks(round, requester, supplier) {
+            f.counters.control_losses += 1;
+            return ControlFault::Lost;
+        }
+        let p = f.control_loss(round);
+        if p > 0.0 && f.rng.gen_bool(p) {
+            f.counters.control_losses += 1;
+            return ControlFault::Lost;
+        }
+        if f.plan.delay_prob > 0.0 && f.rng.gen_bool(f.plan.delay_prob) {
+            f.counters.delays += 1;
+            return ControlFault::Delayed(f.plan.delay_ms);
+        }
+        ControlFault::None
+    }
+
+    /// Put a lost pull under recovery watch. Legacy policy has no
+    /// recovery plane — the loss simply stands, exactly the gap the
+    /// Legacy-vs-Adaptive chaos comparison measures.
+    fn note_lost_pull(
+        &mut self,
+        round: u32,
+        requester: DhtId,
+        segment: SegmentId,
+        supplier: Option<DhtId>,
+    ) {
+        let Some(policy) = self.config.policy.as_adaptive() else {
+            return;
+        };
+        self.faults.pending.push(PendingRetry {
+            requester,
+            segment,
+            supplier,
+            lost_round: round,
+            attempts: 0,
+            next_check: round + policy.supplier_timeout_rounds,
+            suspected: false,
+        });
+    }
+
+    /// Step 7b: the recovery plane. Scans the pending lost pulls in
+    /// arrival order (serial, so the `"faults"` draws are identical at
+    /// any worker count): segments that arrived by other means are
+    /// recovered; expired timeouts suspect and evict the dark supplier
+    /// (failover) and re-issue the pull as a DHT rescue fetch with
+    /// exponential backoff + jitter, bounded by `retry_max`.
+    fn run_recovery_phase(
+        &mut self,
+        round: u32,
+        scratch: &mut RoundScratch,
+        traffic: &mut TrafficCounter,
+    ) {
+        // Suspected-supplier evictions expire.
+        self.faults.dead_until.retain(|&(_, until)| until > round);
+        if self.faults.pending.is_empty() {
+            return;
+        }
+        let Some(policy) = self.config.policy.as_adaptive().copied() else {
+            self.faults.pending.clear();
+            return;
+        };
+        let mut kept = 0usize;
+        for i in 0..self.faults.pending.len() {
+            let mut e = self.faults.pending[i];
+            let drop_entry = 'decide: {
+                let Some(ridx) = self.nodes.lookup(e.requester) else {
+                    // Requester gone: nothing left to recover.
+                    break 'decide true;
+                };
+                {
+                    let node = self.nodes.node(ridx);
+                    if node.buffer.contains(e.segment) {
+                        // Healed by gossip or an earlier retry.
+                        self.faults.counters.recoveries += 1;
+                        self.faults.counters.recovery_rounds += (round - e.lost_round) as u64;
+                        break 'decide true;
+                    }
+                    if e.segment < node.buffer.head()
+                        || node.next_play.is_some_and(|np| e.segment < np)
+                    {
+                        // Playback moved past the hole: moot.
+                        break 'decide true;
+                    }
+                }
+                if round < e.next_check {
+                    break 'decide false;
+                }
+                // Timeout fired: the supplier has been dark for the full
+                // window — suspect it once per lost pull.
+                self.faults.counters.timeouts += 1;
+                if let Some(sup) = e.supplier {
+                    if !e.suspected {
+                        e.suspected = true;
+                        // Liveness probe before failover (the §4.1 ping
+                        // idiom): a crashed supplier never answers; an
+                        // alive one answers unless the probe itself is
+                        // lost on the control path. Without the probe a
+                        // loss burst mass-evicts the *alive* supply side
+                        // for `evict_rounds` — the recovery plane then
+                        // amplifies the burst into a supply collapse
+                        // instead of damping it.
+                        let dead = self.nodes.lookup(sup).is_none() || {
+                            let p = self.faults.control_loss(round);
+                            p > 0.0 && self.faults.rng.gen_bool(p)
+                        };
+                        if dead {
+                            if !self.faults.evicted(sup) {
+                                self.faults
+                                    .dead_until
+                                    .push((sup, round + policy.evict_rounds));
+                            }
+                            self.faults.counters.failovers += 1;
+                        }
+                    }
+                }
+                if e.attempts >= policy.retry_max {
+                    // Retry budget exhausted: give up, gossip may still
+                    // heal the hole.
+                    break 'decide true;
+                }
+                e.attempts += 1;
+                self.faults.counters.retries += 1;
+                if self.retry_fetch(round, ridx, e.requester, e.segment, scratch, traffic) {
+                    self.faults.counters.recoveries += 1;
+                    self.faults.counters.recovery_rounds += (round - e.lost_round) as u64;
+                    break 'decide true;
+                }
+                let jitter = if policy.backoff_jitter_rounds > 0 {
+                    self.faults.rng.gen_range(0..=policy.backoff_jitter_rounds)
+                } else {
+                    0
+                };
+                e.next_check = round
+                    + policy.supplier_timeout_rounds
+                    + policy.backoff_rounds(e.attempts)
+                    + jitter;
+                false
+            };
+            if !drop_entry {
+                self.faults.pending[kept] = e;
+                kept += 1;
+            }
+        }
+        self.faults.pending.truncate(kept);
+    }
+
+    /// One recovery retry: a direct Algorithm-2 rescue fetch that shuns
+    /// suppliers currently under eviction. Returns whether the segment
+    /// arrived.
+    fn retry_fetch(
+        &mut self,
+        round: u32,
+        idx: NodeIdx,
+        requester_id: DhtId,
+        seg: SegmentId,
+        scratch: &mut RoundScratch,
+        traffic: &mut TrafficCounter,
+    ) -> bool {
+        let outcome = {
+            let nodes = &self.nodes;
+            let config = &self.config;
+            let spent = &scratch.outbound_spent;
+            let dead = &self.faults.dead_until;
+            let ping = |n: DhtId| {
+                nodes
+                    .lookup(n)
+                    .map(|i| nodes.node(i).ping_ms)
+                    .unwrap_or(50.0)
+            };
+            let latency = |a: DhtId, b: DhtId| derive_latency(ping(a), ping(b));
+            let has_backup = |n: DhtId, s: SegmentId| {
+                nodes.lookup(n).is_some_and(|i| nodes.node(i).backup.has(s))
+            };
+            let available_rate = |n: DhtId| {
+                // Failover: a supplier under eviction is treated as
+                // having nothing to give, so selection moves to the
+                // next-best replica holder.
+                if dead.iter().any(|&(d, _)| d == n) {
+                    return 0.0;
+                }
+                nodes
+                    .lookup(n)
+                    .map(|i| {
+                        let cap = nodes
+                            .node(i)
+                            .bandwidth
+                            .outbound_segments_per_sec(config.segment_kbits);
+                        let used = spent.get(i.0 as usize).copied().unwrap_or(0.0);
+                        (cap - used).max(0.0)
+                    })
+                    .unwrap_or(0.0)
+            };
+            let transfer_ms = config.segment_kbits / 450.0 * 1000.0;
+            retrieve_one_into(
+                &mut self.dht,
+                requester_id,
+                seg,
+                &latency,
+                &has_backup,
+                &available_rate,
+                config.replicas,
+                transfer_ms,
+                &mut scratch.retrieval,
+            )
+        };
+        traffic.add(
+            TrafficClass::PrefetchRouting,
+            outcome.routing_messages as u64 * self.sizes.routing_message_bits,
+        );
+        if self.faults.crashed_any {
+            self.repair_stale_routes(&scratch.retrieval.located);
+        }
+        let Some(supplier) = outcome.supplier else {
+            // Last resort: no replica holds the segment, so retrying the
+            // DHT lookup is futile — fall back to the origin when the
+            // policy allows it.
+            if self
+                .config
+                .policy
+                .as_adaptive()
+                .is_some_and(|p| p.source_rescue_cap > 0)
+            {
+                return self
+                    .source_fetch(round, idx, requester_id, seg, scratch, traffic)
+                    .is_some();
+            }
+            return false;
+        };
+        // The retry rides the control path too: it can be lost again
+        // (the entry stays pending; delay is irrelevant at round
+        // granularity — the segment still lands this round).
+        if let ControlFault::Lost = self.control_fetch_fault(round, requester_id, supplier) {
+            return false;
+        }
+        traffic.add(TrafficClass::PrefetchData, self.sizes.segment_bits);
+        if let Some(sup_idx) = self.nodes.lookup(supplier) {
+            scratch.add_spent(sup_idx, 1.0 / self.config.period_secs);
+        }
+        {
+            let node = self.nodes.node_mut(idx);
+            node.buffer.insert(seg);
+            node.round_inflow += 1;
+        }
+        let successor = self.believed_successor(requester_id);
+        self.nodes.node_mut(idx).backup.maybe_store(seg, successor);
+        true
+    }
+
+    /// Step 4b (recovery plane): frontier push seeding. The source
+    /// pushes up to `source_push` copies of each segment it emitted
+    /// this round to deterministic ring-spread positions (the node
+    /// closest clockwise to `hash(segment, i)`, the same
+    /// position-hashing idea as the §4.2 backup placement). Charged to
+    /// the source's shared outbound ledger and subject to data-path
+    /// loss, like any other data transfer. Returns the copies that
+    /// arrived (they count as gossip-plane deliveries). Serial and
+    /// RNG-free, so it is bit-identical at any worker count; with the
+    /// knob at 0 (the default) it is a single branch.
+    fn push_frontier(
+        &mut self,
+        round: u32,
+        first_new: SegmentId,
+        scratch: &mut RoundScratch,
+        traffic: &mut TrafficCounter,
+    ) -> u64 {
+        let fanout = self
+            .config
+            .policy
+            .as_adaptive()
+            .map_or(0, |p| p.source_push);
+        if fanout == 0 {
+            return 0;
+        }
+        let src_idx = self.source_idx;
+        let space = self.dht.space().size();
+        let period = self.config.period_secs;
+        let cap = self
+            .nodes
+            .node(src_idx)
+            .bandwidth
+            .outbound_segments_per_sec(self.config.segment_kbits);
+        let mut pushed = 0u64;
+        for seg in first_new..=self.newest_emitted {
+            for i in 0..fanout as u64 {
+                let used = scratch
+                    .outbound_spent
+                    .get(src_idx.0 as usize)
+                    .copied()
+                    .unwrap_or(0.0);
+                if cap - used <= 0.0 {
+                    // The origin's uplink is spent: seeding yields to the
+                    // pull traffic it shares the ledger with.
+                    return pushed;
+                }
+                let pos = cs_sim::splitmix64(seg.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ i) % space;
+                let k = match self.order_ids.binary_search(&pos) {
+                    Ok(k) => k,
+                    Err(k) => k % self.order_ids.len(),
+                };
+                let id = self.order_ids[k];
+                if id == self.source || self.nodes.node(self.order_idx[k]).buffer.contains(seg) {
+                    continue;
+                }
+                let idx = self.order_idx[k];
+                // The push is sent (budget and bits spent) whether or
+                // not the fault plane swallows it in flight.
+                scratch.add_spent(src_idx, 1.0 / period);
+                traffic.add(TrafficClass::Data, self.sizes.segment_bits);
+                if self.faults.active && self.data_delivery_lost(round, self.source, id) {
+                    continue;
+                }
+                {
+                    let node = self.nodes.node_mut(idx);
+                    node.buffer.insert(seg);
+                    node.round_inflow += 1;
+                }
+                let successor = self.believed_successor(id);
+                self.nodes.node_mut(idx).backup.maybe_store(seg, successor);
+                pushed += 1;
+            }
+        }
+        pushed
+    }
+
+    /// Origin-fallback fetch (recovery plane): every replica lookup for
+    /// `seg` came up empty or dark, so the §4.3 rescue cannot succeed no
+    /// matter how often it retries — but the source always holds the
+    /// full stream. A direct unicast fetch to the bootstrap address (no
+    /// DHT routing), charged against the source's shared outbound-spend
+    /// ledger: when the origin's uplink is spent, the fallback fails
+    /// like any saturated supplier, so a desperate swarm cannot mint
+    /// bandwidth. The point is not to serve the swarm from the origin —
+    /// one uplink cannot — but to re-seed a broken distribution wave
+    /// with copies the gossip plane then re-amplifies. Rides the
+    /// control path (the fault plane can swallow or delay it). Returns
+    /// the eq. 6-style fetch time when the segment arrived.
+    fn source_fetch(
+        &mut self,
+        round: u32,
+        idx: NodeIdx,
+        requester_id: DhtId,
+        seg: SegmentId,
+        scratch: &mut RoundScratch,
+        traffic: &mut TrafficCounter,
+    ) -> Option<f64> {
+        if requester_id == self.source || seg > self.newest_emitted {
+            return None;
+        }
+        let src_idx = self.source_idx;
+        {
+            let cap = self
+                .nodes
+                .node(src_idx)
+                .bandwidth
+                .outbound_segments_per_sec(self.config.segment_kbits);
+            let used = scratch
+                .outbound_spent
+                .get(src_idx.0 as usize)
+                .copied()
+                .unwrap_or(0.0);
+            if cap - used <= 0.0 {
+                return None;
+            }
+        }
+        // One request message to a known address, then the payload.
+        traffic.add(
+            TrafficClass::PrefetchRouting,
+            self.sizes.routing_message_bits,
+        );
+        let mut extra_delay_ms = 0.0;
+        if self.faults.active {
+            match self.control_fetch_fault(round, requester_id, self.source) {
+                ControlFault::Lost => return None,
+                ControlFault::Delayed(ms) => extra_delay_ms = ms,
+                ControlFault::None => {}
+            }
+        }
+        self.faults.counters.failovers += 1;
+        traffic.add(TrafficClass::PrefetchData, self.sizes.segment_bits);
+        scratch.add_spent(src_idx, 1.0 / self.config.period_secs);
+        let rtt = {
+            let req_ping = self.nodes.node(idx).ping_ms;
+            let src_ping = self.nodes.node(src_idx).ping_ms;
+            derive_latency(req_ping, src_ping) * 2.0
+        };
+        let transfer_ms = self.config.segment_kbits / 450.0 * 1000.0;
+        {
+            let node = self.nodes.node_mut(idx);
+            node.buffer.insert(seg);
+            node.round_inflow += 1;
+        }
+        let successor = self.believed_successor(requester_id);
+        self.nodes.node_mut(idx).backup.maybe_store(seg, successor);
+        Some(rtt + transfer_ms + extra_delay_ms)
+    }
+
     /// One churn join via the RP server (§4.1 protocol).
     fn join_one(&mut self, round: u32) -> bool {
+        // A bootstrap outage turns arrivals away before any `"join"`
+        // draw (the RP is the only way in).
+        if round < self.faults.rp_outage_until {
+            return false;
+        }
         let id = self.rp.assign_id(&mut self.join_rng);
         let ping =
             self.joiner_pings[(round as usize * 31 + self.nodes.len()) % self.joiner_pings.len()];
@@ -2944,9 +3772,24 @@ impl SystemSim {
             };
             derive_latency(ping(a), ping(b))
         };
-        self.dht
-            .join(id, &latency, rng)
-            .expect("RP-assigned ids are unique");
+        if self.dht.join(id, &latency, rng).is_err() {
+            // The id collides with the stale DHT entry of a *crashed*
+            // node: a joiner's close-list ping found it dead and told
+            // the RP ("tells the RP server E's failure"), the RP freed
+            // and later reassigned the id, but nobody cleaned the DHT —
+            // crashes leave no graceful handoff. Only crashes create
+            // this split-brain (every other departure path removes the
+            // node from the RP and the DHT together), so repair the
+            // stale entry lazily and retry; `join` fails before any RNG
+            // draw, keeping the retry deterministic.
+            debug_assert!(self.faults.crashed_any, "collision without any crash");
+            let removed = self.dht.leave(id);
+            debug_assert!(removed, "IdTaken id missing from the DHT");
+            self.faults.counters.stale_repairs += 1;
+            self.dht
+                .join(id, &latency, rng)
+                .expect("RP-assigned ids are unique once the stale entry is gone");
+        }
         true
     }
 

@@ -73,6 +73,22 @@ pub struct TelemetryRound {
     /// demand (`Σ max(0, inflow − p·τ)` over playing nodes): how much
     /// slack the swarm actually used to heal holes this round.
     pub slack_used: u64,
+    /// Faults injected this round (crashes + data losses + control
+    /// losses + delays); 0 whenever the fault plane is inert.
+    pub faults_injected: u64,
+    /// Supplier timeouts the recovery plane detected this round.
+    pub timeouts_detected: u64,
+    /// Backed-off retries the recovery plane issued this round.
+    pub retries_issued: u64,
+    /// Suspected-dead suppliers evicted (failover to the next-best
+    /// supplier / DHT rescue) this round.
+    pub failovers: u64,
+    /// Stale DHT entries of crashed nodes lazily repaired on routing
+    /// contact this round.
+    pub stale_repairs: u64,
+    /// Mean rounds from loss to recovery over segments recovered this
+    /// round (0 when none recovered).
+    pub mean_time_to_recover: f64,
 }
 
 /// One node's startup trajectory: from overlay admission to playback.

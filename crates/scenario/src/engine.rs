@@ -42,6 +42,10 @@ pub struct EngineStats {
     pub resumes: u64,
     /// Capacity changes applied.
     pub capacity_changes: u64,
+    /// Crash failures injected by `crash_nodes` events (steady-state
+    /// crashes drawn inside the simulator are counted in its
+    /// [`FaultTrace`](cs_core::FaultTrace), not here).
+    pub crashes: u64,
 }
 
 /// One standard-normal draw (Box–Muller, cosine branch — the same shape
@@ -83,6 +87,10 @@ pub struct ScenarioEngine {
     ids: Vec<DhtId>,
     victims: Vec<DhtId>,
     stats: EngineStats,
+    /// The `(loss, crash)` phase overlay last pushed to the simulator;
+    /// the overlay is only re-sent when it changes, so a spec with no
+    /// fault phases never touches the fault plane at all.
+    fault_overlay: (f64, f64),
 }
 
 impl ScenarioEngine {
@@ -102,6 +110,7 @@ impl ScenarioEngine {
             ids: Vec::new(),
             victims: Vec::new(),
             stats: EngineStats::default(),
+            fault_overlay: (0.0, 0.0),
         }
     }
 
@@ -120,6 +129,22 @@ impl ScenarioEngine {
     /// timed events, then phase VCR behaviour.
     pub fn drive_round(&mut self, sim: &mut SystemSim) {
         let round = sim.rounds_run();
+
+        // 0. Phase fault overlay: the summed steady-state loss/crash
+        // rates of every covering phase, pushed only on change (a spec
+        // with no fault phases never arms the fault plane).
+        let mut overlay = (0.0f64, 0.0f64);
+        for phase in &self.spec.phases {
+            if phase.covers(round) {
+                overlay.0 += phase.loss;
+                overlay.1 += phase.crash;
+            }
+        }
+        overlay = (overlay.0.min(1.0), overlay.1.min(1.0));
+        if overlay != self.fault_overlay {
+            sim.set_phase_fault_rates(overlay.0, overlay.1);
+            self.fault_overlay = overlay;
+        }
 
         // 1. Session expiries of scenario-spawned nodes.
         while let Some(&Reverse((due, id, graceful))) = self.departures.peek() {
@@ -342,6 +367,63 @@ impl ScenarioEngine {
                         self.stats.seeks += 1;
                     }
                 }
+            }
+            ScenarioEventKind::CrashNodes { count, correlated } => {
+                self.ids.clear();
+                let source = sim.source_id();
+                self.ids
+                    .extend(sim.alive_ids().iter().copied().filter(|&id| id != source));
+                let n = (*count as usize).min(self.ids.len());
+                if n == 0 {
+                    return;
+                }
+                self.victims.clear();
+                if *correlated {
+                    // A contiguous arc of the id ring goes dark at once:
+                    // every DHT entry for the arc is left stale, and the
+                    // arc's whole backup responsibility range is lost.
+                    let start = self.rng.gen_range(0..self.ids.len());
+                    for k in 0..n {
+                        self.victims.push(self.ids[(start + k) % self.ids.len()]);
+                    }
+                } else {
+                    for k in 0..n {
+                        let j = self.rng.gen_range(k..self.ids.len());
+                        self.ids.swap(k, j);
+                        self.victims.push(self.ids[k]);
+                    }
+                }
+                for i in 0..self.victims.len() {
+                    let id = self.victims[i];
+                    if sim.apply_event(SystemEvent::Crash { id }) == EventOutcome::Applied {
+                        self.stats.crashes += 1;
+                    }
+                }
+            }
+            ScenarioEventKind::LossBurst { loss, rounds } => {
+                sim.begin_loss_burst(*loss, *rounds);
+            }
+            ScenarioEventKind::PartitionArc { fraction, rounds } => {
+                // Partition a contiguous arc of the ring away from the
+                // rest. The source stays in the majority component, so
+                // the arc is the side starved of fresh segments.
+                self.ids.clear();
+                let source = sim.source_id();
+                self.ids
+                    .extend(sim.alive_ids().iter().copied().filter(|&id| id != source));
+                let n = ((self.ids.len() as f64 * fraction).round() as usize).min(self.ids.len());
+                if n == 0 {
+                    return;
+                }
+                let start = self.rng.gen_range(0..self.ids.len());
+                self.victims.clear();
+                for k in 0..n {
+                    self.victims.push(self.ids[(start + k) % self.ids.len()]);
+                }
+                sim.set_partition(self.victims.clone(), *rounds);
+            }
+            ScenarioEventKind::RpOutage { rounds } => {
+                sim.set_rp_outage(*rounds);
             }
             ScenarioEventKind::CapacityShift { fraction, class } => {
                 let bandwidth = self

@@ -56,7 +56,7 @@ pub use spec::{
     SpecError, TimedEvent, VcrModel,
 };
 
-use cs_core::{RunReport, SystemSim, Telemetry};
+use cs_core::{FaultTrace, RunReport, SystemSim, Telemetry};
 
 /// Everything one scenario run produces.
 #[derive(Debug, Clone, PartialEq)]
@@ -67,6 +67,9 @@ pub struct ScenarioOutcome {
     pub telemetry: Telemetry,
     /// The merged, exportable metrics log.
     pub log: MetricsLog,
+    /// The per-round fault/recovery trace (empty unless the spec armed
+    /// the fault plane); its digest is the run's fault fingerprint.
+    pub fault_trace: FaultTrace,
 }
 
 /// Run a scenario end to end: build the simulator from the spec's
@@ -90,12 +93,14 @@ pub fn run_scenario(spec: &ScenarioSpec) -> ScenarioOutcome {
         }
     }
     let telemetry = sim.take_telemetry().unwrap_or_default();
+    let fault_trace = sim.fault_trace().clone();
     let report = sim.finish();
     let log = MetricsLog::new(spec, &report, &telemetry, engine.stats());
     ScenarioOutcome {
         report,
         telemetry,
         log,
+        fault_trace,
     }
 }
 
@@ -142,6 +147,8 @@ mod tests {
                 pause_prob: 0.01,
                 resume_prob: 0.3,
             },
+            loss: 0.0,
+            crash: 0.0,
         });
         spec.events.push(TimedEvent {
             round: 6,
@@ -158,6 +165,43 @@ mod tests {
         assert_eq!(a.log.to_json(), b.log.to_json());
         assert_eq!(a.log.round_fingerprints(), b.log.round_fingerprints());
         assert!(a.log.engine.joins > 0, "the flash crowd joined");
+    }
+
+    #[test]
+    fn faulty_scenario_is_reproducible_with_identical_trace() {
+        let mut config = base(80, 30, 31);
+        config.faults = cs_core::FaultPlan {
+            crash_rate: 0.004,
+            data_loss: 0.02,
+            control_loss: 0.02,
+            delay_prob: 0.01,
+            delay_ms: 40.0,
+        };
+        let mut spec = ScenarioSpec::null("faulty", config);
+        spec.events.push(TimedEvent {
+            round: 10,
+            kind: ScenarioEventKind::LossBurst {
+                loss: 0.5,
+                rounds: 3,
+            },
+        });
+        spec.events.push(TimedEvent {
+            round: 18,
+            kind: ScenarioEventKind::CrashNodes {
+                count: 5,
+                correlated: false,
+            },
+        });
+        let a = run_scenario(&spec);
+        let b = run_scenario(&spec);
+        assert_eq!(a.report.rounds, b.report.rounds);
+        assert_eq!(a.fault_trace, b.fault_trace);
+        assert_eq!(a.fault_trace.digest(), b.fault_trace.digest());
+        assert!(
+            a.fault_trace.rounds.iter().any(|r| r.injected() > 0),
+            "the armed fault plane must actually inject something"
+        );
+        assert_eq!(a.log.engine.crashes, 5);
     }
 
     #[test]
@@ -246,6 +290,8 @@ mod tests {
                 pause_prob: 0.3,
                 resume_prob: 0.2,
             },
+            loss: 0.0,
+            crash: 0.0,
         });
         let outcome = run_scenario(&spec);
         assert!(outcome.log.engine.pauses > 0, "someone paused");

@@ -48,7 +48,8 @@ gossip_deliveries,requests_issued,requests_dropped,prefetch_attempts,prefetch_su
 prefetch_overdue,prefetch_repeated,prefetch_suppressed,mean_alpha,newest_emitted,\
 mean_runway,min_runway,mean_frontier_gap,window_occupancy,supplier_active,\
 supplier_peak_load,dht_routing_msgs,gc_evictions,backup_segments,rescue_cap,\
-suppressed_nodes,slack_used";
+suppressed_nodes,slack_used,faults_injected,timeouts_detected,retries_issued,\
+failovers,stale_repairs,mean_time_to_recover";
 
 impl MetricsLog {
     /// Assemble the export from a run's pieces.
@@ -133,7 +134,7 @@ impl MetricsLog {
             ));
             match &row.telemetry {
                 Some(t) => out.push_str(&format!(
-                    ",{},{:?},{},{:?},{:?},{},{},{},{},{},{},{},{}\n",
+                    ",{},{:?},{},{:?},{:?},{},{},{},{},{},{},{},{},{},{},{},{},{},{:?}\n",
                     t.newest_emitted,
                     t.mean_runway,
                     t.min_runway,
@@ -147,8 +148,14 @@ impl MetricsLog {
                     t.rescue_cap,
                     t.suppressed_nodes,
                     t.slack_used,
+                    t.faults_injected,
+                    t.timeouts_detected,
+                    t.retries_issued,
+                    t.failovers,
+                    t.stale_repairs,
+                    t.mean_time_to_recover,
                 )),
-                None => out.push_str(",,,,,,,,,,,,,\n"),
+                None => out.push_str(",,,,,,,,,,,,,,,,,,,\n"),
             }
         }
         out
@@ -181,8 +188,16 @@ impl MetricsLog {
         let e = &self.engine;
         out.push_str(&format!(
             "  \"engine\": {{\"joins\": {}, \"joins_rejected\": {}, \"leaves\": {}, \
-             \"seeks\": {}, \"pauses\": {}, \"resumes\": {}, \"capacity_changes\": {}}},\n",
-            e.joins, e.joins_rejected, e.leaves, e.seeks, e.pauses, e.resumes, e.capacity_changes,
+             \"seeks\": {}, \"pauses\": {}, \"resumes\": {}, \"capacity_changes\": {}, \
+             \"crashes\": {}}},\n",
+            e.joins,
+            e.joins_rejected,
+            e.leaves,
+            e.seeks,
+            e.pauses,
+            e.resumes,
+            e.capacity_changes,
+            e.crashes,
         ));
         out.push_str(&format!(
             "  \"mean_startup_delay_rounds\": {},\n",
@@ -211,7 +226,10 @@ impl MetricsLog {
                      \"window_occupancy\": {:?}, \"supplier_active\": {}, \
                      \"supplier_peak_load\": {}, \"dht_routing_msgs\": {}, \
                      \"gc_evictions\": {}, \"backup_segments\": {}, \
-                     \"rescue_cap\": {}, \"suppressed_nodes\": {}, \"slack_used\": {}",
+                     \"rescue_cap\": {}, \"suppressed_nodes\": {}, \"slack_used\": {}, \
+                     \"faults_injected\": {}, \"timeouts_detected\": {}, \
+                     \"retries_issued\": {}, \"failovers\": {}, \"stale_repairs\": {}, \
+                     \"mean_time_to_recover\": {:?}",
                     t.mean_runway,
                     t.min_runway,
                     t.mean_frontier_gap,
@@ -224,6 +242,12 @@ impl MetricsLog {
                     t.rescue_cap,
                     t.suppressed_nodes,
                     t.slack_used,
+                    t.faults_injected,
+                    t.timeouts_detected,
+                    t.retries_issued,
+                    t.failovers,
+                    t.stale_repairs,
+                    t.mean_time_to_recover,
                 ));
             }
             out.push_str(if i + 1 < self.rows.len() {
@@ -281,6 +305,23 @@ impl MetricsLog {
             self.summary.prefetch_successes,
             self.summary.prefetch_overhead,
         ));
+        let (mut injected, mut timeouts, mut retries, mut failovers, mut repairs) =
+            (0u64, 0u64, 0u64, 0u64, 0u64);
+        for t in self.rows.iter().filter_map(|r| r.telemetry.as_ref()) {
+            injected += t.faults_injected;
+            timeouts += t.timeouts_detected;
+            retries += t.retries_issued;
+            failovers += t.failovers;
+            repairs += t.stale_repairs;
+        }
+        if injected > 0 || timeouts > 0 {
+            out.push_str(&format!(
+                "  faults: {injected} injected ({} scripted crashes); recovery: \
+                 {timeouts} timeouts, {retries} retries, {failovers} failovers, \
+                 {repairs} stale-route repairs\n",
+                self.engine.crashes,
+            ));
+        }
         out
     }
 }

@@ -14,11 +14,15 @@
 //! startup_segments = 100              # any of: neighbors, buffer_size,
 //! id_space_slack = 8                  # playback_rate, replicas, prefetch_cap
 //! churn = 0.05 0.05 0.5               # baseline leave/join[/graceful] fractions
+//! faults = 0.005 0.01 0.01 0.0 0.0    # crash data_loss control_loss delay_prob delay_ms
 //! policy = adaptive inbound_slack=0.2 # legacy (default) | adaptive [knob=value…]
 //!                                     # knobs: target_runway_rounds,
 //!                                     # deficit_per_extra_fetch, rescue_cap_max,
 //!                                     # suppress_slope, occupancy_floor,
-//!                                     # lookahead_factor, rarity_bias, inbound_slack
+//!                                     # lookahead_factor, rarity_bias, inbound_slack,
+//!                                     # supplier_timeout_rounds, retry_max,
+//!                                     # backoff_base_rounds, backoff_factor,
+//!                                     # backoff_jitter_rounds, evict_rounds
 //!
 //! # node classes (capacity tiers / latency classes)
 //! class dsl inbound=600 outbound=300 weight=3
@@ -27,15 +31,25 @@
 //! # phases: models active over [start, end) rounds
 //! phase 0..60 arrivals=poisson:2.0 session=lognormal:2.5,0.8 classes=dsl,fiber
 //! phase 20..40 seek=0.05:30 pause=0.01 resume=0.25
+//! phase 50..60 loss=0.02 crash=0.002  # steady fault rates over the phase
 //!
 //! # timed events
 //! at 15 flash_crowd count=50 class=dsl
 //! at 30 mass_departure fraction=0.3 correlated graceful
 //! at 40 seek_storm fraction=0.5 jump=-50
 //! at 45 capacity_shift fraction=0.25 class=dsl
+//! at 50 crash_nodes count=20 correlated
+//! at 55 loss_burst loss=0.3 rounds=5
+//! at 60 partition_arc fraction=0.25 rounds=10
+//! at 65 rp_outage rounds=15
 //! ```
+//!
+//! Every key is checked: unknown keys, unknown event kinds, missing
+//! values and *duplicate* keys are line-numbered parse errors, never
+//! silently ignored — a typo must not quietly change the workload
+//! being studied.
 
-use cs_core::{PolicyKind, SchedulerKind, SystemConfig};
+use cs_core::{FaultPlan, PolicyKind, SchedulerKind, SystemConfig};
 use cs_overlay::ChurnConfig;
 
 use crate::spec::{
@@ -79,6 +93,20 @@ fn kv(token: &str) -> (&str, &str) {
         Some((k, v)) => (k, v),
         None => (token, ""),
     }
+}
+
+/// Reject duplicate keys among a statement's `key=value`/flag tokens.
+/// With duplicates allowed, `count=3 count=5` would silently resolve to
+/// one of the two — which one being an implementation detail of the
+/// parser, not something the experimenter chose.
+fn reject_duplicate_keys(lineno: usize, tokens: &[&str]) -> Result<(), ParseError> {
+    for (i, token) in tokens.iter().enumerate() {
+        let (k, _) = kv(token);
+        if tokens[..i].iter().any(|t| kv(t).0 == k) {
+            return err(lineno, format!("duplicate key `{k}`"));
+        }
+    }
+    Ok(())
 }
 
 /// Parse a scenario spec from its text form. The result is validated.
@@ -139,7 +167,9 @@ fn parse_config_line(lineno: usize, line: &str, spec: &mut ScenarioSpec) -> Resu
                 }
                 "adaptive" => {
                     let mut p = cs_core::AdaptivePolicy::default();
-                    for token in parts {
+                    let knob_tokens: Vec<&str> = parts.collect();
+                    reject_duplicate_keys(lineno, &knob_tokens)?;
+                    for token in knob_tokens {
                         let (k, v) = kv(token);
                         match k {
                             "target_runway_rounds" => {
@@ -154,6 +184,20 @@ fn parse_config_line(lineno: usize, line: &str, spec: &mut ScenarioSpec) -> Resu
                             "lookahead_factor" => p.lookahead_factor = parse_num(lineno, k, v)?,
                             "rarity_bias" => p.rarity_bias = parse_num(lineno, k, v)?,
                             "inbound_slack" => p.inbound_slack = parse_num(lineno, k, v)?,
+                            "supplier_timeout_rounds" => {
+                                p.supplier_timeout_rounds = parse_num(lineno, k, v)?
+                            }
+                            "retry_max" => p.retry_max = parse_num(lineno, k, v)?,
+                            "backoff_base_rounds" => {
+                                p.backoff_base_rounds = parse_num(lineno, k, v)?
+                            }
+                            "backoff_factor" => p.backoff_factor = parse_num(lineno, k, v)?,
+                            "backoff_jitter_rounds" => {
+                                p.backoff_jitter_rounds = parse_num(lineno, k, v)?
+                            }
+                            "evict_rounds" => p.evict_rounds = parse_num(lineno, k, v)?,
+                            "source_rescue_cap" => p.source_rescue_cap = parse_num(lineno, k, v)?,
+                            "source_push" => p.source_push = parse_num(lineno, k, v)?,
                             other => return err(lineno, format!("unknown policy knob `{other}`")),
                         }
                     }
@@ -185,6 +229,22 @@ fn parse_config_line(lineno: usize, line: &str, spec: &mut ScenarioSpec) -> Resu
                 },
             };
         }
+        "faults" => {
+            let parts: Vec<&str> = value.split_whitespace().collect();
+            if parts.len() != 5 {
+                return err(
+                    lineno,
+                    "faults takes `crash data_loss control_loss delay_prob delay_ms`",
+                );
+            }
+            c.faults = FaultPlan {
+                crash_rate: parse_num(lineno, "faults crash", parts[0])?,
+                data_loss: parse_num(lineno, "faults data_loss", parts[1])?,
+                control_loss: parse_num(lineno, "faults control_loss", parts[2])?,
+                delay_prob: parse_num(lineno, "faults delay_prob", parts[3])?,
+                delay_ms: parse_num(lineno, "faults delay_ms", parts[4])?,
+            };
+        }
         other => return err(lineno, format!("unknown configuration key `{other}`")),
     }
     Ok(())
@@ -195,6 +255,7 @@ fn parse_class(lineno: usize, tokens: &[&str], spec: &mut ScenarioSpec) -> Resul
         return err(lineno, "class needs a name: `class <name> [key=value…]`");
     }
     let mut class = NodeClass::default_class(tokens[1]);
+    reject_duplicate_keys(lineno, &tokens[2..])?;
     for token in &tokens[2..] {
         let (k, v) = kv(token);
         match k {
@@ -251,6 +312,7 @@ fn parse_phase(lineno: usize, tokens: &[&str], spec: &mut ScenarioSpec) -> Resul
         parse_num(lineno, "phase start", start)?,
         parse_num(lineno, "phase end", end)?,
     );
+    reject_duplicate_keys(lineno, &tokens[2..])?;
     for token in &tokens[2..] {
         let (k, v) = kv(token);
         match k {
@@ -274,6 +336,8 @@ fn parse_phase(lineno: usize, tokens: &[&str], spec: &mut ScenarioSpec) -> Resul
             }
             "pause" => phase.vcr.pause_prob = parse_num(lineno, k, v)?,
             "resume" => phase.vcr.resume_prob = parse_num(lineno, k, v)?,
+            "loss" => phase.loss = parse_num(lineno, k, v)?,
+            "crash" => phase.crash = parse_num(lineno, k, v)?,
             other => return err(lineno, format!("unknown phase key `{other}`")),
         }
     }
@@ -295,8 +359,13 @@ fn parse_event(lineno: usize, tokens: &[&str], spec: &mut ScenarioSpec) -> Resul
         "mass_departure" => (&["fraction"], &["correlated", "graceful"]),
         "seek_storm" => (&["fraction", "jump"], &[]),
         "capacity_shift" => (&["fraction", "class"], &[]),
+        "crash_nodes" => (&["count"], &["correlated"]),
+        "loss_burst" => (&["loss", "rounds"], &[]),
+        "partition_arc" => (&["fraction", "rounds"], &[]),
+        "rp_outage" => (&["rounds"], &[]),
         other => return err(lineno, format!("unknown event kind `{other}`")),
     };
+    reject_duplicate_keys(lineno, args)?;
     for token in args {
         let (k, v) = kv(token);
         if flags.contains(&k) {
@@ -372,6 +441,63 @@ fn parse_event(lineno: usize, tokens: &[&str], spec: &mut ScenarioSpec) -> Resul
                     message: "capacity_shift needs class=NAME".into(),
                 })?
                 .to_string(),
+        },
+        "crash_nodes" => ScenarioEventKind::CrashNodes {
+            count: parse_num(
+                lineno,
+                "crash_nodes count",
+                get("count").ok_or(ParseError {
+                    line: lineno,
+                    message: "crash_nodes needs count=N".into(),
+                })?,
+            )?,
+            correlated: has_flag("correlated"),
+        },
+        "loss_burst" => ScenarioEventKind::LossBurst {
+            loss: parse_num(
+                lineno,
+                "loss_burst loss",
+                get("loss").ok_or(ParseError {
+                    line: lineno,
+                    message: "loss_burst needs loss=P".into(),
+                })?,
+            )?,
+            rounds: parse_num(
+                lineno,
+                "loss_burst rounds",
+                get("rounds").ok_or(ParseError {
+                    line: lineno,
+                    message: "loss_burst needs rounds=N".into(),
+                })?,
+            )?,
+        },
+        "partition_arc" => ScenarioEventKind::PartitionArc {
+            fraction: parse_num(
+                lineno,
+                "partition_arc fraction",
+                get("fraction").ok_or(ParseError {
+                    line: lineno,
+                    message: "partition_arc needs fraction=F".into(),
+                })?,
+            )?,
+            rounds: parse_num(
+                lineno,
+                "partition_arc rounds",
+                get("rounds").ok_or(ParseError {
+                    line: lineno,
+                    message: "partition_arc needs rounds=N".into(),
+                })?,
+            )?,
+        },
+        "rp_outage" => ScenarioEventKind::RpOutage {
+            rounds: parse_num(
+                lineno,
+                "rp_outage rounds",
+                get("rounds").ok_or(ParseError {
+                    line: lineno,
+                    message: "rp_outage needs rounds=N".into(),
+                })?,
+            )?,
         },
         other => return err(lineno, format!("unknown event kind `{other}`")),
     };
@@ -505,5 +631,95 @@ at 30 capacity_shift fraction=0.3 class=dsl
         assert!(!spec.config.prefetch_enabled);
         let spec = parse_scenario("scheduler = continustreaming\n").unwrap();
         assert!(spec.config.prefetch_enabled);
+    }
+
+    #[test]
+    fn faults_key_fills_the_plan() {
+        let spec = parse_scenario("faults = 0.005 0.01 0.02 0.1 80\n").unwrap();
+        assert_eq!(spec.config.faults.crash_rate, 0.005);
+        assert_eq!(spec.config.faults.data_loss, 0.01);
+        assert_eq!(spec.config.faults.control_loss, 0.02);
+        assert_eq!(spec.config.faults.delay_prob, 0.1);
+        assert_eq!(spec.config.faults.delay_ms, 80.0);
+        let e = parse_scenario("faults = 0.1 0.1\n").unwrap_err();
+        assert_eq!(e.line, 1);
+        assert!(e.message.contains("faults takes"), "{}", e.message);
+    }
+
+    #[test]
+    fn fault_events_and_phase_rates_parse() {
+        let spec = parse_scenario(
+            "rounds = 100\n\
+             phase 20..60 loss=0.02 crash=0.001\n\
+             at 10 crash_nodes count=8 correlated\n\
+             at 30 loss_burst loss=0.4 rounds=5\n\
+             at 50 partition_arc fraction=0.25 rounds=10\n\
+             at 70 rp_outage rounds=15\n",
+        )
+        .unwrap();
+        assert_eq!(spec.phases[0].loss, 0.02);
+        assert_eq!(spec.phases[0].crash, 0.001);
+        assert_eq!(
+            spec.events[0].kind,
+            ScenarioEventKind::CrashNodes {
+                count: 8,
+                correlated: true
+            }
+        );
+        assert_eq!(
+            spec.events[1].kind,
+            ScenarioEventKind::LossBurst {
+                loss: 0.4,
+                rounds: 5
+            }
+        );
+        assert_eq!(
+            spec.events[2].kind,
+            ScenarioEventKind::PartitionArc {
+                fraction: 0.25,
+                rounds: 10
+            }
+        );
+        assert_eq!(
+            spec.events[3].kind,
+            ScenarioEventKind::RpOutage { rounds: 15 }
+        );
+    }
+
+    #[test]
+    fn recovery_knobs_parse_on_the_policy_line() {
+        let spec = parse_scenario(
+            "policy = adaptive supplier_timeout_rounds=3 retry_max=5 backoff_factor=3 evict_rounds=12\n",
+        )
+        .unwrap();
+        let knobs = spec.config.policy.as_adaptive().unwrap();
+        assert_eq!(knobs.supplier_timeout_rounds, 3);
+        assert_eq!(knobs.retry_max, 5);
+        assert_eq!(knobs.backoff_factor, 3);
+        assert_eq!(knobs.evict_rounds, 12);
+    }
+
+    #[test]
+    fn duplicate_keys_are_rejected_everywhere() {
+        let e = parse_scenario("at 5 flash_crowd count=3 count=5\n").unwrap_err();
+        assert_eq!(e.line, 1);
+        assert!(e.message.contains("duplicate"), "{}", e.message);
+        let e = parse_scenario("phase 0..5 pause=0.1 pause=0.2\n").unwrap_err();
+        assert!(e.message.contains("duplicate"), "{}", e.message);
+        let e = parse_scenario("class dsl inbound=600 inbound=700\n").unwrap_err();
+        assert!(e.message.contains("duplicate"), "{}", e.message);
+        let e = parse_scenario("policy = adaptive retry_max=2 retry_max=3\n").unwrap_err();
+        assert!(e.message.contains("duplicate"), "{}", e.message);
+        let e = parse_scenario("at 5 crash_nodes count=3 correlated correlated\n").unwrap_err();
+        assert!(e.message.contains("duplicate"), "{}", e.message);
+    }
+
+    #[test]
+    fn out_of_range_fault_event_fails_validation() {
+        assert!(parse_scenario("at 5 loss_burst loss=1.5 rounds=3\n").is_err());
+        assert!(parse_scenario("at 5 loss_burst loss=0.5 rounds=0\n").is_err());
+        assert!(parse_scenario("at 5 partition_arc fraction=2.0 rounds=3\n").is_err());
+        assert!(parse_scenario("at 5 rp_outage rounds=0\n").is_err());
+        assert!(parse_scenario("phase 0..5 loss=1.5\n").is_err());
     }
 }

@@ -118,6 +118,13 @@ pub struct Phase {
     pub classes: Vec<String>,
     /// VCR behaviour of playing nodes during this phase.
     pub vcr: VcrModel,
+    /// Steady-state message-loss probability (data *and* control paths)
+    /// stacked on the config's [`FaultPlan`](cs_core::FaultPlan) while
+    /// the phase is active.
+    pub loss: f64,
+    /// Steady-state per-node per-round crash probability stacked on the
+    /// config plan while the phase is active.
+    pub crash: f64,
 }
 
 impl Phase {
@@ -131,6 +138,8 @@ impl Phase {
             graceful_fraction: 0.5,
             classes: Vec::new(),
             vcr: VcrModel::default(),
+            loss: 0.0,
+            crash: 0.0,
         }
     }
 
@@ -161,6 +170,19 @@ pub enum ScenarioEventKind {
     /// A fraction of nodes switch to the given class's capacity tier
     /// (ISP throttling, a CDN tier change, …).
     CapacityShift { fraction: f64, class: String },
+    /// Fault plane: `count` nodes crash at once — silently dark, no
+    /// handover, stale DHT entries. `correlated` picks a contiguous arc
+    /// of the id ring (rack/AS failure) instead of a uniform sample.
+    CrashNodes { count: u32, correlated: bool },
+    /// Fault plane: `loss` extra message-loss probability on every path
+    /// for `rounds` rounds (a routing flap or congestion spike).
+    LossBurst { loss: f64, rounds: u32 },
+    /// Fault plane: a contiguous arc holding `fraction` of the
+    /// membership is partitioned from the rest for `rounds` rounds.
+    PartitionArc { fraction: f64, rounds: u32 },
+    /// Fault plane: the RP/bootstrap server is down for `rounds` rounds
+    /// — every join (churn or scenario) is turned away.
+    RpOutage { rounds: u32 },
 }
 
 /// A [`ScenarioEventKind`] pinned to a round.
@@ -252,6 +274,8 @@ impl ScenarioSpec {
                 phase.vcr.pause_prob,
                 phase.vcr.resume_prob,
                 phase.graceful_fraction,
+                phase.loss,
+                phase.crash,
             ] {
                 if !(0.0..=1.0).contains(&prob) {
                     return Err(SpecError(format!(
@@ -326,6 +350,32 @@ impl ScenarioSpec {
                         return Err(SpecError(format!(
                             "event {i}: capacity_shift class `{class}` pins no rate"
                         )));
+                    }
+                }
+                ScenarioEventKind::CrashNodes { .. } => {}
+                ScenarioEventKind::LossBurst { loss, rounds } => {
+                    if !(0.0..=1.0).contains(loss) {
+                        return Err(SpecError(format!(
+                            "event {i} has loss {loss} outside [0, 1]"
+                        )));
+                    }
+                    if *rounds == 0 {
+                        return Err(SpecError(format!("event {i}: loss_burst over 0 rounds")));
+                    }
+                }
+                ScenarioEventKind::PartitionArc { fraction, rounds } => {
+                    if !(0.0..=1.0).contains(fraction) {
+                        return Err(SpecError(format!(
+                            "event {i} has fraction {fraction} outside [0, 1]"
+                        )));
+                    }
+                    if *rounds == 0 {
+                        return Err(SpecError(format!("event {i}: partition_arc over 0 rounds")));
+                    }
+                }
+                ScenarioEventKind::RpOutage { rounds } => {
+                    if *rounds == 0 {
+                        return Err(SpecError(format!("event {i}: rp_outage over 0 rounds")));
                     }
                 }
             }

@@ -12,8 +12,11 @@
 //! per-round exports (the CI scenario-smoke job uploads the JSON as an
 //! artifact). `--policy legacy|adaptive` overrides the spec's continuity
 //! policy — how the CI smoke matrix produces its Legacy-vs-Adaptive
-//! continuity comparison from one spec file. The run is deterministic in
-//! the spec (+ override): re-running produces byte-identical exports.
+//! continuity comparison from one spec file. `--min-continuity <f>`
+//! turns the runner into a CI gate: exit nonzero when the run's mean
+//! continuity lands below the threshold (the chaos smoke pins the lossy
+//! churn scenario at ≥ 0.90 with it). The run is deterministic in the
+//! spec (+ override): re-running produces byte-identical exports.
 
 use continustreaming::prelude::*;
 
@@ -26,7 +29,10 @@ fn arg_value(args: &[String], name: &str) -> Option<String> {
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let Some(path) = args.get(1).filter(|a| !a.starts_with("--")) else {
-        eprintln!("usage: scenario_runner <spec.scn> [--csv out.csv] [--json out.json]");
+        eprintln!(
+            "usage: scenario_runner <spec.scn> [--csv out.csv] [--json out.json] \
+             [--policy legacy|adaptive] [--min-continuity <f>]"
+        );
         std::process::exit(2);
     };
     let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
@@ -58,6 +64,13 @@ fn main() {
     );
     let outcome = run_scenario(&spec);
     print!("{}", outcome.log.summarize());
+    if !outcome.fault_trace.is_empty() {
+        println!(
+            "  fault trace: {} rounds, digest 0x{:016x}",
+            outcome.fault_trace.rounds.len(),
+            outcome.fault_trace.digest()
+        );
+    }
 
     if let Some(csv_path) = arg_value(&args, "--csv") {
         std::fs::write(&csv_path, outcome.log.to_csv()).expect("write csv");
@@ -66,5 +79,17 @@ fn main() {
     if let Some(json_path) = arg_value(&args, "--json") {
         std::fs::write(&json_path, outcome.log.to_json()).expect("write json");
         eprintln!("wrote {json_path}");
+    }
+    if let Some(threshold) = arg_value(&args, "--min-continuity") {
+        let threshold: f64 = threshold.parse().unwrap_or_else(|e| {
+            eprintln!("--min-continuity `{threshold}` is not a number: {e}");
+            std::process::exit(2);
+        });
+        let mean = outcome.report.summary.mean_continuity;
+        if mean < threshold {
+            eprintln!("FAIL: mean continuity {mean:.4} < required {threshold:.4}");
+            std::process::exit(1);
+        }
+        eprintln!("mean continuity {mean:.4} >= required {threshold:.4}");
     }
 }

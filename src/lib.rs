@@ -72,9 +72,9 @@ pub use cs_trace as trace;
 pub mod prelude {
     pub use cs_analysis::{ContinuityModel, ContinuityPrediction};
     pub use cs_core::{
-        AdaptivePolicy, BufferMap, EventOutcome, PolicyKind, PriorityPolicy, RoundRecord,
-        RunReport, RunSummary, SchedulerKind, SeekTarget, SegmentId, StreamBuffer, SystemConfig,
-        SystemEvent, SystemSim, Telemetry, TelemetryRound,
+        AdaptivePolicy, BufferMap, EventOutcome, FaultPlan, FaultRoundRecord, FaultTrace,
+        PolicyKind, PriorityPolicy, RoundRecord, RunReport, RunSummary, SchedulerKind, SeekTarget,
+        SegmentId, StreamBuffer, SystemConfig, SystemEvent, SystemSim, Telemetry, TelemetryRound,
     };
     pub use cs_dht::{DhtId, DhtNetwork, IdSpace};
     pub use cs_net::{BandwidthProfile, NodeBandwidth, TrafficClass, TrafficCounter};

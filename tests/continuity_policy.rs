@@ -114,15 +114,10 @@ fn committed_spec_comparison(
     let text = std::fs::read_to_string(format!("{dir}/{file}")).unwrap();
     let mut spec = parse_scenario(&text).unwrap();
     shrink(&mut spec);
-    let legacy = {
-        let mut s = spec.clone();
-        s.config.policy = PolicyKind::Legacy;
-        run_scenario(&s).report.summary
-    };
-    let adaptive = {
-        spec.config.policy = PolicyKind::adaptive();
-        run_scenario(&spec).report.summary
-    };
+    spec.config.policy = PolicyKind::Legacy;
+    let legacy = run_scenario(&spec).report.summary;
+    spec.config.policy = PolicyKind::adaptive();
+    let adaptive = run_scenario(&spec).report.summary;
     (legacy, adaptive)
 }
 

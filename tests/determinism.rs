@@ -182,6 +182,35 @@ fn null_scenario_reproduces_pinned_fingerprints() {
     }
 }
 
+/// Layer 2d: **faults-off invisibility** — a config armed with the
+/// explicit default (all-zero) [`FaultPlan`] is not merely similar to
+/// an unarmed one, it is the same machine: every pinned fingerprint
+/// reproduces bit for bit, the fault plane draws nothing from the RNG
+/// tree, and the run's fault trace stays empty with a zero digest.
+#[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+#[test]
+fn default_fault_plan_is_invisible() {
+    use cs_scenario::{run_scenario, ScenarioSpec};
+    let pinned = PINNED_RUN_HASHES;
+    let computed = scenarios();
+    assert_eq!(computed.len(), pinned.len());
+    for ((name, mut config), &(pin_name, pin_hash)) in computed.into_iter().zip(pinned) {
+        assert_eq!(name, pin_name, "scenario order changed");
+        config.faults = FaultPlan::default();
+        let outcome = run_scenario(&ScenarioSpec::null(name, config));
+        let hash = fingerprint(&outcome.report);
+        assert_eq!(
+            hash, pin_hash,
+            "faults-off drift in `{name}`: 0x{hash:016x} != pinned 0x{pin_hash:016x}"
+        );
+        assert!(
+            outcome.fault_trace.is_empty(),
+            "`{name}`: disabled fault plane must record nothing"
+        );
+        assert_eq!(outcome.fault_trace.digest(), 0);
+    }
+}
+
 /// Layer 3 (requires `--features parallel`): the phase fan-outs —
 /// scheduling, supplier-service planning, pre-fetch planning — must be
 /// **bit-identical to serial at every thread count**. Each scenario runs

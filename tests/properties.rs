@@ -519,3 +519,161 @@ fn adaptive_policy_state_resets_with_scratch_reuse() {
     assert_eq!(a.rounds, b.rounds, "adaptive runs must reproduce");
     assert_eq!(format!("{a:?}"), format!("{b:?}"));
 }
+
+/// Recovery plane: the deterministic (jitter-free) retry backoff is
+/// monotone non-decreasing in the attempt number and never below the
+/// configured base, for arbitrary knob draws.
+#[test]
+fn recovery_backoff_is_monotone_and_bounded_below() {
+    for case in 0..CASES {
+        let mut rng = RngTree::new(0xFA017).child_indexed("backoff", case);
+        let p = AdaptivePolicy {
+            backoff_base_rounds: rng.gen_range(1u32..6),
+            backoff_factor: rng.gen_range(1u32..5),
+            ..AdaptivePolicy::default()
+        };
+        let mut last = 0u32;
+        for attempt in 1..40u32 {
+            let d = p.backoff_rounds(attempt);
+            assert!(d >= p.backoff_base_rounds, "case {case}: delay below base");
+            assert!(d >= last, "case {case}: backoff not monotone");
+            last = d;
+        }
+    }
+}
+
+/// A chaotic-but-small workload arming every steady-state injector and
+/// the full recovery plane (incl. origin fallback and frontier push).
+fn chaos_config(seed: u64) -> SystemConfig {
+    SystemConfig {
+        nodes: 120,
+        rounds: 40,
+        startup_segments: 30,
+        seed,
+        faults: FaultPlan {
+            crash_rate: 0.01,
+            data_loss: 0.05,
+            control_loss: 0.05,
+            delay_prob: 0.02,
+            delay_ms: 80.0,
+        },
+        policy: PolicyKind::Adaptive(AdaptivePolicy {
+            source_rescue_cap: 2,
+            source_push: 4,
+            ..AdaptivePolicy::default()
+        }),
+        ..SystemConfig::default()
+    }
+}
+
+/// Same seed ⇒ byte-identical fault trace (records *and* chained
+/// digest); a different seed produces a different fault history.
+#[test]
+fn fault_trace_is_byte_identical_across_runs() {
+    let mut a = SystemSim::new(chaos_config(11));
+    let mut b = SystemSim::new(chaos_config(11));
+    for round in 0..40 {
+        a.debug_step(round);
+        b.debug_step(round);
+    }
+    assert!(!a.fault_trace().is_empty(), "the armed plane must record");
+    assert_eq!(a.fault_trace(), b.fault_trace());
+    assert_eq!(a.fault_trace().digest(), b.fault_trace().digest());
+    let mut c = SystemSim::new(chaos_config(12));
+    for round in 0..40 {
+        c.debug_step(round);
+    }
+    assert_ne!(
+        a.fault_trace().digest(),
+        c.fault_trace().digest(),
+        "different seed must produce a different fault history"
+    );
+}
+
+/// Causal bounds on the recovery counters, per round and globally: a
+/// retry only ever follows a timeout firing, the per-loss retry budget
+/// is `retry_max`, and time-to-recover deltas never exceed the round
+/// index they were measured at.
+#[test]
+fn recovery_counters_respect_causal_bounds() {
+    let config = chaos_config(5);
+    let retry_max = config.policy.as_adaptive().unwrap().retry_max as u64;
+    let mut sim = SystemSim::new(config);
+    for round in 0..40 {
+        sim.debug_step(round);
+    }
+    let trace = sim.fault_trace();
+    assert_eq!(trace.rounds.len(), 40, "one record per stepped round");
+    let mut losses = 0u64;
+    let mut retries = 0u64;
+    for rec in &trace.rounds {
+        assert!(
+            rec.retries <= rec.timeouts,
+            "round {}: {} retries but only {} timeouts",
+            rec.round,
+            rec.retries,
+            rec.timeouts
+        );
+        assert!(
+            rec.recovery_rounds <= rec.recoveries as u64 * rec.round as u64,
+            "round {}: time-to-recover exceeds elapsed time",
+            rec.round
+        );
+        losses += (rec.data_losses + rec.control_losses) as u64;
+        retries += rec.retries as u64;
+    }
+    assert!(losses > 0, "the 5% loss rates must inject something");
+    assert!(
+        retries <= retry_max * losses,
+        "{retries} retries exceed the {retry_max}-per-loss budget on {losses} losses"
+    );
+}
+
+/// Crash containment: a crashed (silently dark) node may linger in
+/// neighbour sets only *within* the round it died — by the end of every
+/// round the liveness machinery has dropped it, so nothing schedules
+/// against or serves from a dark supplier. Crashes must actually occur
+/// for the test to mean anything.
+#[test]
+fn crashed_nodes_never_remain_connected_after_the_round() {
+    let mut sim = SystemSim::new(chaos_config(21));
+    for round in 0..40 {
+        sim.debug_step(round);
+        assert!(
+            sim.debug_neighbors_alive(),
+            "round {round}: a dark supplier stayed connected"
+        );
+    }
+    let crashes: u32 = sim.fault_trace().rounds.iter().map(|r| r.crashes).sum();
+    assert!(crashes > 0, "no crash was ever injected");
+}
+
+/// The fault trace is bit-identical at every parallel fan-out width —
+/// all fault and recovery draws live in serial phases.
+#[cfg(feature = "parallel")]
+#[test]
+fn fault_trace_is_identical_at_any_worker_count() {
+    let serial = {
+        let mut c = chaos_config(31);
+        c.parallel_threads = Some(1);
+        let mut sim = SystemSim::new(c);
+        for round in 0..40 {
+            sim.debug_step(round);
+        }
+        sim.fault_trace().clone()
+    };
+    assert!(!serial.is_empty());
+    for threads in [2usize, 4, 8] {
+        let mut c = chaos_config(31);
+        c.parallel_threads = Some(threads);
+        let mut sim = SystemSim::new(c);
+        for round in 0..40 {
+            sim.debug_step(round);
+        }
+        assert_eq!(
+            &serial,
+            sim.fault_trace(),
+            "fault trace drifted at {threads} threads"
+        );
+    }
+}

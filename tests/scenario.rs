@@ -83,6 +83,8 @@ fn rich_spec(seed: u64) -> ScenarioSpec {
             pause_prob: 0.01,
             resume_prob: 0.25,
         },
+        loss: 0.0,
+        crash: 0.0,
     }];
     spec.events = vec![
         TimedEvent {
@@ -304,7 +306,8 @@ leaves,gossip_deliveries,requests_issued,requests_dropped,prefetch_attempts,\
 prefetch_successes,prefetch_overdue,prefetch_repeated,prefetch_suppressed,mean_alpha,\
 newest_emitted,mean_runway,min_runway,mean_frontier_gap,window_occupancy,supplier_active,\
 supplier_peak_load,dht_routing_msgs,gc_evictions,backup_segments,rescue_cap,\
-suppressed_nodes,slack_used";
+suppressed_nodes,slack_used,faults_injected,timeouts_detected,retries_issued,\
+failovers,stale_repairs,mean_time_to_recover";
     let spec = ScenarioSpec::null(
         "golden",
         SystemConfig {
@@ -330,13 +333,14 @@ suppressed_nodes,slack_used";
         assert_eq!(
             lines[1],
             "0,1.0,29,0,0,0.0,0,0,50,50,0,0,0,0,0,0,0.016666666666666666,10,0.0,0,0.0,0.0,\
-             1,50,0,0,7,5,0,0",
+             1,50,0,0,7,5,0,0,0,0,0,0,0,0.0",
             "round-0 row drifted"
         );
         assert_eq!(
             lines[6],
             "5,6.0,29,29,29,1.0,0,0,328,349,21,3,3,3,0,0,0.01675287356321839,60,\
-             19.655172413793103,10,50.37931034482759,0.7086206896551723,29,50,47,0,138,5,0,44",
+             19.655172413793103,10,50.37931034482759,0.7086206896551723,29,50,47,0,138,5,0,44,\
+             0,0,0,0,0,0.0",
             "round-5 row drifted"
         );
     }
@@ -353,6 +357,9 @@ fn committed_scenario_files_parse() {
         "flash_crowd.scn",
         "heavy_vcr.scn",
         "dynamic_churn.scn",
+        "lossy_churn.scn",
+        "crash_heavy.scn",
+        "rp_outage.scn",
     ] {
         let text = std::fs::read_to_string(format!("{dir}/{file}"))
             .unwrap_or_else(|e| panic!("{file}: {e}"));
@@ -391,12 +398,62 @@ fn committed_scenario_files_parse() {
                     .iter()
                     .any(|e| matches!(e.kind, ScenarioEventKind::MassDeparture { .. })));
             }
+            "lossy-churn" => {
+                assert!(spec.config.faults.enabled(), "steady loss + crashes");
+                assert!(
+                    spec.config.faults.data_loss > 0.0 && spec.config.faults.control_loss > 0.0,
+                    "1% loss on both paths"
+                );
+                assert!(spec.config.faults.crash_rate > 0.0, "0.5%/round crashes");
+                let policy = spec.config.policy.as_adaptive().expect("adaptive");
+                assert!(
+                    policy.source_rescue_cap > 0 && policy.source_push > 0,
+                    "the full recovery plane is armed"
+                );
+                assert!(spec
+                    .events
+                    .iter()
+                    .any(|e| matches!(e.kind, ScenarioEventKind::LossBurst { .. })));
+            }
+            "crash-heavy" => {
+                assert!(spec.config.faults.crash_rate >= 0.01, "crash-dominated");
+                assert!(spec.events.iter().any(|e| matches!(
+                    e.kind,
+                    ScenarioEventKind::CrashNodes {
+                        correlated: true,
+                        ..
+                    }
+                )));
+                assert!(spec
+                    .events
+                    .iter()
+                    .any(|e| matches!(e.kind, ScenarioEventKind::PartitionArc { .. })));
+            }
+            "rp-outage" => {
+                assert!(!spec.config.churn.is_static(), "join pressure via churn");
+                assert!(spec
+                    .events
+                    .iter()
+                    .any(|e| matches!(e.kind, ScenarioEventKind::RpOutage { .. })));
+                assert!(spec
+                    .events
+                    .iter()
+                    .any(|e| matches!(e.kind, ScenarioEventKind::CrashNodes { .. })));
+            }
             other => panic!("unexpected scenario name `{other}`"),
         }
     }
     assert_eq!(
         names,
-        ["static", "flash-crowd", "heavy-vcr", "dynamic-churn"]
+        [
+            "static",
+            "flash-crowd",
+            "heavy-vcr",
+            "dynamic-churn",
+            "lossy-churn",
+            "crash-heavy",
+            "rp-outage"
+        ]
     );
 }
 

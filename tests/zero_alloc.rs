@@ -84,6 +84,12 @@ fn steady_state_config(scheduler: SchedulerKind, prefetch: bool, rounds: u32) ->
         // `--features parallel` job).
         parallel_threads: Some(1),
         seed: 20080414,
+        // Faults-off invisibility canary: the explicit all-zero fault
+        // plan must leave the fault plane a dead branch — every
+        // zero-alloc guarantee in this file is measured with it armed
+        // this way, so a fault-plane allocation (or draw) on the
+        // disabled path fails the suite.
+        faults: FaultPlan::default(),
         ..SystemConfig::default()
     }
 }
