@@ -8,9 +8,11 @@
 
 use std::sync::Mutex;
 
+use continustreaming::scenario::{run_scenario, ScenarioOutcome, ScenarioSpec};
 use cs_core::{RunReport, SystemConfig, SystemSim};
 
 pub mod fingerprint;
+pub mod sweep;
 
 /// Default seeds used when an experiment averages over repetitions.
 pub const REPETITION_SEEDS: [u64; 3] = [20080414, 19700101, 42];
@@ -40,6 +42,40 @@ pub fn run_many(configs: Vec<SystemConfig>) -> Vec<RunReport> {
                 }
                 let report = run_system(configs[i].clone());
                 results.lock().expect("results mutex poisoned")[i] = Some(report);
+            });
+        }
+    });
+
+    results
+        .into_inner()
+        .expect("results mutex poisoned")
+        .into_iter()
+        .map(|r| r.expect("every index was filled"))
+        .collect()
+}
+
+/// Run many scenario specs in parallel (the same work-stealing pattern
+/// as [`run_many`] — each run is itself deterministic and
+/// single-threaded). Results come back in input order, so a sweep's
+/// output is byte-identical at any core count.
+pub fn run_scenarios(specs: Vec<ScenarioSpec>) -> Vec<ScenarioOutcome> {
+    let n = specs.len();
+    let results: Mutex<Vec<Option<ScenarioOutcome>>> = Mutex::new((0..n).map(|_| None).collect());
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let threads = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(4)
+        .min(n.max(1));
+
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let outcome = run_scenario(&specs[i]);
+                results.lock().expect("results mutex poisoned")[i] = Some(outcome);
             });
         }
     });

@@ -176,6 +176,41 @@ pub struct AdaptivePolicy {
     /// funnel. `0` (the default) disables seeding and reproduces the
     /// pre-knob behaviour bit for bit.
     pub source_push: usize,
+    /// Joiner integration: extra sponsors a joiner adopts at admission,
+    /// picked at deterministic ring-spread positions (the same
+    /// position-hashing idea as the frontier push). The §4.1 protocol
+    /// alone funnels every joiner through the RP close-ID
+    /// neighbourhood: under sustained churn the fan-in concentrates
+    /// there, joiners' neighbour views degenerate into clusters of
+    /// clones near their own id, and the swarm's aggregate upload decays
+    /// exactly when the join rate needs it most. Ring-spread sponsors
+    /// give the joiner (and the sponsors, who record the joiner in
+    /// return) a view across the whole ring. `0` (the default) disables
+    /// sponsor adoption and reproduces the pre-knob behaviour bit for
+    /// bit.
+    pub join_sponsors: usize,
+    /// Joiner integration: segments of initial runway the source pushes
+    /// directly to each freshly-admitted node — the frontier push
+    /// seeding extended to joiners. The seed starts at the joiner's
+    /// adopted play anchor and is charged to the source's shared
+    /// outbound ledger (a saturated uplink seeds less), so a join storm
+    /// cannot mint bandwidth; what it buys is joiners that start
+    /// playback with contiguous content instead of pulling their whole
+    /// catch-up window from neighbours who are themselves at budget.
+    /// `0` (the default) disables joiner seeding and reproduces the
+    /// pre-knob behaviour bit for bit.
+    pub join_seed: usize,
+    /// Joiner integration: rounds of rescue-cap grace after admission.
+    /// While a node is inside its grace window the urgent-line rescue
+    /// runs unthrottled — full `rescue_cap_max`, no Case-3 suppression,
+    /// the full runway-target probe horizon — and the scheduler's
+    /// rescue-budget grace (hard-wired at 6 rounds since the cliff fix)
+    /// extends to this many rounds. Catch-up is exactly when the
+    /// deficit-scaled throttle misfires: a joiner's window is *supposed*
+    /// to be all holes, and suppressing its rescue for looking
+    /// desperate strands it. `0` (the default) disables the grace and
+    /// reproduces the pre-knob behaviour bit for bit.
+    pub join_grace_rounds: u32,
 }
 
 impl Default for AdaptivePolicy {
@@ -197,6 +232,9 @@ impl Default for AdaptivePolicy {
             evict_rounds: 8,
             source_rescue_cap: 0,
             source_push: 0,
+            join_sponsors: 0,
+            join_seed: 0,
+            join_grace_rounds: 0,
         }
     }
 }
@@ -240,6 +278,19 @@ impl AdaptivePolicy {
         );
         assert!(self.backoff_factor >= 1, "backoff_factor must be ≥ 1");
         assert!(self.evict_rounds >= 1, "evict_rounds must be ≥ 1");
+        assert!(
+            self.join_sponsors <= 64,
+            "join_sponsors above 64 would dominate every neighbour view"
+        );
+    }
+
+    /// True while a node admitted at `spawn_round` is inside its
+    /// rescue-cap grace window at `round`. Always false with the knob
+    /// at 0 (the default), so the graced paths are unreachable until
+    /// the knob opts in.
+    #[inline]
+    pub fn in_join_grace(&self, round: u32, spawn_round: u32) -> bool {
+        round.saturating_sub(spawn_round) < self.join_grace_rounds
     }
 
     /// The runway deficit in segments: how far the contiguous run ahead
@@ -415,6 +466,32 @@ mod tests {
             assert!(b >= last, "bonus must not fall as occupancy falls");
             last = b;
         }
+    }
+
+    #[test]
+    fn join_knobs_default_off() {
+        let p = AdaptivePolicy::default();
+        assert_eq!(p.join_sponsors, 0);
+        assert_eq!(p.join_seed, 0);
+        assert_eq!(p.join_grace_rounds, 0);
+        // The grace predicate is unreachable with the knob at 0, even
+        // for a node admitted this very round.
+        for round in [0, 1, 5, 100] {
+            assert!(!p.in_join_grace(round, round));
+        }
+    }
+
+    #[test]
+    fn join_grace_window_covers_exactly_the_knob() {
+        let p = AdaptivePolicy {
+            join_grace_rounds: 8,
+            ..AdaptivePolicy::default()
+        };
+        assert!(p.in_join_grace(10, 10));
+        assert!(p.in_join_grace(17, 10));
+        assert!(!p.in_join_grace(18, 10));
+        // Saturating: a node spawned near u32::MAX stays in grace.
+        assert!(p.in_join_grace(u32::MAX, u32::MAX - 2));
     }
 
     #[test]

@@ -537,21 +537,41 @@ fn decide_service(
 /// The single implementation behind the planning path and the
 /// `CS_DEBUG_ROUNDS` dump, so the dump always reports the decisions the
 /// round actually makes.
+///
+/// `round`/`spawn_round` feed the joiner grace window
+/// ([`AdaptivePolicy::join_grace_rounds`]): inside it the node gets the
+/// full rescue envelope — `rescue_cap_max`, no Case-3 suppression, the
+/// whole runway-target horizon — because a catching-up joiner's window
+/// is *supposed* to be all holes, and the deficit-scaled throttle would
+/// read that as the systemic overload it exists to suppress. With the
+/// knob at 0 (the default) the grace branch is unreachable.
 fn rescue_params(
     config: &SystemConfig,
     buffer: &StreamBuffer,
     anchor: SegmentId,
     p: u64,
+    round: u32,
+    spawn_round: u32,
 ) -> (usize, usize, u64) {
     match &config.policy {
         PolicyKind::Legacy => (config.prefetch_cap, config.prefetch_cap, 0),
         PolicyKind::Adaptive(ap) => {
+            let window = (buffer.head() + buffer.capacity()).saturating_sub(anchor);
+            if ap.in_join_grace(round, spawn_round) {
+                // The cap stays inside the scratch pre-sizing bound
+                // (`rescue_cap_max.max(prefetch_cap)`), so grace never
+                // regrows a plan's miss list.
+                return (
+                    ap.rescue_cap_max.max(config.prefetch_cap),
+                    usize::MAX / 2,
+                    ap.rescue_horizon(p.max(1)).min(window),
+                );
+            }
             let deficit = ap.runway_deficit(buffer.contiguous_from(anchor), p.max(1));
             (
                 ap.rescue_cap(config.prefetch_cap, deficit),
                 ap.suppression_threshold(config.prefetch_cap, deficit),
-                ap.rescue_horizon(p.max(1))
-                    .min((buffer.head() + buffer.capacity()).saturating_sub(anchor)),
+                ap.rescue_horizon(p.max(1)).min(window),
             )
         }
     }
@@ -566,6 +586,7 @@ fn plan_prefetch(
     config: &SystemConfig,
     maps: &MapStore,
     newest_emitted: SegmentId,
+    round: u32,
     idx: NodeIdx,
     plan: &mut PrefetchPlan,
 ) {
@@ -594,7 +615,8 @@ fn plan_prefetch(
     // *throttles* to the cap instead of switching off for everyone at
     // once — and holes start getting healed while they are still many
     // rounds from their deadline. See [`rescue_params`].
-    let (cap, threshold, horizon) = rescue_params(config, &node.buffer, anchor, p);
+    let (cap, threshold, horizon) =
+        rescue_params(config, &node.buffer, anchor, p, round, node.spawn_round);
     plan.cap = cap;
     let check = node.urgent.decide_scaled_into(
         &node.buffer,
@@ -1300,8 +1322,14 @@ fn plan_node(
             // Catch-up grace: a node that just joined (or just started
             // playing) is *supposed* to spend its whole budget near
             // its play point; the rescue cap only binds in steady
-            // state.
-            let in_grace = round < node.spawn_round + 6;
+            // state. `join_grace_rounds` can lengthen the window (it
+            // never shortens below the 6 rounds the cliff fix
+            // hard-wired, so the knob at 0 is bit-identical).
+            let grace_rounds = config
+                .policy
+                .as_adaptive()
+                .map_or(6, |ap| ap.join_grace_rounds.max(6));
+            let in_grace = round < node.spawn_round + grace_rounds;
             let rescue_cap = if in_grace {
                 budget as usize
             } else {
@@ -2107,6 +2135,12 @@ impl SystemSim {
         // source's ledger reflects the pushes when pulls are served.
         let pushed = self.push_frontier(round, first_new, &mut scratch, &mut traffic);
 
+        // --- 4c. joiner runway seeding (joiner integration) ------------------
+        // Same placement contract as 4b: after the snapshots, before
+        // scheduling, so the source ledger reflects the seeds when
+        // pulls are served.
+        let seeded = self.seed_joiners(round, &mut scratch, &mut traffic);
+
         // --- 5. scheduling ---------------------------------------------------
         self.run_schedule_phase(round, &mut scratch);
 
@@ -2119,7 +2153,7 @@ impl SystemSim {
         let salt = cs_sim::splitmix64(round as u64 ^ self.config.seed);
         self.plan_service_phase(salt, &mut scratch);
         self.apply_service_phase(round, &mut scratch, &mut traffic, &mut svc);
-        let gossip_deliveries = svc.deliveries + pushed;
+        let gossip_deliveries = svc.deliveries + pushed + seeded;
         let requests_issued = svc.issued;
         let requests_dropped = svc.dropped;
         let mut prefetch_repeated = svc.repeated;
@@ -2140,7 +2174,7 @@ impl SystemSim {
         // (watches the policy layer's deficit-scaled throttle ramp).
         let mut rescue_cap_peak = 0usize;
         if self.config.prefetch_enabled {
-            self.plan_prefetch_phase(&mut scratch);
+            self.plan_prefetch_phase(round, &mut scratch);
             for k in 0..self.order_idx.len() {
                 let idx = self.order_idx[k];
                 if telemetry_on {
@@ -2697,7 +2731,7 @@ impl SystemSim {
     /// Step 7, decision half: plan every node's urgent-line outcome. With
     /// the `parallel` feature and more than one worker, nodes are sharded
     /// into contiguous `order_idx` ranges.
-    fn plan_prefetch_phase(&self, scratch: &mut RoundScratch) {
+    fn plan_prefetch_phase(&self, round: u32, scratch: &mut RoundScratch) {
         let n = self.order_idx.len();
         if scratch.prefetch_plans.len() < n {
             // Pre-size each plan's miss list to the widest cap the
@@ -2728,7 +2762,7 @@ impl SystemSim {
                     {
                         s.spawn(move || {
                             for (plan, &idx) in plan_chunk.iter_mut().zip(idx_chunk) {
-                                plan_prefetch(nodes, config, maps, newest, idx, plan);
+                                plan_prefetch(nodes, config, maps, newest, round, idx, plan);
                             }
                         });
                     }
@@ -2747,6 +2781,7 @@ impl SystemSim {
                 &self.config,
                 maps,
                 self.newest_emitted,
+                round,
                 idx,
                 plan,
             );
@@ -3543,6 +3578,84 @@ impl SystemSim {
         pushed
     }
 
+    /// Step 4c (joiner integration): runway seeding for freshly-admitted
+    /// nodes — the frontier push extended to joiners. Every node
+    /// admitted *this* round gets up to `join_seed` segments of its
+    /// initial runway pushed straight from the source, starting at its
+    /// adopted play anchor, charged to the same shared outbound ledger
+    /// as every other source transfer (a saturated uplink seeds less —
+    /// a join storm cannot mint bandwidth) and subject to data-path
+    /// loss. Without it a joiner pulls its whole catch-up window from
+    /// neighbours who are themselves at budget, and under 5 %-per-round
+    /// churn that steady catch-up tax is what drags the swarm below the
+    /// paper's fig-8 continuity. Serial and RNG-free; with the knob at
+    /// 0 (the default) it is a single branch. The initial population
+    /// (spawn round 0) is excluded by the round-0 early out.
+    fn seed_joiners(
+        &mut self,
+        round: u32,
+        scratch: &mut RoundScratch,
+        traffic: &mut TrafficCounter,
+    ) -> u64 {
+        let seed = self.config.policy.as_adaptive().map_or(0, |p| p.join_seed) as u64;
+        if seed == 0 || round == 0 {
+            return 0;
+        }
+        let src_idx = self.source_idx;
+        let period = self.config.period_secs;
+        let cap = self
+            .nodes
+            .node(src_idx)
+            .bandwidth
+            .outbound_segments_per_sec(self.config.segment_kbits);
+        let mut pushed = 0u64;
+        for k in 0..self.order_idx.len() {
+            let idx = self.order_idx[k];
+            let (id, anchor) = {
+                let node = self.nodes.node(idx);
+                if node.is_source || node.spawn_round != round {
+                    continue;
+                }
+                // A joiner that adopted no play point (its base was not
+                // playing and holds nothing) has no runway to seed yet;
+                // the regular startup path covers it.
+                let Some(anchor) = node.next_play.or_else(|| node.buffer.iter().next()) else {
+                    continue;
+                };
+                (node.id, anchor)
+            };
+            for seg in anchor..(anchor + seed).min(self.newest_emitted + 1) {
+                let used = scratch
+                    .outbound_spent
+                    .get(src_idx.0 as usize)
+                    .copied()
+                    .unwrap_or(0.0);
+                if cap - used <= 0.0 {
+                    // The origin's uplink is spent: seeding yields to
+                    // the pull traffic it shares the ledger with.
+                    return pushed;
+                }
+                if self.nodes.node(idx).buffer.contains(seg) {
+                    continue;
+                }
+                scratch.add_spent(src_idx, 1.0 / period);
+                traffic.add(TrafficClass::Data, self.sizes.segment_bits);
+                if self.faults.active && self.data_delivery_lost(round, self.source, id) {
+                    continue;
+                }
+                {
+                    let node = self.nodes.node_mut(idx);
+                    node.buffer.insert(seg);
+                    node.round_inflow += 1;
+                }
+                let successor = self.believed_successor(id);
+                self.nodes.node_mut(idx).backup.maybe_store(seg, successor);
+                pushed += 1;
+            }
+        }
+        pushed
+    }
+
     /// Origin-fallback fetch (recovery plane): every replica lookup for
     /// `seg` came up empty or dark, so the §4.3 rescue cannot succeed no
     /// matter how often it retries — but the source always holds the
@@ -3712,6 +3825,65 @@ impl SystemSim {
                 });
             }
         }
+
+        // Ring-spread sponsor adoption (joiner integration): before
+        // inheriting the base's view, adopt up to `join_sponsors` peers
+        // at deterministic ring-spread positions — the same
+        // position-hashing idea as the frontier push — and notify them,
+        // exactly like the close contacts. Sponsors give the joiner
+        // suppliers across the whole ring (the base's view is clustered
+        // near the base), and give the *sponsors* a pointer at the
+        // joiner, so in-degree under sustained churn spreads instead of
+        // concentrating in the RP close neighbourhood. RNG-free and
+        // unreachable with the knob at 0 (the default).
+        let sponsors = self
+            .config
+            .policy
+            .as_adaptive()
+            .map_or(0, |p| p.join_sponsors);
+        if sponsors > 0 && !self.order_ids.is_empty() {
+            let space = self.dht.space().size();
+            for i in 0..sponsors as u64 {
+                let pos = cs_sim::splitmix64(id.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ i) % space;
+                let k = match self.order_ids.binary_search(&pos) {
+                    Ok(k) => k,
+                    Err(k) => k % self.order_ids.len(),
+                };
+                let sid = self.order_ids[k];
+                // The order arrays are rebuilt only after the whole
+                // churn batch, so mid-batch entries can be stale: skip
+                // departed sponsors (and never sponsor through the
+                // source — the point is to bypass its neighbourhood).
+                if sid == id || sid == self.source {
+                    continue;
+                }
+                let Some(sidx) = self.nodes.lookup(sid) else {
+                    continue;
+                };
+                let lat = self.latency_ids(id, sid);
+                {
+                    let sponsor = self.nodes.node_mut(sidx);
+                    sponsor.overheard.record(new_ref, lat);
+                    if !sponsor.connected.is_full() {
+                        sponsor.connected.add(NeighborEntry {
+                            id: new_ref,
+                            latency_ms: lat,
+                            recent_supply_kbps: 0.0,
+                        });
+                    }
+                }
+                let sref = self.nodes.make_ref(sid);
+                if !node.connected.is_full() {
+                    node.connected.add(NeighborEntry {
+                        id: sref,
+                        latency_ms: lat,
+                        recent_supply_kbps: 0.0,
+                    });
+                } else {
+                    node.overheard.record(sref, lat);
+                }
+            }
+        }
         {
             let base_idx = self.nodes.lookup(base).expect("base is alive");
             let base_node = self.nodes.node(base_idx);
@@ -3813,7 +3985,8 @@ impl SystemSim {
                 no_anchor += 1;
                 continue;
             };
-            let (cap, threshold, horizon) = rescue_params(&self.config, &n.buffer, anchor, p);
+            let (cap, threshold, horizon) =
+                rescue_params(&self.config, &n.buffer, anchor, p, round, n.spawn_round);
             match n.urgent.decide_scaled_into(
                 &n.buffer,
                 anchor,

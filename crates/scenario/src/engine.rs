@@ -74,6 +74,28 @@ fn sample_session(model: SessionModel, rng: &mut SimRng) -> Option<u32> {
     Some(rounds.ceil().max(1.0).min(u32::MAX as f64) as u32)
 }
 
+/// Select a contiguous arc of `n` ids from the id ring into `out`.
+///
+/// `ids` must be the membership in ring order (ascending id — exactly
+/// what [`SystemSim::alive_ids`] returns); the arc starts at index
+/// `start` and an arc reaching the top of the ring **wraps** to the low
+/// ids rather than truncating — `(start + k) % len` walks the ring, not
+/// the array. The single implementation behind every correlated
+/// ring-arc event (`mass_departure`, `crash_nodes`, `partition_arc`),
+/// pinned by the wrap-around property tests below.
+fn select_ring_arc(ids: &[DhtId], start: usize, n: usize, out: &mut Vec<DhtId>) {
+    debug_assert!(
+        ids.windows(2).all(|w| w[0] < w[1]),
+        "ring arcs are only contiguous over ids sorted in ring order"
+    );
+    if ids.is_empty() {
+        return;
+    }
+    for k in 0..n.min(ids.len()) {
+        out.push(ids[(start + k) % ids.len()]);
+    }
+}
+
 /// The deterministic scenario co-driver. See the module docs.
 pub struct ScenarioEngine {
     spec: ScenarioSpec,
@@ -324,9 +346,7 @@ impl ScenarioEngine {
                     // responsibility range (and its backups) vanishes at
                     // once — the worst case for the DHT rescue path.
                     let start = self.rng.gen_range(0..self.ids.len());
-                    for k in 0..n {
-                        self.victims.push(self.ids[(start + k) % self.ids.len()]);
-                    }
+                    select_ring_arc(&self.ids, start, n, &mut self.victims);
                 } else {
                     // Uniform without replacement (partial Fisher–Yates).
                     for k in 0..n {
@@ -383,9 +403,7 @@ impl ScenarioEngine {
                     // every DHT entry for the arc is left stale, and the
                     // arc's whole backup responsibility range is lost.
                     let start = self.rng.gen_range(0..self.ids.len());
-                    for k in 0..n {
-                        self.victims.push(self.ids[(start + k) % self.ids.len()]);
-                    }
+                    select_ring_arc(&self.ids, start, n, &mut self.victims);
                 } else {
                     for k in 0..n {
                         let j = self.rng.gen_range(k..self.ids.len());
@@ -417,9 +435,7 @@ impl ScenarioEngine {
                 }
                 let start = self.rng.gen_range(0..self.ids.len());
                 self.victims.clear();
-                for k in 0..n {
-                    self.victims.push(self.ids[(start + k) % self.ids.len()]);
-                }
+                select_ring_arc(&self.ids, start, n, &mut self.victims);
                 sim.set_partition(self.victims.clone(), *rounds);
             }
             ScenarioEventKind::RpOutage { rounds } => {
@@ -502,5 +518,59 @@ mod tests {
     fn forever_sessions_never_schedule_departures() {
         let mut rng = RngTree::new(9).child("t");
         assert_eq!(sample_session(SessionModel::Forever, &mut rng), None);
+    }
+
+    /// Property pin for the correlated ring-arc selection: for any ring,
+    /// any start index and any arc length, the selection is (a) exactly
+    /// `min(n, len)` ids, (b) distinct, and (c) contiguous **on the
+    /// ring** — the successor of each selected index is the next
+    /// selected index modulo the ring size, so an arc reaching the top
+    /// of the id ring wraps to the low ids instead of truncating.
+    #[test]
+    fn ring_arc_is_contiguous_and_wraps() {
+        let mut rng = RngTree::new(20080414).child("arc-prop");
+        for _ in 0..500 {
+            let len = rng.gen_range(1..60usize);
+            // Sorted distinct ids with gaps, like a real membership.
+            let mut ids: Vec<DhtId> = Vec::with_capacity(len);
+            let mut next = 0u64;
+            for _ in 0..len {
+                next += rng.gen_range(1..50u64);
+                ids.push(next);
+            }
+            let start = rng.gen_range(0..len);
+            let n = rng.gen_range(0..len + 5);
+            let mut out = Vec::new();
+            select_ring_arc(&ids, start, n, &mut out);
+            assert_eq!(out.len(), n.min(len), "arc size");
+            let mut distinct = out.clone();
+            distinct.sort_unstable();
+            distinct.dedup();
+            assert_eq!(distinct.len(), out.len(), "arc ids are distinct");
+            for (k, &id) in out.iter().enumerate() {
+                assert_eq!(
+                    id,
+                    ids[(start + k) % len],
+                    "arc walks the ring from `start`, wrapping at the top"
+                );
+            }
+        }
+    }
+
+    /// The explicit wrap case the audit was after: an arc starting near
+    /// the top of the ring must continue at the low ids.
+    #[test]
+    fn ring_arc_wraps_past_the_top_of_the_ring() {
+        let ids: Vec<DhtId> = vec![10, 20, 30, 40, 50];
+        let mut out = Vec::new();
+        select_ring_arc(&ids, 3, 4, &mut out);
+        assert_eq!(out, vec![40, 50, 10, 20]);
+        // Degenerate rings still behave.
+        out.clear();
+        select_ring_arc(&ids[..1], 0, 3, &mut out);
+        assert_eq!(out, vec![10]);
+        out.clear();
+        select_ring_arc(&[], 0, 3, &mut out);
+        assert!(out.is_empty());
     }
 }

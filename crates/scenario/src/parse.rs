@@ -198,6 +198,9 @@ fn parse_config_line(lineno: usize, line: &str, spec: &mut ScenarioSpec) -> Resu
                             "evict_rounds" => p.evict_rounds = parse_num(lineno, k, v)?,
                             "source_rescue_cap" => p.source_rescue_cap = parse_num(lineno, k, v)?,
                             "source_push" => p.source_push = parse_num(lineno, k, v)?,
+                            "join_sponsors" => p.join_sponsors = parse_num(lineno, k, v)?,
+                            "join_seed" => p.join_seed = parse_num(lineno, k, v)?,
+                            "join_grace_rounds" => p.join_grace_rounds = parse_num(lineno, k, v)?,
                             other => return err(lineno, format!("unknown policy knob `{other}`")),
                         }
                     }
@@ -220,7 +223,7 @@ fn parse_config_line(lineno: usize, line: &str, spec: &mut ScenarioSpec) -> Resu
             if parts.len() < 2 || parts.len() > 3 {
                 return err(lineno, "churn takes `leave join [graceful]` fractions");
             }
-            c.churn = ChurnConfig {
+            let churn = ChurnConfig {
                 leave_fraction: parse_num(lineno, "churn leave", parts[0])?,
                 join_fraction: parse_num(lineno, "churn join", parts[1])?,
                 graceful_fraction: match parts.get(2) {
@@ -228,6 +231,20 @@ fn parse_config_line(lineno: usize, line: &str, spec: &mut ScenarioSpec) -> Resu
                     None => 0.5,
                 },
             };
+            // Fractions outside [0, 1] parse as numbers but produce
+            // nonsense membership (negative joins, >100 % departures);
+            // reject them here with the line number, like the event
+            // fraction validation does.
+            for (what, v) in [
+                ("leave", churn.leave_fraction),
+                ("join", churn.join_fraction),
+                ("graceful", churn.graceful_fraction),
+            ] {
+                if !(0.0..=1.0).contains(&v) {
+                    return err(lineno, format!("churn {what} fraction {v} outside [0, 1]"));
+                }
+            }
+            c.churn = churn;
         }
         "faults" => {
             let parts: Vec<&str> = value.split_whitespace().collect();
@@ -697,6 +714,49 @@ at 30 capacity_shift fraction=0.3 class=dsl
         assert_eq!(knobs.retry_max, 5);
         assert_eq!(knobs.backoff_factor, 3);
         assert_eq!(knobs.evict_rounds, 12);
+    }
+
+    #[test]
+    fn joiner_knobs_parse_on_the_policy_line() {
+        let spec =
+            parse_scenario("policy = adaptive join_sponsors=4 join_seed=16 join_grace_rounds=10\n")
+                .unwrap();
+        let knobs = spec.config.policy.as_adaptive().unwrap();
+        assert_eq!(knobs.join_sponsors, 4);
+        assert_eq!(knobs.join_seed, 16);
+        assert_eq!(knobs.join_grace_rounds, 10);
+        // The knobs default off: a bare adaptive line leaves them 0.
+        let spec = parse_scenario("policy = adaptive\n").unwrap();
+        let knobs = spec.config.policy.as_adaptive().unwrap();
+        assert_eq!(knobs.join_sponsors, 0);
+        assert_eq!(knobs.join_seed, 0);
+        assert_eq!(knobs.join_grace_rounds, 0);
+    }
+
+    #[test]
+    fn out_of_range_churn_fractions_are_rejected_with_line_numbers() {
+        // In range (boundaries included) still parses.
+        let spec = parse_scenario("churn = 0.0 1.0 0.5\n").unwrap();
+        assert_eq!(spec.config.churn.leave_fraction, 0.0);
+        assert_eq!(spec.config.churn.join_fraction, 1.0);
+        // Out-of-range fractions used to parse as numbers and silently
+        // produce nonsense membership; now each names its component and
+        // the offending line.
+        let e = parse_scenario("nodes = 50\nchurn = 1.5 0.05\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(
+            e.message
+                .contains("churn leave fraction 1.5 outside [0, 1]"),
+            "{}",
+            e.message
+        );
+        let e = parse_scenario("churn = 0.05 -0.1\n").unwrap_err();
+        assert_eq!(e.line, 1);
+        assert!(e.message.contains("churn join"), "{}", e.message);
+        let e = parse_scenario("churn = 0.05 0.05 -2\n").unwrap_err();
+        assert!(e.message.contains("churn graceful"), "{}", e.message);
+        let e = parse_scenario("churn = 0.05 0.05 1.01\n").unwrap_err();
+        assert!(e.message.contains("outside [0, 1]"), "{}", e.message);
     }
 
     #[test]

@@ -86,7 +86,11 @@ fn main() {
             std::process::exit(2);
         });
         let mean = outcome.report.summary.mean_continuity;
-        if mean < threshold {
+        // Fail closed on non-finite means: an all-departed round can
+        // yield 0/0, and `NaN < threshold` is false — a gate that
+        // silently *passes* on the worst possible outcome. Non-finite
+        // counts as below any threshold.
+        if !mean.is_finite() || mean < threshold {
             eprintln!("FAIL: mean continuity {mean:.4} < required {threshold:.4}");
             std::process::exit(1);
         }

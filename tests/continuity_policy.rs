@@ -174,6 +174,112 @@ fn adaptive_beats_legacy_under_dynamic_churn() {
     );
 }
 
+/// The committed *tuned* dynamic-churn spec (the PR-7 knob-sweep
+/// winner from `BENCH_knob_frontier.json`) at reduced size: the swept
+/// recovery + joiner knobs must clear a pinned mean-continuity floor
+/// and beat Legacy by a pinned margin. The full-size (1000×200)
+/// ≥ 0.90 mean gate runs in the CI chaos-smoke matrix.
+///
+/// Measured (release, x86_64, 300 nodes × 80 rounds, spike at 50):
+/// Legacy mean 0.2954 / stable 0.2070; tuned mean 0.8024 / stable
+/// 0.9956 (startup dominates the reduced-size mean — the short run is
+/// 20 % ramp). Pinned with comfortable margins.
+#[test]
+fn tuned_knobs_hold_dynamic_churn_at_reduced_size() {
+    let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/scenarios");
+    let text = std::fs::read_to_string(format!("{dir}/dynamic_churn_tuned.scn")).unwrap();
+    let mut spec = parse_scenario(&text).unwrap();
+    assert!(
+        matches!(spec.config.policy, PolicyKind::Adaptive(_)),
+        "the tuned spec must commit its knobs (unlike the policy-agnostic base spec)"
+    );
+    spec.config.nodes = 300;
+    spec.config.rounds = 80;
+    for ev in &mut spec.events {
+        ev.round = ev.round.min(50);
+    }
+    let tuned = run_scenario(&spec).report.summary;
+    spec.config.policy = PolicyKind::Legacy;
+    let legacy = run_scenario(&spec).report.summary;
+    assert!(
+        tuned.stable_continuity >= 0.95,
+        "tuned knobs must hold the reduced churn workload: stable {}",
+        tuned.stable_continuity
+    );
+    assert!(
+        tuned.mean_continuity >= 0.75,
+        "tuned knobs must keep the whole-run mean up: mean {}",
+        tuned.mean_continuity
+    );
+    assert!(
+        tuned.mean_continuity >= legacy.mean_continuity + 0.4,
+        "tuned mean ({}) must beat legacy ({}) by the pinned margin",
+        tuned.mean_continuity,
+        legacy.mean_continuity
+    );
+    assert!(
+        tuned.stable_continuity >= legacy.stable_continuity + 0.5,
+        "tuned stable ({}) must beat legacy ({}) by the pinned margin",
+        tuned.stable_continuity,
+        legacy.stable_continuity
+    );
+}
+
+/// Off-knob invisibility canary, scenario level: with the three PR-7
+/// joiner knobs at their 0 defaults, the reduced dynamic-churn run
+/// under bare Adaptive reproduces a pinned metrics fingerprint — any
+/// leak of the sponsor/seed/grace code into the knobs-off path moves
+/// this hash. (The system-level proof for Legacy and the pinned
+/// behavioural fingerprints lives in `tests/determinism.rs`.)
+#[test]
+fn joiner_knobs_off_reproduce_the_bare_adaptive_run() {
+    let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/scenarios");
+    let text = std::fs::read_to_string(format!("{dir}/dynamic_churn.scn")).unwrap();
+    let mut spec = parse_scenario(&text).unwrap();
+    spec.config.nodes = 300;
+    spec.config.rounds = 80;
+    for ev in &mut spec.events {
+        ev.round = ev.round.min(50);
+    }
+    spec.config.policy = PolicyKind::adaptive();
+    let log = run_scenario(&spec).log;
+    assert_eq!(
+        log.fingerprint(),
+        0xdec4_8b7e_3e5b_935f,
+        "bare-Adaptive reduced dynamic-churn run drifted — the joiner \
+         knobs must be invisible at their 0 defaults"
+    );
+}
+
+/// Off-knob invisibility canary, mechanism level: the sponsor and
+/// seed knobs act only at joiner admission, so on a workload with no
+/// joins at all they are bit-for-bit invisible even when armed.
+/// (`join_grace_rounds` is deliberately excluded: grace covers every
+/// node's post-spawn catch-up, launch cohort included, so arming it
+/// is visible during startup by design.)
+#[test]
+fn sponsor_and_seed_knobs_are_invisible_without_joiners() {
+    let run = |policy: AdaptivePolicy| {
+        SystemSim::new(SystemConfig {
+            nodes: 200,
+            rounds: 60,
+            startup_segments: 40,
+            seed: 20080414,
+            policy: PolicyKind::Adaptive(policy),
+            ..SystemConfig::default()
+        })
+        .run()
+    };
+    let bare = run(AdaptivePolicy::default());
+    let armed = run(AdaptivePolicy {
+        join_sponsors: 8,
+        join_seed: 24,
+        ..AdaptivePolicy::default()
+    });
+    assert_eq!(bare.rounds, armed.rounds);
+    assert_eq!(bare.summary, armed.summary);
+}
+
 /// The committed dynamic-churn spec parses, validates, and describes
 /// the workload it claims (5 % + 5 % churn, a correlated spike).
 #[test]
