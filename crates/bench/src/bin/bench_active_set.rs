@@ -1,0 +1,332 @@
+//! Wall-clock + occupancy benchmark of the active-set round loop,
+//! emitting a `BENCH_active_set.json` record.
+//!
+//! Two claims are measured on the same box, same seed:
+//!
+//! 1. **Bit identity** — the run with `SystemConfig::active_set` on
+//!    reproduces the visit-every-node run's `RunReport` fingerprint
+//!    exactly (the skip proofs are exact, not heuristic).
+//! 2. **Scaling** — steady-state round cost tracks the *active-set
+//!    size* (nodes whose inputs changed), not the overlay size `N`.
+//!
+//! Two workloads bracket the claim:
+//!
+//! * **all-playing** — every node's play anchor advances every round,
+//!   so every node has fresh input every round and the active set *is*
+//!   `N`. This is the worst case for the classifier: it measures the
+//!   overhead bound (the dense-round hysteresis caps it), not a win.
+//! * **steady-paused** — after warm-up a large fraction of viewers
+//!   pause (`--pause-frac`, applied before round `--pause-round`).
+//!   A paused node's window freezes; once buffered it is provably
+//!   skippable every round. This is the steady-state audience the
+//!   active set exists for, and where round cost detaches from `N`.
+//!
+//! The per-round tables (time, scheduling / pre-fetch active counts,
+//! touch-forced count) make the scaling visible in data rather than as
+//! a single averaged claim.
+//!
+//! ```text
+//! cargo run -p cs-bench --release --bin bench_active_set
+//! cargo run -p cs-bench --release --bin bench_active_set -- \
+//!     --nodes 100000 --rounds 200 --json BENCH_active_set.json
+//! # CI smoke: deterministic output (no timings), byte-diffable across
+//! # re-runs, A/B skipped to stay inside the wall-clock budget:
+//! cargo run -p cs-bench --release --bin bench_active_set -- \
+//!     --nodes 100000 --rounds 20 --skip-off --deterministic --json smoke.json
+//! ```
+
+use std::time::Instant;
+
+use cs_bench::fingerprint::fingerprint;
+use cs_core::{SchedulerKind, SystemConfig, SystemEvent, SystemSim, Telemetry};
+
+fn arg_u64(name: &str, default: u64) -> u64 {
+    let args: Vec<String> = std::env::args().collect();
+    for i in 0..args.len() {
+        if args[i] == name && i + 1 < args.len() {
+            return args[i + 1]
+                .parse()
+                .unwrap_or_else(|_| panic!("{name} takes an integer"));
+        }
+    }
+    default
+}
+
+fn arg_f64(name: &str, default: f64) -> f64 {
+    let args: Vec<String> = std::env::args().collect();
+    for i in 0..args.len() {
+        if args[i] == name && i + 1 < args.len() {
+            return args[i + 1]
+                .parse()
+                .unwrap_or_else(|_| panic!("{name} takes a number"));
+        }
+    }
+    default
+}
+
+fn arg_str(name: &str) -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    for i in 0..args.len() {
+        if args[i] == name && i + 1 < args.len() {
+            return Some(args[i + 1].clone());
+        }
+    }
+    None
+}
+
+fn has_flag(name: &str) -> bool {
+    std::env::args().any(|a| a == name)
+}
+
+/// A steady-state audience: before round `round`, pause every alive
+/// non-source viewer except each `keep_every`-th (deterministic in the
+/// arena id order, so both A/B legs pause the same nodes).
+#[derive(Clone, Copy)]
+struct PausePlan {
+    round: u32,
+    keep_every: usize,
+}
+
+struct TimedRun {
+    total_ms: f64,
+    round_ms: Vec<f64>,
+    fingerprint: u64,
+    telemetry: Telemetry,
+    paused: usize,
+}
+
+fn timed_run(config: &SystemConfig, pause: Option<PausePlan>) -> TimedRun {
+    let mut sim = SystemSim::new(config.clone());
+    sim.enable_telemetry();
+    let mut round_ms = Vec::with_capacity(config.rounds as usize);
+    let mut paused = 0usize;
+    let mut round = 0u32;
+    let t0 = Instant::now();
+    loop {
+        if let Some(plan) = pause {
+            if round == plan.round {
+                let source = sim.source_id();
+                let ids: Vec<_> = sim
+                    .alive_ids()
+                    .iter()
+                    .copied()
+                    .filter(|&id| id != source)
+                    .collect();
+                for (i, id) in ids.into_iter().enumerate() {
+                    if i % plan.keep_every != 0 {
+                        sim.apply_event(SystemEvent::Pause { id });
+                        paused += 1;
+                    }
+                }
+            }
+        }
+        let r0 = Instant::now();
+        if !sim.step() {
+            break;
+        }
+        round_ms.push(r0.elapsed().as_secs_f64() * 1000.0);
+        round += 1;
+    }
+    let total_ms = t0.elapsed().as_secs_f64() * 1000.0;
+    let telemetry = sim.take_telemetry().expect("telemetry enabled");
+    let report = sim.finish();
+    TimedRun {
+        total_ms,
+        round_ms,
+        fingerprint: fingerprint(&report),
+        telemetry,
+        paused,
+    }
+}
+
+/// Mean over the steady-state window: the last half of the run, where
+/// startup buffering is over and the audience mix is settled.
+fn steady_mean(values: &[f64]) -> f64 {
+    let tail = &values[values.len() / 2..];
+    if tail.is_empty() {
+        return 0.0;
+    }
+    tail.iter().sum::<f64>() / tail.len() as f64
+}
+
+struct Workload {
+    name: &'static str,
+    on: TimedRun,
+    off: Option<TimedRun>,
+}
+
+fn run_workload(
+    name: &'static str,
+    config: &SystemConfig,
+    pause: Option<PausePlan>,
+    skip_off: bool,
+) -> Workload {
+    let nodes = config.nodes;
+    let rounds = config.rounds;
+    eprintln!("bench_active_set [{name}]: {nodes} nodes x {rounds} rounds (active_set on)");
+    let on = timed_run(config, pause);
+    eprintln!(
+        "  on:  {:.1} ms total, fingerprint 0x{:016x}",
+        on.total_ms, on.fingerprint
+    );
+    let off = if skip_off {
+        None
+    } else {
+        let mut c = config.clone();
+        c.active_set = false;
+        eprintln!("bench_active_set [{name}]: {nodes} nodes x {rounds} rounds (active_set off)");
+        let off = timed_run(&c, pause);
+        eprintln!(
+            "  off: {:.1} ms total, fingerprint 0x{:016x}",
+            off.total_ms, off.fingerprint
+        );
+        assert_eq!(
+            on.fingerprint, off.fingerprint,
+            "active-set toggle changed behaviour — the skip proofs are broken"
+        );
+        Some(off)
+    };
+
+    let steady_on = steady_mean(&on.round_ms);
+    let active: Vec<f64> = on
+        .telemetry
+        .rounds
+        .iter()
+        .map(|r| r.active_sched as f64)
+        .collect();
+    println!(
+        "[{name}] active_set on: total {:.1} ms, steady round {:.2} ms, steady active {:.0}/{} nodes",
+        on.total_ms,
+        steady_on,
+        steady_mean(&active),
+        nodes
+    );
+    if let Some(off) = &off {
+        let steady_off = steady_mean(&off.round_ms);
+        println!(
+            "[{name}] active_set off: total {:.1} ms, steady round {:.2} ms  ({:.2}x steady speedup)",
+            off.total_ms,
+            steady_off,
+            steady_off / steady_on.max(1e-9)
+        );
+    }
+    Workload { name, on, off }
+}
+
+fn main() {
+    let nodes = arg_u64("--nodes", 100_000) as usize;
+    let rounds = arg_u64("--rounds", 200) as u32;
+    let json_path = arg_str("--json");
+    let skip_off = has_flag("--skip-off");
+    let skip_dense = has_flag("--skip-dense");
+    let deterministic = has_flag("--deterministic");
+    let pause_frac = arg_f64("--pause-frac", 0.8);
+    let pause_round = arg_u64("--pause-round", 40) as u32;
+
+    let config = SystemConfig {
+        nodes,
+        rounds,
+        scheduler: SchedulerKind::ContinuStreaming,
+        prefetch_enabled: true,
+        seed: 20080414,
+        active_set: true,
+        ..SystemConfig::default()
+    };
+
+    // keep_every: keep 1-in-k playing => paused fraction ~ 1 - 1/k.
+    let keep_every = (1.0 / (1.0 - pause_frac).max(1e-9)).round().max(1.0) as usize;
+    let pause = PausePlan {
+        round: pause_round.min(rounds.saturating_sub(1)),
+        keep_every,
+    };
+
+    let dense = if skip_dense {
+        None
+    } else {
+        Some(run_workload("all-playing", &config, None, skip_off))
+    };
+    // `--pause-frac 0` drops the steady-audience workload (the CI
+    // large-N smoke measures the startup wave only, under a budget).
+    let steady = if pause_frac > 0.0 {
+        Some(run_workload(
+            "steady-paused",
+            &config,
+            Some(pause),
+            skip_off,
+        ))
+    } else {
+        None
+    };
+
+    let Some(path) = json_path else { return };
+    // `--deterministic` zeroes every wall-clock field so a re-run of the
+    // same binary byte-diffs clean (the CI smoke job relies on this);
+    // the occupancy columns are bit-deterministic either way.
+    let ms = |v: f64| {
+        if deterministic {
+            "0.0".to_string()
+        } else {
+            format!("{v:.2}")
+        }
+    };
+    let leg_block = |run: &TimedRun| {
+        let active: Vec<f64> = run
+            .telemetry
+            .rounds
+            .iter()
+            .map(|r| r.active_sched as f64)
+            .collect();
+        format!(
+            "{{ \"total_ms\": {}, \"steady_round_ms\": {}, \"steady_active_sched\": {:.1}, \"fingerprint\": \"0x{:016x}\" }}",
+            ms(run.total_ms),
+            ms(steady_mean(&run.round_ms)),
+            steady_mean(&active),
+            run.fingerprint
+        )
+    };
+    let workload_block = |w: &Workload| {
+        let round_rows = w
+            .on
+            .telemetry
+            .rounds
+            .iter()
+            .map(|r| {
+                let t = w.on.round_ms.get(r.round as usize).copied().unwrap_or(0.0);
+                format!(
+                    "      {{ \"round\": {}, \"ms\": {}, \"playing\": {}, \"active_sched\": {}, \"active_prefetch\": {}, \"touched_active\": {} }}",
+                    r.round,
+                    ms(t),
+                    r.playing,
+                    r.active_sched,
+                    r.active_prefetch,
+                    r.touched_active
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(",\n");
+        format!(
+            "{{\n    \"name\": \"{}\",\n    \"paused\": {},\n    \"on\": {},\n    \"off\": {},\n    \"fingerprints_match\": {},\n    \"rounds\": [\n{}\n    ]\n  }}",
+            w.name,
+            w.on.paused,
+            leg_block(&w.on),
+            w.off.as_ref().map_or("null".to_string(), leg_block),
+            w.off
+                .as_ref()
+                .map_or("null".to_string(), |o| (o.fingerprint == w.on.fingerprint)
+                    .to_string()),
+            round_rows,
+        )
+    };
+    let workloads = dense
+        .iter()
+        .chain(steady.iter())
+        .map(workload_block)
+        .collect::<Vec<_>>()
+        .join(",\n  ");
+    let json = format!(
+        "{{\n  \"bench\": \"active_set\",\n  \"config\": {{ \"nodes\": {nodes}, \"rounds\": {rounds}, \"scheduler\": \"ContinuStreaming\", \"prefetch\": true, \"churn\": \"default-static\", \"policy\": \"legacy\", \"faults\": \"inert\", \"seed\": 20080414, \"pause_frac\": {pause_frac}, \"pause_round\": {pause_round} }},\n  \"workloads\": [\n  {}\n  ]\n}}\n",
+        workloads,
+    );
+    std::fs::write(&path, json).expect("write json record");
+    eprintln!("wrote {path}");
+}

@@ -98,8 +98,21 @@ fn main() {
             .map(|t| format!("{t:.1}"))
             .collect::<Vec<_>>()
             .join(", ");
+        // The config block must pin everything that shapes the measured
+        // run: a record that omits the policy or the fault plane cannot
+        // be compared against a re-run with either armed.
+        let policy = match &config.policy {
+            cs_core::PolicyKind::Legacy => "legacy",
+            cs_core::PolicyKind::Adaptive(_) => "adaptive",
+        };
+        let faults = if config.faults.enabled() {
+            "armed"
+        } else {
+            "inert"
+        };
+        let active_set = config.active_set;
         let json = format!(
-            "{{\n  \"bench\": \"hotpath\",\n  \"config\": {{ \"nodes\": {nodes}, \"rounds\": {rounds}, \"scheduler\": \"ContinuStreaming\", \"prefetch\": true, \"churn\": \"default-static\", \"seed\": 20080414 }},\n  \"reps\": {reps},\n  \"times_ms\": [{times_json}],\n  \"min_ms\": {min_ms:.1},\n  \"mean_ms\": {mean_ms:.1},\n  \"rounds_per_sec\": {rounds_per_sec:.1},\n  \"stable_continuity\": {continuity:.4},\n  \"baseline_min_ms\": {},\n  \"speedup_vs_baseline\": {}\n}}\n",
+            "{{\n  \"bench\": \"hotpath\",\n  \"config\": {{ \"nodes\": {nodes}, \"rounds\": {rounds}, \"scheduler\": \"ContinuStreaming\", \"prefetch\": true, \"churn\": \"default-static\", \"policy\": \"{policy}\", \"faults\": \"{faults}\", \"active_set\": {active_set}, \"seed\": 20080414 }},\n  \"reps\": {reps},\n  \"times_ms\": [{times_json}],\n  \"min_ms\": {min_ms:.1},\n  \"mean_ms\": {mean_ms:.1},\n  \"rounds_per_sec\": {rounds_per_sec:.1},\n  \"stable_continuity\": {continuity:.4},\n  \"baseline_min_ms\": {},\n  \"speedup_vs_baseline\": {}\n}}\n",
             baseline_ms.map_or("null".to_string(), |b| format!("{b:.1}")),
             speedup.map_or("null".to_string(), |s| format!("{s:.2}")),
         );

@@ -577,6 +577,47 @@ fn rescue_params(
     }
 }
 
+/// The scheduler's exchange window at a given play anchor:
+/// `(window_end, occupancy)`. Pulls focus on segments within a couple of
+/// buffering delays of the play point — spending inbound budget on
+/// far-future segments starves near-deadline ones (the failure the §4.2
+/// urgency term exists to avoid; real CoolStreaming bounds its exchange
+/// window the same way). Under the adaptive policy the lookahead widens
+/// as window occupancy drops (see [`crate::policy`]); Legacy keeps the
+/// fixed window and reports occupancy 1.0.
+///
+/// The single implementation behind [`plan_node`] and the active-set
+/// classifier ([`SystemSim::classify_sched`]) — the window-complete skip
+/// proof is only sound while both read the same bounds.
+fn exchange_window(
+    config: &SystemConfig,
+    buffer: &StreamBuffer,
+    play_anchor: SegmentId,
+    newest_emitted: SegmentId,
+) -> (SegmentId, f64) {
+    let p = config.demand_per_round();
+    let legacy_lookahead = (2 * config.startup_segments).max(4 * p);
+    let (lookahead, occupancy) = match &config.policy {
+        PolicyKind::Legacy => (legacy_lookahead, 1.0),
+        PolicyKind::Adaptive(ap) => {
+            let legacy_end = (newest_emitted + 1)
+                .min(play_anchor + legacy_lookahead)
+                .min(play_anchor + config.buffer_size);
+            let occ = if legacy_end > play_anchor {
+                let held = buffer.count_range(play_anchor, legacy_end);
+                held as f64 / (legacy_end - play_anchor) as f64
+            } else {
+                1.0
+            };
+            (ap.lookahead(legacy_lookahead, occ), occ)
+        }
+    };
+    let window_end = (newest_emitted + 1)
+        .min(play_anchor + lookahead)
+        .min(play_anchor + config.buffer_size);
+    (window_end, occupancy)
+}
+
 /// The decision half of pre-fetch for one node: the urgent-line check,
 /// the Case-2 repeated scan against the round's snapshots, and the
 /// inbound budget. Reads only the owning node's state plus round-stable
@@ -783,6 +824,117 @@ impl RoundScratch {
             self.touched_spent.push(supplier.0);
         }
         *slot += amount;
+    }
+}
+
+/// Structure-of-arrays hot state for the active-set round loop: the
+/// per-node fields the classification pass and the planning phases read
+/// every round, packed into parallel slot-indexed vectors so the O(N)
+/// classification sweep walks dense memory instead of chasing
+/// `NodeSim`s through the arena.
+///
+/// Two families of data live here:
+///
+/// * **Touch stamps** (`touched` + `birth`): the conservative half of
+///   the active set. Any code path that changes a node's *inputs*
+///   (join, scenario event, neighbour-set change) stamps the slot with
+///   the round the change becomes visible; classification force-plans a
+///   stamped node regardless of what the skip proofs say. Stamps are
+///   guarded by the arena `birth` of the node that wrote them, so a
+///   slot reused by a same-round leave→join can never inherit (or be
+///   robbed of) a stale stamp.
+/// * **Classification caches** (`anchor`/`window_end`/`occupancy`,
+///   guarded by `stamp` + `birth`): facts the classifier proved this
+///   round that [`plan_node`] would otherwise re-derive per node.
+///
+/// The skip proofs themselves are *stateless* — re-evaluated from live
+/// buffers and maps every round — so the stamps are pure conservatism:
+/// losing one could only be a performance bug if the proofs were exact,
+/// and the determinism suite pins that they are.
+#[derive(Default)]
+struct HotState {
+    /// Arena birth of the node whose data occupies each slot; guards
+    /// every other per-slot field against slot reuse.
+    birth: Vec<u64>,
+    /// Force-active stamp: the slot must be planned in round
+    /// `touched[slot] - 1` (i.e. stamp = round + 1, 0 = never).
+    touched: Vec<u64>,
+    /// Whether the slot's buffer map advertised this round was empty
+    /// (recorded in the phase-4 snapshot sweep; input to the dark-
+    /// neighbourhood skip proof).
+    map_empty: Vec<bool>,
+    /// Classification freshness: `stamp[slot] == round + 1` means the
+    /// cache fields below were written by this round's classifier.
+    stamp: Vec<u64>,
+    /// Cached play anchor (`u64::MAX` = node had no local anchor; the
+    /// cache fields are then not reused).
+    anchor: Vec<u64>,
+    /// Cached exchange-window end for `anchor`.
+    window_end: Vec<u64>,
+    /// Cached window occupancy for `anchor`.
+    occupancy: Vec<f64>,
+    /// `order_idx` positions (ascending) the step-5 scheduling phase
+    /// must plan this round.
+    active_sched: Vec<u32>,
+    /// `order_idx` positions (ascending) the step-7 pre-fetch phase
+    /// must plan this round.
+    active_prefetch: Vec<u32>,
+    /// Nodes in either list because of a touch stamp rather than a
+    /// failed skip proof (telemetry).
+    forced: u64,
+    /// Skip-probe hysteresis for the scheduling classifier: while
+    /// `round < sched_dense_until` the proofs are suspended and every
+    /// candidate is materialised (always bit-identical — skipping is an
+    /// optimisation, never a semantic). Set whenever a probe round finds
+    /// fewer than 1/8 of candidates skippable, so a workload the active
+    /// set cannot help (everyone starving, everyone active) pays the
+    /// classification overhead on at most one round in eight.
+    sched_dense_until: u64,
+    /// Same hysteresis for the pre-fetch classifier.
+    prefetch_dense_until: u64,
+    /// Whether this round's pre-fetch list came from the classifier
+    /// (fresh `rescue_params` caps, peak already computed) or was
+    /// materialised dense (the execute loop takes the peak from the
+    /// planned caps, which are all fresh).
+    prefetch_classified: bool,
+}
+
+impl HotState {
+    /// Grow every per-slot array to cover `slot_count` slots and
+    /// reserve the active lists to full-overlay capacity (so the lists
+    /// never reallocate after warm-up — the zero-alloc suite watches).
+    fn ensure(&mut self, slot_count: usize) {
+        if self.birth.len() < slot_count {
+            self.birth.resize(slot_count, u64::MAX);
+            self.touched.resize(slot_count, 0);
+            self.map_empty.resize(slot_count, true);
+            self.stamp.resize(slot_count, 0);
+            self.anchor.resize(slot_count, u64::MAX);
+            self.window_end.resize(slot_count, 0);
+            self.occupancy.resize(slot_count, 0.0);
+        }
+        let cap = slot_count.saturating_sub(self.active_sched.capacity());
+        self.active_sched.reserve(cap);
+        let cap = slot_count.saturating_sub(self.active_prefetch.capacity());
+        self.active_prefetch.reserve(cap);
+    }
+
+    /// Force-activate a slot for round `round` (stamp survives until
+    /// that round's classification). `birth` identifies the node the
+    /// stamp is *for*; a different occupant later finds the stamp
+    /// guarded away.
+    fn touch(&mut self, slot: NodeIdx, birth: u64, round: u32) {
+        let s = slot.0 as usize;
+        self.ensure(s + 1);
+        self.touched[s] = u64::from(round) + 1;
+        self.birth[s] = birth;
+    }
+
+    /// Whether `slot` (occupied by the node with arena birth `birth`)
+    /// carries a live touch stamp for round `round`.
+    fn is_touched(&self, slot: NodeIdx, birth: u64, round: u32) -> bool {
+        let s = slot.0 as usize;
+        s < self.touched.len() && self.touched[s] == u64::from(round) + 1 && self.birth[s] == birth
     }
 }
 
@@ -1025,6 +1177,11 @@ pub struct SystemSim {
     /// or a scripted fault event.
     faults: FaultState,
     scratch: RoundScratch,
+    /// Active-set hot state (SoA). Lives outside `scratch` because the
+    /// phase-1 churn/event hooks stamp it *before* `step_round` takes
+    /// the scratch, and joins admitted mid-round must stamp persistent
+    /// storage.
+    hot: HotState,
 }
 
 /// Debug introspection record: `(id, next_play, buffer_len, first_id,
@@ -1068,6 +1225,11 @@ fn supplier_rate_estimate(
 /// Random scheduler) — which is what lets the `parallel` feature fan this
 /// out across threads. Returns the node's new inbound carry; the
 /// assignments are left in `sched.assignments`.
+///
+/// `hot` is the active-set classifier's cache: when it proved this node
+/// active *this round* it already derived the anchor and exchange
+/// window, and the guarded reuse below skips re-deriving them. `None`
+/// (the legacy loops) recomputes everything locally.
 #[allow(clippy::too_many_arguments)]
 fn plan_node(
     nodes: &NodeArena,
@@ -1078,6 +1240,7 @@ fn plan_node(
     round: u32,
     sched: &mut SchedScratch,
     rng: Option<&mut SimRng>,
+    hot: Option<&HotState>,
 ) -> f64 {
     let p = config.demand_per_round();
     let node = nodes.node(idx);
@@ -1101,36 +1264,23 @@ fn plan_node(
                 .min()
                 .unwrap_or(1)
         });
-    // The exchange window: pulls focus on segments within a couple of
-    // buffering delays of the play point — spending inbound budget on
-    // far-future segments starves near-deadline ones (the failure the
-    // §4.2 urgency term exists to avoid; real CoolStreaming bounds
-    // its exchange window the same way).
+    // The exchange window (see [`exchange_window`]); the occupancy
+    // feeds the adaptive policy's rarity bias below. When the
+    // active-set classifier already derived this node's anchor and
+    // window this round, reuse them — guarded by round stamp, arena
+    // birth and anchor equality, so a stale or fallback-anchor cache
+    // entry is simply recomputed.
     let legacy_lookahead = (2 * config.startup_segments).max(4 * p);
-    // Occupancy-adaptive window (the policy layer): measure how much of
-    // the legacy window the node already holds; below the policy floor
-    // the lookahead widens and the rarity bias on candidate priorities
-    // (applied below) engages, counter-acting the
-    // holdings-synchronisation spiral. Legacy keeps the fixed window
-    // and a zero bias.
-    let (lookahead, occupancy) = match &config.policy {
-        PolicyKind::Legacy => (legacy_lookahead, 1.0),
-        PolicyKind::Adaptive(ap) => {
-            let legacy_end = (newest_emitted + 1)
-                .min(play_anchor + legacy_lookahead)
-                .min(play_anchor + config.buffer_size);
-            let occ = if legacy_end > play_anchor {
-                let held = node.buffer.count_range(play_anchor, legacy_end);
-                held as f64 / (legacy_end - play_anchor) as f64
-            } else {
-                1.0
-            };
-            (ap.lookahead(legacy_lookahead, occ), occ)
-        }
-    };
-    let window_end = (newest_emitted + 1)
-        .min(play_anchor + lookahead)
-        .min(play_anchor + config.buffer_size);
+    let cached = hot.and_then(|h| {
+        let s = idx.0 as usize;
+        (s < h.stamp.len()
+            && h.stamp[s] == u64::from(round) + 1
+            && h.birth[s] == node.birth
+            && h.anchor[s] == play_anchor)
+            .then(|| (h.window_end[s], h.occupancy[s]))
+    });
+    let (window_end, occupancy) = cached
+        .unwrap_or_else(|| exchange_window(config, &node.buffer, play_anchor, newest_emitted));
 
     // Gather fresh candidates from all connected neighbours into the
     // window slots (per-offset supplier lists, lazily cleared via the
@@ -1506,6 +1656,7 @@ impl SystemSim {
             telemetry: None,
             faults: FaultState::new(tree.child("faults"), config.faults),
             scratch: RoundScratch::default(),
+            hot: HotState::default(),
             config,
         };
         sim.rebuild_order();
@@ -1706,6 +1857,30 @@ impl SystemSim {
                     "slot {slot}: equal epochs but diverged bitmaps"
                 );
             }
+        }
+        // Active-set lists: strictly ascending positions into the round's
+        // node order, never pointing past it, and the scheduling list
+        // never contains the source (the pre-fetch list's entries all
+        // plan to no-ops for it, so it is merely bounded).
+        for (name, list) in [
+            ("active_sched", &self.hot.active_sched),
+            ("active_prefetch", &self.hot.active_prefetch),
+        ] {
+            for w in list.windows(2) {
+                assert!(w[0] < w[1], "{name} is not strictly ascending");
+            }
+            if let Some(&last) = list.last() {
+                assert!(
+                    (last as usize) < self.order_idx.len(),
+                    "{name} points past the node order"
+                );
+            }
+        }
+        for &k in &self.hot.active_sched {
+            assert!(
+                !self.nodes.node(self.order_idx[k as usize]).is_source,
+                "the source is never scheduled"
+            );
         }
     }
 
@@ -1958,7 +2133,12 @@ impl SystemSim {
                 let Some(idx) = self.nodes.lookup(id) else {
                     return EventOutcome::Rejected;
                 };
-                self.nodes.node_mut(idx).bandwidth = bandwidth;
+                let node = self.nodes.node_mut(idx);
+                node.bandwidth = bandwidth;
+                let birth = node.birth;
+                // A capacity change moves budgets and rate estimates:
+                // force the node active next round.
+                self.hot.touch(idx, birth, self.next_round);
                 EventOutcome::Applied
             }
         }
@@ -1987,6 +2167,8 @@ impl SystemSim {
                 let anchor = newest.saturating_sub(startup).max(1);
                 node.buffer.slide_to(anchor);
                 node.prefetch_tags.retain(|&seg, _| seg >= anchor);
+                let birth = node.birth;
+                self.hot.touch(idx, birth, self.next_round);
                 return EventOutcome::Applied;
             }
             return EventOutcome::Rejected;
@@ -2008,6 +2190,10 @@ impl SystemSim {
         }
         node.next_play = Some(dest);
         node.prefetch_tags.retain(|&seg, _| seg >= dest);
+        let birth = node.birth;
+        // The anchor moved: every skip proof's inputs changed — force
+        // the node active for the round about to run.
+        self.hot.touch(idx, birth, self.next_round);
         EventOutcome::Applied
     }
 
@@ -2023,6 +2209,8 @@ impl SystemSim {
             return EventOutcome::Rejected;
         }
         node.paused = paused;
+        let birth = node.birth;
+        self.hot.touch(idx, birth, self.next_round);
         EventOutcome::Applied
     }
 
@@ -2116,11 +2304,16 @@ impl SystemSim {
 
         // --- 4. buffer-map exchange -----------------------------------------
         scratch.begin_round(round, self.nodes.slot_count());
+        self.hot.ensure(self.nodes.slot_count());
         let bufmap_bits = self.sizes.bufmap_bits();
         for k in 0..self.order_idx.len() {
             let idx = self.order_idx[k];
             let node = self.nodes.node(idx);
             scratch.maps.snapshot(idx, node);
+            // Recorded alongside the snapshot so the dark-neighbourhood
+            // skip proof reads what this round *advertises*, not a later
+            // buffer state.
+            self.hot.map_empty[idx.0 as usize] = node.buffer.is_empty();
             if !node.is_source {
                 traffic.add(
                     TrafficClass::Control,
@@ -2140,6 +2333,12 @@ impl SystemSim {
         // scheduling, so the source ledger reflects the seeds when
         // pulls are served.
         let seeded = self.seed_joiners(round, &mut scratch, &mut traffic);
+
+        // --- 4d. active-set classification (scheduling) ----------------------
+        // After the last buffer mutation before planning (the 4b/4c
+        // seeding), so the skip proofs read exactly the state step 5
+        // will read.
+        self.classify_sched(round);
 
         // --- 5. scheduling ---------------------------------------------------
         self.run_schedule_phase(round, &mut scratch);
@@ -2174,10 +2373,21 @@ impl SystemSim {
         // (watches the policy layer's deficit-scaled throttle ramp).
         let mut rescue_cap_peak = 0usize;
         if self.config.prefetch_enabled {
+            // The pre-fetch classification runs here, not with the
+            // scheduling pass: step-6 deliveries move α (Case-2
+            // repetitions shrink the probe), so the urgent line is only
+            // now stable for the round. On classified rounds the
+            // classifier also computes the legacy cap peak (it derives
+            // every anchored node's rescue params anyway); on dense
+            // rounds (toggle off or hysteresis) every plan is fresh and
+            // the peak comes from the planned caps, as before.
+            rescue_cap_peak = self.classify_prefetch(round, telemetry_on);
             self.plan_prefetch_phase(round, &mut scratch);
-            for k in 0..self.order_idx.len() {
+            let targets = std::mem::take(&mut self.hot.active_prefetch);
+            for &k in &targets {
+                let k = k as usize;
                 let idx = self.order_idx[k];
-                if telemetry_on {
+                if telemetry_on && !self.hot.prefetch_classified {
                     rescue_cap_peak = rescue_cap_peak.max(scratch.prefetch_plans[k].cap);
                 }
                 let (attempts, successes, overdue, suppressed, repeated, routing) =
@@ -2189,6 +2399,7 @@ impl SystemSim {
                 prefetch_repeated += repeated;
                 prefetch_routing_msgs += routing;
             }
+            self.hot.active_prefetch = targets;
         }
 
         // --- 7b. failure recovery (fault plane) ---------------------------------
@@ -2399,9 +2610,179 @@ impl SystemSim {
                 } else {
                     0.0
                 },
+                active_sched: self.hot.active_sched.len() as u64,
+                active_prefetch: self.hot.active_prefetch.len() as u64,
+                touched_active: self.hot.forced,
             });
         }
         self.scratch = scratch;
+    }
+
+    /// Dark-neighbourhood test: every connected neighbour is either dead
+    /// (resolves to nothing) or advertised an *empty* buffer map this
+    /// round. [`plan_node`]'s candidate gather then provably yields
+    /// nothing — dead refs are skipped and empty maps have no fresh
+    /// segments at any anchor — so the node early-returns with its carry
+    /// untouched. Anchor-independent, which is what lets it skip the
+    /// still-buffering startup wave at 100k nodes.
+    fn dark_neighbourhood(hot: &HotState, nodes: &NodeArena, node: &NodeSim) -> bool {
+        node.connected.ids().all(|nref| match nodes.resolve(nref) {
+            None => true,
+            Some(ni) => hot.map_empty[ni.0 as usize],
+        })
+    }
+
+    /// The active-set classification for step 5 (scheduling): one cheap
+    /// O(alive) sweep that proves which nodes' planning pass would be a
+    /// no-op and builds `hot.active_sched` from the rest. Two exact skip
+    /// proofs, both evaluated fresh against live state (nothing mutates
+    /// buffers between this sweep and step 5):
+    ///
+    /// * **window-complete** — the node's exchange window is empty or
+    ///   fully buffered, so the gather over `fresh_for` yields no
+    ///   candidate at any neighbour;
+    /// * **dark neighbourhood** — see [`Self::dark_neighbourhood`].
+    ///
+    /// A skipped node's `plan_node` would hit the no-candidate early
+    /// return (before any rate estimate, budget math or RNG draw — the
+    /// Random scheduler's stream is untouched) and its `apply_plan`
+    /// would rewrite an unchanged carry: bit-identical to not running
+    /// either. Touch-stamped nodes are force-planned regardless (pure
+    /// conservatism). Along the way the sweep caches each anchored
+    /// node's `(anchor, window_end, occupancy)` for [`plan_node`] to
+    /// reuse. With the toggle off — or while the dense-round hysteresis
+    /// holds (the last probe found almost nothing skippable) —
+    /// materialises every alive non-source node so the phase loops have
+    /// a single shape.
+    fn classify_sched(&mut self, round: u32) {
+        self.hot.ensure(self.nodes.slot_count());
+        let hot = &mut self.hot;
+        let nodes = &self.nodes;
+        let config = &self.config;
+        hot.active_sched.clear();
+        hot.forced = 0;
+        if !config.active_set || u64::from(round) < hot.sched_dense_until {
+            for k in 0..self.order_idx.len() {
+                if !nodes.node(self.order_idx[k]).is_source {
+                    hot.active_sched.push(k as u32);
+                }
+            }
+            return;
+        }
+        let newest = self.newest_emitted;
+        let stamp = u64::from(round) + 1;
+        let mut candidates = 0usize;
+        for k in 0..self.order_idx.len() {
+            let idx = self.order_idx[k];
+            let node = nodes.node(idx);
+            if node.is_source {
+                continue;
+            }
+            candidates += 1;
+            let s = idx.0 as usize;
+            let touched = hot.is_touched(idx, node.birth, round);
+            if touched {
+                hot.forced += 1;
+            }
+            match node.next_play.or_else(|| node.buffer.iter().next()) {
+                Some(anchor) => {
+                    let (window_end, occupancy) =
+                        exchange_window(config, &node.buffer, anchor, newest);
+                    hot.stamp[s] = stamp;
+                    hot.birth[s] = node.birth;
+                    hot.anchor[s] = anchor;
+                    hot.window_end[s] = window_end;
+                    hot.occupancy[s] = occupancy;
+                    if !touched {
+                        let complete = window_end <= anchor
+                            || node.buffer.has_range(anchor, window_end - anchor);
+                        if complete || Self::dark_neighbourhood(hot, nodes, node) {
+                            continue;
+                        }
+                    }
+                }
+                None => {
+                    // No local anchor: the fallback anchor depends on
+                    // neighbour maps, so nothing is cached for reuse.
+                    hot.stamp[s] = stamp;
+                    hot.birth[s] = node.birth;
+                    hot.anchor[s] = u64::MAX;
+                    if !touched && Self::dark_neighbourhood(hot, nodes, node) {
+                        continue;
+                    }
+                }
+            }
+            hot.active_sched.push(k as u32);
+        }
+        // Probe verdict: under 1/8 skippable ⇒ the sweep isn't paying
+        // for itself; go dense and re-probe in eight rounds.
+        if hot.active_sched.len() * 8 >= candidates * 7 {
+            hot.sched_dense_until = u64::from(round) + 8;
+        }
+    }
+
+    /// The active-set classification for step 7 (pre-fetch), run *after*
+    /// step 6 because deliveries move α (Case-2 repetitions shrink the
+    /// urgent probe). The skip proof is exact — it reproduces the
+    /// `NotTriggered` outcome of `decide_scaled_into` without walking
+    /// the miss window: no anchor, an empty probe, or a fully buffered
+    /// probe range means [`plan_prefetch`] plans nothing and
+    /// [`Self::execute_prefetch`] is a counter-free no-op. Touch-stamped
+    /// nodes are force-planned. Returns the round's rescue-cap peak
+    /// (the classifier derives every anchored node's [`rescue_params`]
+    /// anyway, which is exactly the set whose planned caps the legacy
+    /// loop maxed over); 0 when the list was materialised dense (toggle
+    /// off or hysteresis) — `hot.prefetch_classified` then tells the
+    /// caller to take the peak from the planned caps as before.
+    fn classify_prefetch(&mut self, round: u32, telemetry_on: bool) -> usize {
+        let hot = &mut self.hot;
+        let nodes = &self.nodes;
+        let config = &self.config;
+        hot.active_prefetch.clear();
+        if !config.active_set || u64::from(round) < hot.prefetch_dense_until {
+            hot.prefetch_classified = false;
+            for k in 0..self.order_idx.len() {
+                hot.active_prefetch.push(k as u32);
+            }
+            return 0;
+        }
+        hot.prefetch_classified = true;
+        let newest = self.newest_emitted;
+        let p = config.demand_per_round();
+        let mut cap_peak = 0usize;
+        let mut candidates = 0usize;
+        for k in 0..self.order_idx.len() {
+            let idx = self.order_idx[k];
+            let node = nodes.node(idx);
+            if node.is_source {
+                continue;
+            }
+            candidates += 1;
+            let touched = hot.is_touched(idx, node.birth, round);
+            let Some(anchor) = node.next_play.or_else(|| node.buffer.iter().next()) else {
+                if touched {
+                    hot.forced += 1;
+                    hot.active_prefetch.push(k as u32);
+                }
+                continue;
+            };
+            let (cap, _threshold, horizon) =
+                rescue_params(config, &node.buffer, anchor, p, round, node.spawn_round);
+            if telemetry_on {
+                cap_peak = cap_peak.max(cap);
+            }
+            let urgent_end = node.urgent.probe_end(anchor, newest, horizon);
+            if touched {
+                hot.forced += 1;
+            } else if urgent_end <= anchor || node.buffer.has_range(anchor, urgent_end - anchor) {
+                continue;
+            }
+            hot.active_prefetch.push(k as u32);
+        }
+        if hot.active_prefetch.len() * 8 >= candidates * 7 {
+            hot.prefetch_dense_until = u64::from(round) + 8;
+        }
+        cap_peak
     }
 
     /// Step 5: plan every node's pulls against the snapshotted maps, then
@@ -2420,11 +2801,12 @@ impl SystemSim {
                 return;
             }
         }
-        for k in 0..self.order_idx.len() {
-            let idx = self.order_idx[k];
-            if self.nodes.node(idx).is_source {
-                continue;
-            }
+        // The active list is taken out for the loop (its slot in `hot`
+        // holds an empty Vec meanwhile) so `apply_plan`'s `&mut self`
+        // doesn't conflict; restored afterwards for the telemetry read.
+        let targets = std::mem::take(&mut self.hot.active_sched);
+        for &k in &targets {
+            let idx = self.order_idx[k as usize];
             let new_carry = plan_node(
                 &self.nodes,
                 &self.config,
@@ -2434,9 +2816,11 @@ impl SystemSim {
                 round,
                 &mut scratch.sched,
                 Some(&mut self.sched_rng),
+                Some(&self.hot),
             );
             self.apply_plan(idx, new_carry, scratch);
         }
+        self.hot.active_sched = targets;
     }
 
     #[cfg(feature = "parallel")]
@@ -2446,27 +2830,41 @@ impl SystemSim {
         scratch: &mut RoundScratch,
         workers: usize,
     ) {
-        let n = self.order_idx.len();
+        let targets = std::mem::take(&mut self.hot.active_sched);
+        let n = targets.len();
+        if n == 0 {
+            self.hot.active_sched = targets;
+            return;
+        }
+        // Position-indexed against `targets` (the active list), which is
+        // ascending in `order_idx` position — so the serial apply below
+        // runs in exactly the legacy node order.
         let mut plans: Vec<Option<(Vec<Assignment<PeerRef>>, f64)>> =
             (0..n).map(|_| None).collect();
-        let chunk = n.div_ceil(workers);
+        let chunk = n.div_ceil(workers).max(1);
         {
             let nodes = &self.nodes;
             let config = &self.config;
             let maps = &scratch.maps;
             let newest = self.newest_emitted;
+            let order_idx = &self.order_idx;
+            let hot = &self.hot;
             std::thread::scope(|s| {
-                for (plan_chunk, idx_chunk) in
-                    plans.chunks_mut(chunk).zip(self.order_idx.chunks(chunk))
-                {
+                for (plan_chunk, k_chunk) in plans.chunks_mut(chunk).zip(targets.chunks(chunk)) {
                     s.spawn(move || {
                         let mut sched = SchedScratch::default();
-                        for (slot, &idx) in plan_chunk.iter_mut().zip(idx_chunk) {
-                            if nodes.node(idx).is_source {
-                                continue;
-                            }
+                        for (slot, &k) in plan_chunk.iter_mut().zip(k_chunk) {
+                            let idx = order_idx[k as usize];
                             let carry = plan_node(
-                                nodes, config, maps, newest, idx, round, &mut sched, None,
+                                nodes,
+                                config,
+                                maps,
+                                newest,
+                                idx,
+                                round,
+                                &mut sched,
+                                None,
+                                Some(hot),
                             );
                             *slot = Some((std::mem::take(&mut sched.assignments), carry));
                         }
@@ -2474,14 +2872,15 @@ impl SystemSim {
                 }
             });
         }
-        for (k, plan) in plans.into_iter().enumerate() {
+        for (plan, &k) in plans.into_iter().zip(targets.iter()) {
             let Some((assignments, carry)) = plan else {
                 continue;
             };
-            let idx = self.order_idx[k];
+            let idx = self.order_idx[k as usize];
             scratch.sched.assignments = assignments;
             self.apply_plan(idx, carry, scratch);
         }
+        self.hot.active_sched = targets;
     }
 
     /// Apply one node's plan: update the inbound carry, account the
@@ -2746,23 +3145,44 @@ impl SystemSim {
                 ..PrefetchPlan::default()
             });
         }
+        // Only the active list is planned; a skipped node's stale plan
+        // is never read (the execute loop walks the same list).
+        let targets: &[u32] = &self.hot.active_prefetch;
         #[cfg(feature = "parallel")]
         {
             let workers = self.parallel_workers();
-            if workers > 1 {
+            if workers > 1 && !targets.is_empty() {
                 let nodes = &self.nodes;
                 let config = &self.config;
                 let maps = &scratch.maps;
                 let newest = self.newest_emitted;
-                let chunk = n.div_ceil(workers).max(1);
+                let order_idx = &self.order_idx;
+                // Shard the (ascending) active list into contiguous
+                // runs; each run owns a disjoint subslice of the
+                // k-indexed plan table — same discipline as
+                // `plan_service_phase`'s slot sharding.
+                let chunk = targets.len().div_ceil(workers).max(1);
                 std::thread::scope(|s| {
-                    for (plan_chunk, idx_chunk) in scratch.prefetch_plans[..n]
-                        .chunks_mut(chunk)
-                        .zip(self.order_idx.chunks(chunk))
-                    {
+                    let mut rest_plans: &mut [PrefetchPlan] = &mut scratch.prefetch_plans[..n];
+                    let mut consumed = 0usize;
+                    for ks in targets.chunks(chunk) {
+                        let first = ks[0] as usize;
+                        let last = ks[ks.len() - 1] as usize;
+                        let (_, tail) = rest_plans.split_at_mut(first - consumed);
+                        let (run_plans, tail) = tail.split_at_mut(last + 1 - first);
+                        rest_plans = tail;
+                        consumed = last + 1;
                         s.spawn(move || {
-                            for (plan, &idx) in plan_chunk.iter_mut().zip(idx_chunk) {
-                                plan_prefetch(nodes, config, maps, newest, round, idx, plan);
+                            for &k in ks {
+                                plan_prefetch(
+                                    nodes,
+                                    config,
+                                    maps,
+                                    newest,
+                                    round,
+                                    order_idx[k as usize],
+                                    &mut run_plans[k as usize - first],
+                                );
                             }
                         });
                     }
@@ -2775,15 +3195,15 @@ impl SystemSim {
             maps,
             ..
         } = scratch;
-        for (&idx, plan) in self.order_idx.iter().zip(prefetch_plans.iter_mut()) {
+        for &k in targets {
             plan_prefetch(
                 &self.nodes,
                 &self.config,
                 maps,
                 self.newest_emitted,
                 round,
-                idx,
-                plan,
+                self.order_idx[k as usize],
+                &mut prefetch_plans[k as usize],
             );
         }
     }
@@ -3021,6 +3441,9 @@ impl SystemSim {
                     scratch.tmp_refs.push(nref);
                 }
             }
+            // Conservative touch: any change to the connected set below
+            // force-activates the node for this round's classification.
+            let mut partners_changed = !scratch.tmp_refs.is_empty();
             for di in 0..scratch.tmp_refs.len() {
                 let d = scratch.tmp_refs[di];
                 let node = self.nodes.node_mut(idx);
@@ -3090,23 +3513,40 @@ impl SystemSim {
                         latency_ms: lat,
                         recent_supply_kbps: 0.0,
                     });
+                    partners_changed = true;
                 }
             }
             // Replace a weak neighbour ("supplied little data") with an
-            // overheard candidate. A starving node (inflow below the
-            // playback rate last round) rewires immediately — finding a
-            // better-provisioned neighbourhood is its only way out; a
-            // healthy node only sheds neighbours that supply nothing.
-            // Rate-limited: a node reconsiders its weakest partnership at
-            // most every third round. Rewiring every round under system
-            // stress destroys the supply relationships it is trying to
-            // fix (every replacement resets rate estimates and supplier
-            // history).
+            // overheard candidate. A starving node rewires immediately —
+            // finding a better-provisioned neighbourhood is its only way
+            // out; a healthy node only sheds neighbours that supply
+            // nothing. Starving means *unmet demand*: inflow below the
+            // playback rate while the exchange window still has holes. A
+            // sated node (window fully buffered — e.g. a paused viewer)
+            // pulls nothing by choice; treating its idle inflow as
+            // starvation made it rewire every third round forever,
+            // thrashing the overlay and touch-forcing it back into the
+            // active set each time. Rate-limited: a node reconsiders its
+            // weakest partnership at most every third round. Rewiring
+            // every round under system stress destroys the supply
+            // relationships it is trying to fix (every replacement resets
+            // rate estimates and supplier history).
             let starving = {
                 let node = self.nodes.node(idx);
-                node.next_play.is_some()
-                    && (node.last_inflow as u64) < self.config.demand_per_round()
-                    && (round as u64 + self_id).is_multiple_of(3)
+                node.next_play.is_some_and(|anchor| {
+                    (node.last_inflow as u64) < self.config.demand_per_round()
+                        && (round as u64 + self_id).is_multiple_of(3)
+                        && {
+                            let (window_end, _) = exchange_window(
+                                &self.config,
+                                &node.buffer,
+                                anchor,
+                                self.newest_emitted,
+                            );
+                            window_end > anchor
+                                && !node.buffer.has_range(anchor, window_end - anchor)
+                        }
+                })
             };
             if starving || round % 5 == 4 {
                 let weak: Option<PeerRef> = {
@@ -3148,8 +3588,13 @@ impl SystemSim {
                             },
                         );
                         node.rate.forget(w);
+                        partners_changed = true;
                     }
                 }
+            }
+            if partners_changed {
+                let birth = self.nodes.node(idx).birth;
+                self.hot.touch(idx, birth, round);
             }
         }
     }
@@ -3808,6 +4253,9 @@ impl SystemSim {
                         recent_supply_kbps: 0.0,
                     });
                 }
+                let birth = peer.birth;
+                // Conservative touch: the contact's partner view changed.
+                self.hot.touch(cidx, birth, round);
             }
         }
 
@@ -3871,6 +4319,8 @@ impl SystemSim {
                             recent_supply_kbps: 0.0,
                         });
                     }
+                    let birth = sponsor.birth;
+                    self.hot.touch(sidx, birth, round);
                 }
                 let sref = self.nodes.make_ref(sid);
                 if !node.connected.is_full() {
@@ -3925,7 +4375,14 @@ impl SystemSim {
             }
         }
 
-        self.nodes.insert(node);
+        let new_idx = self.nodes.insert(node);
+        // Force the joiner active for its first round. The fresh arena
+        // birth also overwrites whatever stamp a departed previous
+        // occupant of this slot left behind — a same-round leave→join
+        // can neither inherit nor be robbed of a touch (the birth guard
+        // pins this; see the slot-reuse property test).
+        let new_birth = self.nodes.node(new_idx).birth;
+        self.hot.touch(new_idx, new_birth, round);
         // The DHT join closure sees the joiner's real ping (it is in the
         // arena now), like the `pings` snapshot the id-keyed version
         // chained the joiner into.

@@ -89,6 +89,18 @@ pub struct TelemetryRound {
     /// Mean rounds from loss to recovery over segments recovered this
     /// round (0 when none recovered).
     pub mean_time_to_recover: f64,
+    /// Nodes the step-5 scheduling phase actually planned this round —
+    /// the scheduling active set. With `SystemConfig::active_set` off
+    /// this is every alive non-source node.
+    pub active_sched: u64,
+    /// Nodes the step-7 pre-fetch phase planned/executed this round —
+    /// the pre-fetch active set (every node, source included, with the
+    /// toggle off; 0 when pre-fetch is disabled).
+    pub active_prefetch: u64,
+    /// Nodes force-activated by a touch stamp (join, scenario event,
+    /// neighbour-set change) rather than by a failed skip proof — the
+    /// conservative half of the active set.
+    pub touched_active: u64,
 }
 
 /// One node's startup trajectory: from overlay admission to playback.

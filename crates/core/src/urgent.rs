@@ -104,6 +104,23 @@ impl UrgentLine {
         head + (self.alpha * self.buffer_size as f64).ceil() as u64
     }
 
+    /// The exclusive end of the probe window [`Self::decide_scaled_into`]
+    /// scans: the urgent line widened to `min_horizon` and clamped to the
+    /// emitted stream. Exposed so the active-set classifier can test
+    /// "would the probe find anything?" (`buffer.has_range(play_from,
+    /// probe_end - play_from)` ⇔ `NotTriggered`) without walking the
+    /// window id by id — the two must stay the same expression.
+    pub fn probe_end(
+        &self,
+        play_from: SegmentId,
+        newest_available: SegmentId,
+        min_horizon: u64,
+    ) -> SegmentId {
+        self.urgent_id(play_from)
+            .max(play_from + min_horizon)
+            .min(newest_available + 1)
+    }
+
     /// Predict the missed segments and decide whether to trigger
     /// on-demand retrieval (§4.3's three cases).
     ///
@@ -179,10 +196,7 @@ impl UrgentLine {
         min_horizon: u64,
     ) -> PrefetchCheck {
         missed.clear();
-        let urgent_end = self
-            .urgent_id(play_from)
-            .max(play_from + min_horizon)
-            .min(newest_available + 1);
+        let urgent_end = self.probe_end(play_from, newest_available, min_horizon);
         let mut count = 0usize;
         for id in play_from..urgent_end {
             if !buffer.contains(id) && !expected(id) {
@@ -306,6 +320,27 @@ mod tests {
         assert_eq!(
             l.decide(&buf, 100, 104, |_| false),
             PrefetchDecision::Fetch(vec![100, 101, 102, 103, 104])
+        );
+    }
+
+    #[test]
+    fn probe_end_matches_decide_window() {
+        let l = line();
+        // Bare α-window: probe end == urgent id.
+        assert_eq!(l.probe_end(100, 1000, 0), l.urgent_id(100));
+        // Horizon widens it; the emitted frontier clamps it.
+        assert_eq!(l.probe_end(100, 1000, 40), 140);
+        assert_eq!(l.probe_end(100, 104, 40), 105);
+        // has_range over [play_from, probe_end) ⇔ NotTriggered.
+        let mut buf = StreamBuffer::with_head(600, 100);
+        for id in 100..140 {
+            buf.insert(id);
+        }
+        let end = l.probe_end(100, 1000, 40);
+        assert!(buf.has_range(100, end - 100));
+        assert_eq!(
+            l.decide_scaled_into(&buf, 100, 1000, |_| false, &mut Vec::new(), 5, 5, 40),
+            PrefetchCheck::NotTriggered
         );
     }
 

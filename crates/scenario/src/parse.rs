@@ -87,6 +87,19 @@ fn parse_num<T: std::str::FromStr>(line: usize, what: &str, s: &str) -> Result<T
     })
 }
 
+/// Parse a probability/fraction/rate and range-check it to [0, 1] with
+/// a line-numbered error. The spec-level validator catches most of
+/// these too, but only after the whole file parses and without a line
+/// number; failing at the offending token follows the churn-fraction
+/// precedent. `!(0.0..=1.0).contains(…)` also rejects NaN.
+fn parse_unit(line: usize, what: &str, s: &str) -> Result<f64, ParseError> {
+    let v: f64 = parse_num(line, what, s)?;
+    if !(0.0..=1.0).contains(&v) {
+        return err(line, format!("{what} {v} outside [0, 1]"));
+    }
+    Ok(v)
+}
+
 /// Split `key=value` (no value ⇒ empty string, for bare flags).
 fn kv(token: &str) -> (&str, &str) {
     match token.split_once('=') {
@@ -255,10 +268,10 @@ fn parse_config_line(lineno: usize, line: &str, spec: &mut ScenarioSpec) -> Resu
                 );
             }
             c.faults = FaultPlan {
-                crash_rate: parse_num(lineno, "faults crash", parts[0])?,
-                data_loss: parse_num(lineno, "faults data_loss", parts[1])?,
-                control_loss: parse_num(lineno, "faults control_loss", parts[2])?,
-                delay_prob: parse_num(lineno, "faults delay_prob", parts[3])?,
+                crash_rate: parse_unit(lineno, "faults crash", parts[0])?,
+                data_loss: parse_unit(lineno, "faults data_loss", parts[1])?,
+                control_loss: parse_unit(lineno, "faults control_loss", parts[2])?,
+                delay_prob: parse_unit(lineno, "faults delay_prob", parts[3])?,
                 delay_ms: parse_num(lineno, "faults delay_ms", parts[4])?,
             };
         }
@@ -353,8 +366,8 @@ fn parse_phase(lineno: usize, tokens: &[&str], spec: &mut ScenarioSpec) -> Resul
             }
             "pause" => phase.vcr.pause_prob = parse_num(lineno, k, v)?,
             "resume" => phase.vcr.resume_prob = parse_num(lineno, k, v)?,
-            "loss" => phase.loss = parse_num(lineno, k, v)?,
-            "crash" => phase.crash = parse_num(lineno, k, v)?,
+            "loss" => phase.loss = parse_unit(lineno, "phase loss rate", v)?,
+            "crash" => phase.crash = parse_unit(lineno, "phase crash rate", v)?,
             other => return err(lineno, format!("unknown phase key `{other}`")),
         }
     }
@@ -418,7 +431,7 @@ fn parse_event(lineno: usize, tokens: &[&str], spec: &mut ScenarioSpec) -> Resul
             class: get("class").map(str::to_string),
         },
         "mass_departure" => ScenarioEventKind::MassDeparture {
-            fraction: parse_num(
+            fraction: parse_unit(
                 lineno,
                 "mass_departure fraction",
                 get("fraction").ok_or(ParseError {
@@ -430,7 +443,7 @@ fn parse_event(lineno: usize, tokens: &[&str], spec: &mut ScenarioSpec) -> Resul
             graceful: has_flag("graceful"),
         },
         "seek_storm" => ScenarioEventKind::SeekStorm {
-            fraction: parse_num(
+            fraction: parse_unit(
                 lineno,
                 "seek_storm fraction",
                 get("fraction").ok_or(ParseError {
@@ -444,7 +457,7 @@ fn parse_event(lineno: usize, tokens: &[&str], spec: &mut ScenarioSpec) -> Resul
             },
         },
         "capacity_shift" => ScenarioEventKind::CapacityShift {
-            fraction: parse_num(
+            fraction: parse_unit(
                 lineno,
                 "capacity_shift fraction",
                 get("fraction").ok_or(ParseError {
@@ -471,7 +484,7 @@ fn parse_event(lineno: usize, tokens: &[&str], spec: &mut ScenarioSpec) -> Resul
             correlated: has_flag("correlated"),
         },
         "loss_burst" => ScenarioEventKind::LossBurst {
-            loss: parse_num(
+            loss: parse_unit(
                 lineno,
                 "loss_burst loss",
                 get("loss").ok_or(ParseError {
@@ -489,7 +502,7 @@ fn parse_event(lineno: usize, tokens: &[&str], spec: &mut ScenarioSpec) -> Resul
             )?,
         },
         "partition_arc" => ScenarioEventKind::PartitionArc {
-            fraction: parse_num(
+            fraction: parse_unit(
                 lineno,
                 "partition_arc fraction",
                 get("fraction").ok_or(ParseError {
@@ -757,6 +770,69 @@ at 30 capacity_shift fraction=0.3 class=dsl
         assert!(e.message.contains("churn graceful"), "{}", e.message);
         let e = parse_scenario("churn = 0.05 0.05 1.01\n").unwrap_err();
         assert!(e.message.contains("outside [0, 1]"), "{}", e.message);
+    }
+
+    #[test]
+    fn out_of_range_fault_rates_are_rejected_with_line_numbers() {
+        // Boundaries still parse (a rate of exactly 0 or 1 is legal).
+        let spec = parse_scenario("phase 0..5 loss=0.0 crash=1.0\n").unwrap();
+        assert_eq!(spec.phases[0].loss, 0.0);
+        assert_eq!(spec.phases[0].crash, 1.0);
+        // Phase rates: each names its key and the offending line — these
+        // used to slip through to the spec validator, which reports no
+        // line number.
+        let e = parse_scenario("nodes = 50\nphase 0..5 loss=1.5\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(
+            e.message.contains("phase loss rate 1.5 outside [0, 1]"),
+            "{}",
+            e.message
+        );
+        let e = parse_scenario("phase 0..5 crash=-0.1\n").unwrap_err();
+        assert_eq!(e.line, 1);
+        assert!(e.message.contains("phase crash rate"), "{}", e.message);
+        // The faults config line: every probability column is checked
+        // (delay_ms is a duration, not a probability, and is exempt).
+        let e = parse_scenario("nodes = 50\nfaults = 1.5 0.0 0.0 0.0 0.0\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("faults crash"), "{}", e.message);
+        let e = parse_scenario("faults = 0.0 -0.2 0.0 0.0 0.0\n").unwrap_err();
+        assert!(e.message.contains("faults data_loss"), "{}", e.message);
+        let e = parse_scenario("faults = 0.0 0.0 2.0 0.0 0.0\n").unwrap_err();
+        assert!(e.message.contains("faults control_loss"), "{}", e.message);
+        let e = parse_scenario("faults = 0.0 0.0 0.0 1.01 0.0\n").unwrap_err();
+        assert!(e.message.contains("faults delay_prob"), "{}", e.message);
+        assert!(parse_scenario("faults = 0.0 0.0 0.0 0.0 80\n").is_ok());
+    }
+
+    #[test]
+    fn out_of_range_event_probabilities_are_rejected_with_line_numbers() {
+        for (line, key) in [
+            (
+                "at 5 mass_departure fraction=1.2",
+                "mass_departure fraction",
+            ),
+            ("at 5 seek_storm fraction=-0.5", "seek_storm fraction"),
+            (
+                "at 5 capacity_shift fraction=7 class=dsl",
+                "capacity_shift fraction",
+            ),
+            ("at 5 loss_burst loss=1.5 rounds=3", "loss_burst loss"),
+            (
+                "at 5 partition_arc fraction=NaN rounds=3",
+                "partition_arc fraction",
+            ),
+        ] {
+            let e = parse_scenario(&format!("nodes = 50\n{line}\n")).unwrap_err();
+            assert_eq!(e.line, 2, "{line}");
+            assert!(
+                e.message.contains(key) && e.message.contains("outside [0, 1]"),
+                "`{line}`: {}",
+                e.message
+            );
+        }
+        // Boundary values still parse.
+        assert!(parse_scenario("class dsl inbound=600 outbound=300\nat 5 mass_departure fraction=1.0\nat 6 loss_burst loss=0.0 rounds=2\n").is_ok());
     }
 
     #[test]

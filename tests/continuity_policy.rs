@@ -230,7 +230,12 @@ fn tuned_knobs_hold_dynamic_churn_at_reduced_size() {
 /// under bare Adaptive reproduces a pinned metrics fingerprint — any
 /// leak of the sponsor/seed/grace code into the knobs-off path moves
 /// this hash. (The system-level proof for Legacy and the pinned
-/// behavioural fingerprints lives in `tests/determinism.rs`.)
+/// behavioural fingerprints lives in `tests/determinism.rs`.) The
+/// metrics fingerprint covers the spec and telemetry `Debug` formats,
+/// so it legitimately moves when `SystemConfig` or `TelemetryRound`
+/// gain fields — re-pin only after the behavioural `RunReport`
+/// fingerprint is shown unchanged (active-set PR: report hash
+/// 0xee60762fffd96a8f held with the toggle on and off).
 #[test]
 fn joiner_knobs_off_reproduce_the_bare_adaptive_run() {
     let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/scenarios");
@@ -245,7 +250,7 @@ fn joiner_knobs_off_reproduce_the_bare_adaptive_run() {
     let log = run_scenario(&spec).log;
     assert_eq!(
         log.fingerprint(),
-        0xdec4_8b7e_3e5b_935f,
+        0x6ff1_f862_f519_918b,
         "bare-Adaptive reduced dynamic-churn run drifted — the joiner \
          knobs must be invisible at their 0 defaults"
     );

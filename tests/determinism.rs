@@ -211,6 +211,50 @@ fn default_fault_plan_is_invisible() {
     }
 }
 
+/// Layer 2e: a **large-overlay pin** — 8,000 nodes, five rounds — far
+/// above the legacy scenario sizes and the `parallel` feature's
+/// 128-node fan-out gate. Recorded from the visit-every-node round loop
+/// immediately before the active-set refactor landed; the active-set
+/// loop (on by default) must reproduce both the round-0 state hash and
+/// the run hash bit for bit, and with the `parallel` feature the run
+/// hash must also hold at forced 1/2/4/8-way fan-outs.
+#[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+#[test]
+fn large_overlay_8k_pins_hold_at_every_thread_count() {
+    const ROUND0_PIN: u64 = 0xdb1748b72400ddb7;
+    const RUN_PIN: u64 = 0x47aba547e8915add;
+    let config = SystemConfig {
+        nodes: 8000,
+        rounds: 5,
+        startup_segments: 30,
+        scheduler: SchedulerKind::ContinuStreaming,
+        prefetch_enabled: true,
+        seed: 8008,
+        ..SystemConfig::default()
+    };
+    let sim = SystemSim::new(config.clone());
+    let round0 = round0_fingerprint(&sim);
+    assert_eq!(
+        round0, ROUND0_PIN,
+        "8k round-0 drift: 0x{round0:016x} != pinned 0x{ROUND0_PIN:016x}"
+    );
+    let hash = fingerprint(&sim.run());
+    assert_eq!(
+        hash, RUN_PIN,
+        "8k run drift: 0x{hash:016x} != pinned 0x{RUN_PIN:016x}"
+    );
+    #[cfg(feature = "parallel")]
+    for threads in [1usize, 2, 4, 8] {
+        let mut c = config.clone();
+        c.parallel_threads = Some(threads);
+        let hash = fingerprint(&SystemSim::new(c).run());
+        assert_eq!(
+            hash, RUN_PIN,
+            "8k run drift at {threads} threads: 0x{hash:016x} != pinned 0x{RUN_PIN:016x}"
+        );
+    }
+}
+
 /// Layer 3 (requires `--features parallel`): the phase fan-outs —
 /// scheduling, supplier-service planning, pre-fetch planning — must be
 /// **bit-identical to serial at every thread count**. Each scenario runs

@@ -520,6 +520,81 @@ fn adaptive_policy_state_resets_with_scratch_reuse() {
     assert_eq!(format!("{a:?}"), format!("{b:?}"));
 }
 
+/// Same-round slot reuse must not dodge the active set: an abrupt
+/// `Leave` frees the departed node's arena slot and an immediately
+/// following `Join` hands that slot to the newcomer, so every per-slot
+/// epoch stamp in the hot state (touch marks, classification caches,
+/// map-empty flags) still describes the *previous* occupant. The touch
+/// guard keys stamps on the slot's birth counter, so the joiner must be
+/// force-planned rather than skipped — pinned here by running the same
+/// scripted leave→join sequence with the active-set toggle on and off
+/// and requiring bit-identical round records and per-node end states,
+/// with the scratch invariants checked after every round.
+#[test]
+fn active_set_plans_joiners_reusing_a_slot_same_round() {
+    for case in 0..12u64 {
+        let script = |active_set: bool| {
+            let config = SystemConfig {
+                nodes: 60,
+                rounds: 30,
+                startup_segments: 30,
+                seed: 0x510 + case,
+                active_set,
+                ..SystemConfig::default()
+            };
+            let mut sim = SystemSim::new(config);
+            let source = sim.source_id();
+            let mut reused = 0usize;
+            for round in 0..30 {
+                if round >= 5 && round % 3 == 2 {
+                    // Deterministically pick a non-source victim; its slot
+                    // is freed and the join below reuses it in the same
+                    // round (LIFO free list).
+                    let victims: Vec<_> = sim
+                        .alive_ids()
+                        .iter()
+                        .copied()
+                        .filter(|&id| id != source)
+                        .collect();
+                    let victim = victims[(case as usize + round as usize) % victims.len()];
+                    let left = sim.apply_event(SystemEvent::Leave {
+                        id: victim,
+                        graceful: false,
+                    });
+                    let joined = sim.apply_event(SystemEvent::Join {
+                        ping_ms: None,
+                        bandwidth: None,
+                    });
+                    if left == EventOutcome::Applied && matches!(joined, EventOutcome::Joined(_)) {
+                        reused += 1;
+                    }
+                }
+                sim.debug_step(round);
+                sim.debug_check_scratch();
+            }
+            assert!(
+                reused >= 5,
+                "case {case}: the script must actually churn slots (got {reused})"
+            );
+            (
+                format!("{:?}", sim.records()),
+                format!("{:?}", sim.debug_states()),
+            )
+        };
+        let on = script(true);
+        let off = script(false);
+        assert_eq!(
+            on.0, off.0,
+            "case {case}: active-set run diverged on round records after \
+             same-round leave→join slot reuse"
+        );
+        assert_eq!(
+            on.1, off.1,
+            "case {case}: active-set run left different per-node end state"
+        );
+    }
+}
+
 /// Recovery plane: the deterministic (jitter-free) retry backoff is
 /// monotone non-decreasing in the attempt number and never below the
 /// configured base, for arbitrary knob draws.
