@@ -38,7 +38,9 @@
 use std::time::Instant;
 
 use cs_bench::fingerprint::fingerprint;
-use cs_core::{SchedulerKind, SystemConfig, SystemEvent, SystemSim, Telemetry};
+use cs_core::{
+    ObsConfig, PhaseRow, SchedulerKind, SystemConfig, SystemEvent, SystemSim, Telemetry,
+};
 
 fn arg_u64(name: &str, default: u64) -> u64 {
     let args: Vec<String> = std::env::args().collect();
@@ -93,11 +95,21 @@ struct TimedRun {
     fingerprint: u64,
     telemetry: Telemetry,
     paused: usize,
+    phases: Vec<PhaseRow>,
 }
 
 fn timed_run(config: &SystemConfig, pause: Option<PausePlan>) -> TimedRun {
     let mut sim = SystemSim::new(config.clone());
     sim.enable_telemetry();
+    // Profiler only: the phase breakdown rides along on both legs (so
+    // the A/B timing comparison stays fair) without arming the
+    // distribution or trace pillars this bench doesn't report.
+    sim.enable_obs(ObsConfig {
+        profile: true,
+        dist: false,
+        trace: false,
+        ..ObsConfig::default()
+    });
     let mut round_ms = Vec::with_capacity(config.rounds as usize);
     let mut paused = 0usize;
     let mut round = 0u32;
@@ -120,6 +132,14 @@ fn timed_run(config: &SystemConfig, pause: Option<PausePlan>) -> TimedRun {
                 }
             }
         }
+        if round == config.rounds / 2 {
+            // Steady-window means: drop warm-up (and the pause wave)
+            // from the profiler, matching `steady_mean`'s last-half
+            // convention.
+            if let Some(o) = sim.obs_mut() {
+                o.reset_timings();
+            }
+        }
         let r0 = Instant::now();
         if !sim.step() {
             break;
@@ -129,6 +149,7 @@ fn timed_run(config: &SystemConfig, pause: Option<PausePlan>) -> TimedRun {
     }
     let total_ms = t0.elapsed().as_secs_f64() * 1000.0;
     let telemetry = sim.take_telemetry().expect("telemetry enabled");
+    let phases = sim.take_obs_report().map(|r| r.phases).unwrap_or_default();
     let report = sim.finish();
     TimedRun {
         total_ms,
@@ -136,6 +157,7 @@ fn timed_run(config: &SystemConfig, pause: Option<PausePlan>) -> TimedRun {
         fingerprint: fingerprint(&report),
         telemetry,
         paused,
+        phases,
     }
 }
 
@@ -284,6 +306,33 @@ fn main() {
             run.fingerprint
         )
     };
+    // Phase timings are wall-clock, so `--deterministic` zeroes them
+    // like every other timing field; the counts are deterministic
+    // (rounds in the steady window) and stay.
+    let ns = |v: f64| {
+        if deterministic {
+            "0".to_string()
+        } else {
+            format!("{v:.0}")
+        }
+    };
+    let phase_rows = |run: &TimedRun| {
+        run.phases
+            .iter()
+            .map(|r| {
+                format!(
+                    "      {{ \"phase\": \"{}\", \"count\": {}, \"mean_ns\": {}, \"min_ns\": {}, \"max_ns\": {}, \"p99_ns\": {} }}",
+                    r.name,
+                    r.count,
+                    ns(r.mean_ns),
+                    ns(r.min_ns as f64),
+                    ns(r.max_ns as f64),
+                    ns(r.p99_ns as f64),
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(",\n")
+    };
     let workload_block = |w: &Workload| {
         let round_rows = w
             .on
@@ -305,7 +354,7 @@ fn main() {
             .collect::<Vec<_>>()
             .join(",\n");
         format!(
-            "{{\n    \"name\": \"{}\",\n    \"paused\": {},\n    \"on\": {},\n    \"off\": {},\n    \"fingerprints_match\": {},\n    \"rounds\": [\n{}\n    ]\n  }}",
+            "{{\n    \"name\": \"{}\",\n    \"paused\": {},\n    \"on\": {},\n    \"off\": {},\n    \"fingerprints_match\": {},\n    \"phase_breakdown\": [\n{}\n    ],\n    \"rounds\": [\n{}\n    ]\n  }}",
             w.name,
             w.on.paused,
             leg_block(&w.on),
@@ -314,6 +363,7 @@ fn main() {
                 .as_ref()
                 .map_or("null".to_string(), |o| (o.fingerprint == w.on.fingerprint)
                     .to_string()),
+            phase_rows(&w.on),
             round_rows,
         )
     };

@@ -6,6 +6,13 @@
 //! a speedup against a previously measured baseline (the pre-refactor
 //! number is committed in the repository's `BENCH_hotpath.json`).
 //!
+//! A second rep set runs the same config with the observability layer
+//! fully armed (profiler + distributions + trace): the record's
+//! `obs_overhead_frac` is the min-over-min overhead fraction (the
+//! acceptance pin is ≤ 3 %), and `phase_breakdown` is the per-phase
+//! steady-round mean from the armed run's profiler, with timings reset
+//! at mid-run so warm-up rounds don't skew the means.
+//!
 //! ```text
 //! cargo run -p cs-bench --release --bin bench_hotpath
 //! cargo run -p cs-bench --release --bin bench_hotpath -- \
@@ -14,7 +21,7 @@
 
 use std::time::Instant;
 
-use cs_core::{SchedulerKind, SystemConfig, SystemSim};
+use cs_core::{ObsConfig, PhaseRow, SchedulerKind, SystemConfig, SystemSim};
 
 fn arg_u64(name: &str, default: u64) -> u64 {
     let args: Vec<String> = std::env::args().collect();
@@ -92,6 +99,43 @@ fn main() {
         println!("speedup vs baseline: {s:.2}x");
     }
 
+    // Same config with the obs layer fully armed. Timings are reset at
+    // mid-run so the exported phase means cover only steady rounds;
+    // the behavioural report must match the unobserved run exactly.
+    eprintln!("bench_hotpath: obs-armed rep set");
+    let mut obs_times_ms: Vec<f64> = Vec::with_capacity(reps as usize);
+    let mut phase_rows: Vec<PhaseRow> = Vec::new();
+    for rep in 0..reps {
+        let mut sim = SystemSim::new(config.clone());
+        sim.enable_obs(ObsConfig::default());
+        let t0 = Instant::now();
+        while sim.rounds_run() < rounds {
+            if sim.rounds_run() == rounds / 2 {
+                if let Some(o) = sim.obs_mut() {
+                    o.reset_timings();
+                }
+            }
+            if !sim.step() {
+                break;
+            }
+        }
+        let took = t0.elapsed().as_secs_f64() * 1000.0;
+        phase_rows = sim.take_obs_report().map(|r| r.phases).unwrap_or_default();
+        let report = sim.finish();
+        assert_eq!(
+            report.summary.stable_continuity, continuity,
+            "the armed obs layer must not perturb behaviour"
+        );
+        eprintln!("  rep {rep}: {took:.1} ms (obs armed)");
+        obs_times_ms.push(took);
+    }
+    let obs_min_ms = obs_times_ms.iter().copied().fold(f64::INFINITY, f64::min);
+    let obs_overhead_frac = (obs_min_ms - min_ms) / min_ms;
+    println!(
+        "obs-armed: min {obs_min_ms:.1} ms, overhead {:.1}%",
+        obs_overhead_frac * 100.0
+    );
+
     if let Some(path) = json_path {
         let times_json = times_ms
             .iter()
@@ -111,8 +155,23 @@ fn main() {
             "inert"
         };
         let active_set = config.active_set;
+        let obs_times_json = obs_times_ms
+            .iter()
+            .map(|t| format!("{t:.1}"))
+            .collect::<Vec<_>>()
+            .join(", ");
+        let phase_json = phase_rows
+            .iter()
+            .map(|r| {
+                format!(
+                    "    {{ \"phase\": \"{}\", \"count\": {}, \"mean_ns\": {:.0}, \"min_ns\": {}, \"max_ns\": {}, \"p99_ns\": {} }}",
+                    r.name, r.count, r.mean_ns, r.min_ns, r.max_ns, r.p99_ns
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(",\n");
         let json = format!(
-            "{{\n  \"bench\": \"hotpath\",\n  \"config\": {{ \"nodes\": {nodes}, \"rounds\": {rounds}, \"scheduler\": \"ContinuStreaming\", \"prefetch\": true, \"churn\": \"default-static\", \"policy\": \"{policy}\", \"faults\": \"{faults}\", \"active_set\": {active_set}, \"seed\": 20080414 }},\n  \"reps\": {reps},\n  \"times_ms\": [{times_json}],\n  \"min_ms\": {min_ms:.1},\n  \"mean_ms\": {mean_ms:.1},\n  \"rounds_per_sec\": {rounds_per_sec:.1},\n  \"stable_continuity\": {continuity:.4},\n  \"baseline_min_ms\": {},\n  \"speedup_vs_baseline\": {}\n}}\n",
+            "{{\n  \"bench\": \"hotpath\",\n  \"config\": {{ \"nodes\": {nodes}, \"rounds\": {rounds}, \"scheduler\": \"ContinuStreaming\", \"prefetch\": true, \"churn\": \"default-static\", \"policy\": \"{policy}\", \"faults\": \"{faults}\", \"active_set\": {active_set}, \"seed\": 20080414 }},\n  \"reps\": {reps},\n  \"times_ms\": [{times_json}],\n  \"min_ms\": {min_ms:.1},\n  \"mean_ms\": {mean_ms:.1},\n  \"rounds_per_sec\": {rounds_per_sec:.1},\n  \"stable_continuity\": {continuity:.4},\n  \"baseline_min_ms\": {},\n  \"speedup_vs_baseline\": {},\n  \"obs_times_ms\": [{obs_times_json}],\n  \"obs_min_ms\": {obs_min_ms:.1},\n  \"obs_overhead_frac\": {obs_overhead_frac:.4},\n  \"phase_breakdown\": [\n{phase_json}\n  ]\n}}\n",
             baseline_ms.map_or("null".to_string(), |b| format!("{b:.1}")),
             speedup.map_or("null".to_string(), |s| format!("{s:.2}")),
         );

@@ -59,8 +59,9 @@ pub mod system;
 pub use backup::VodBackupStore;
 pub use buffer::{BufferMap, StreamBuffer};
 pub use config::{SchedulerKind, SystemConfig};
+pub use cs_obs::{DistSummary, ObsConfig, ObsRunReport, ObsState, PhaseRow, Quantiles};
 pub use faults::{FaultPlan, FaultRoundRecord, FaultTrace};
-pub use metrics::{RoundRecord, RunReport, RunSummary};
+pub use metrics::{stable_tail_start, RoundRecord, RunReport, RunSummary};
 pub use policy::{AdaptivePolicy, PolicyKind};
 pub use priority::{PriorityInput, PriorityPolicy, PriorityTerms};
 pub use rate::RateController;

@@ -59,7 +59,14 @@ pub struct RoundRecord {
 }
 
 /// Stable-phase summary of one run.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// `Debug` is implemented by hand and intentionally covers only the
+/// original ten fields: behavioural fingerprints hash the full
+/// `RunReport` `Debug` output, so the fields below the marker
+/// (min-over-rounds diagnostics and the observability distribution
+/// block) are *Debug-hidden* — they can appear, change, or carry
+/// wall-clock-adjacent data without perturbing any pinned fingerprint.
+#[derive(Clone, PartialEq)]
 pub struct RunSummary {
     /// Mean continuity over the stable phase (the paper's headline
     /// number, e.g. 0.97 for ContinuStreaming static).
@@ -84,6 +91,38 @@ pub struct RunSummary {
     pub prefetch_successes: u64,
     /// Fraction of the run's rounds counted as stable phase.
     pub stable_fraction: f64,
+    // ---- Debug-hidden fields (excluded from fingerprints) ----
+    /// Worst per-round continuity over the whole run. Emitted
+    /// unconditionally (even on collapsed runs where
+    /// `stable_continuity == 0.0`) so an artifact alone shows how deep
+    /// the run dipped.
+    pub min_round_continuity: f64,
+    /// Round index at which `min_round_continuity` occurred (first
+    /// occurrence).
+    pub min_continuity_round: u32,
+    /// Per-node distribution summary (continuity/runway/startup/
+    /// supplier-load percentiles). `Some` only when the observability
+    /// layer's distribution metrics were enabled for the run.
+    pub dist: Option<cs_obs::DistSummary>,
+}
+
+impl std::fmt::Debug for RunSummary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // Reproduces the pre-observability derived output exactly (same
+        // fields, same order); see the struct-level note on fingerprints.
+        f.debug_struct("RunSummary")
+            .field("stable_continuity", &self.stable_continuity)
+            .field("stabilization_secs", &self.stabilization_secs)
+            .field("control_overhead", &self.control_overhead)
+            .field("prefetch_overhead", &self.prefetch_overhead)
+            .field("stable_control_overhead", &self.stable_control_overhead)
+            .field("stable_prefetch_overhead", &self.stable_prefetch_overhead)
+            .field("mean_continuity", &self.mean_continuity)
+            .field("prefetch_attempts", &self.prefetch_attempts)
+            .field("prefetch_successes", &self.prefetch_successes)
+            .field("stable_fraction", &self.stable_fraction)
+            .finish()
+    }
 }
 
 /// A full run: per-round records plus the derived summary.
@@ -102,11 +141,19 @@ const STABLE_TAIL_FRACTION: f64 = 1.0 / 3.0;
 /// stabilised.
 const STABILIZATION_BAND: f64 = 0.95;
 
+/// First index of the stable-phase window for an `n`-round run: the
+/// last `ceil(n/3)` rounds. Shared with the observability layer's
+/// distribution window and the scenario gate helpers so all three
+/// agree on what "stable phase" means.
+pub fn stable_tail_start(n: usize) -> usize {
+    n - ((n as f64 * STABLE_TAIL_FRACTION).ceil() as usize).clamp(1, n.max(1))
+}
+
 /// Build a [`RunSummary`] from per-round records.
 pub fn summarize(rounds: &[RoundRecord]) -> RunSummary {
     assert!(!rounds.is_empty(), "cannot summarise an empty run");
     let n = rounds.len();
-    let tail_start = n - ((n as f64 * STABLE_TAIL_FRACTION).ceil() as usize).clamp(1, n);
+    let tail_start = stable_tail_start(n);
 
     let stable = &rounds[tail_start..];
     let stable_continuity = stable.iter().map(|r| r.continuity).sum::<f64>() / stable.len() as f64;
@@ -143,6 +190,17 @@ pub fn summarize(rounds: &[RoundRecord]) -> RunSummary {
     let report = total.report();
     let stable_report = stable_traffic.report();
 
+    // Min-over-rounds continuity, unconditionally: collapsed runs
+    // (stable 0.0) must still be diagnosable from the summary alone.
+    let mut min_round_continuity = f64::INFINITY;
+    let mut min_continuity_round = 0u32;
+    for r in rounds.iter() {
+        if r.continuity < min_round_continuity {
+            min_round_continuity = r.continuity;
+            min_continuity_round = r.round;
+        }
+    }
+
     RunSummary {
         stable_continuity,
         stabilization_secs,
@@ -154,6 +212,9 @@ pub fn summarize(rounds: &[RoundRecord]) -> RunSummary {
         prefetch_attempts: attempts,
         prefetch_successes: successes,
         stable_fraction: stable.len() as f64 / n as f64,
+        min_round_continuity,
+        min_continuity_round,
+        dist: None,
     }
 }
 
@@ -263,5 +324,37 @@ mod tests {
     #[should_panic(expected = "empty run")]
     fn empty_run_panics() {
         let _ = summarize(&[]);
+    }
+
+    #[test]
+    fn min_over_rounds_is_reported_even_when_collapsed() {
+        let mut rounds: Vec<RoundRecord> = (0..10).map(|i| record(i, 0.0)).collect();
+        rounds[3] = record(3, 0.2);
+        let s = summarize(&rounds);
+        assert_eq!(s.stable_continuity, 0.0);
+        assert_eq!(s.min_round_continuity, 0.0);
+        assert_eq!(s.min_continuity_round, 0, "first occurrence wins");
+        let rounds: Vec<RoundRecord> = (0..10)
+            .map(|i| record(i, if i == 7 { 0.4 } else { 0.9 }))
+            .collect();
+        let s = summarize(&rounds);
+        assert_eq!(s.min_round_continuity, 0.4);
+        assert_eq!(s.min_continuity_round, 7);
+    }
+
+    #[test]
+    fn debug_output_hides_observability_fields() {
+        // The manual Debug impl must look exactly like the pre-obs
+        // derived output: fingerprints hash it.
+        let rounds: Vec<RoundRecord> = (0..3).map(|i| record(i, 0.5)).collect();
+        let mut s = summarize(&rounds);
+        let before = format!("{s:?}");
+        assert!(!before.contains("min_round_continuity"));
+        assert!(!before.contains("dist"));
+        s.min_round_continuity = 0.123;
+        s.min_continuity_round = 42;
+        assert_eq!(format!("{s:?}"), before, "hidden fields leaked into Debug");
+        assert!(before.starts_with("RunSummary { stable_continuity: 0.5,"));
+        assert!(before.ends_with("stable_fraction: 0.3333333333333333 }"));
     }
 }

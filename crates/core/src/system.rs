@@ -60,6 +60,9 @@ use rand::Rng;
 
 use cs_dht::{DhtId, DhtNetwork, IdSpace};
 use cs_net::{BandwidthAssigner, MessageSizes, NodeBandwidth, TrafficClass, TrafficCounter};
+#[cfg(feature = "parallel")]
+use cs_obs::WorkerPhase;
+use cs_obs::{EventKind, Lap, ObsConfig, ObsRunReport, ObsState, Phase as ObsPhase};
 use cs_overlay::{plan_churn, ConnectedNeighbors, NeighborEntry, OverheardList, RpServer};
 use cs_sim::{RngTree, SimDuration, SimRng, SimTime};
 use cs_trace::{augment_to_min_degree, derive_latency, TraceGenConfig, TraceGenerator};
@@ -1172,6 +1175,12 @@ pub struct SystemSim {
     /// Diagnostic collector; `None` (the default) costs one branch per
     /// tap and allocates nothing.
     telemetry: Option<Box<Telemetry>>,
+    /// Observability layer (profiler + distributions + event trace);
+    /// `None` (the default) costs one branch per tap. Like telemetry,
+    /// it is purely observational: it consumes no RNG and mutates no
+    /// protocol state, so arming it cannot move a behavioural
+    /// fingerprint (its wall-clock readings are Debug-hidden).
+    obs: Option<Box<ObsState>>,
     /// Fault-injection / failure-recovery state; inert (one branch per
     /// gate, no draws, no allocations) unless armed by the config plan
     /// or a scripted fault event.
@@ -1654,6 +1663,7 @@ impl SystemSim {
             scenario_rng: tree.child("scenario"),
             next_round: 0,
             telemetry: None,
+            obs: None,
             faults: FaultState::new(tree.child("faults"), config.faults),
             scratch: RoundScratch::default(),
             hot: HotState::default(),
@@ -1925,8 +1935,13 @@ impl SystemSim {
     ///
     /// # Panics
     /// If no round has run yet (there is nothing to summarise).
-    pub fn finish(self) -> RunReport {
-        let summary = summarize(&self.records);
+    pub fn finish(mut self) -> RunReport {
+        let mut summary = summarize(&self.records);
+        if let Some(o) = self.obs.as_deref_mut() {
+            if o.dist_enabled() {
+                summary.dist = Some(o.dist_summary());
+            }
+        }
         RunReport {
             rounds: self.records,
             summary,
@@ -1984,12 +1999,54 @@ impl SystemSim {
         self.telemetry.as_mut().map(|t| std::mem::take(&mut **t))
     }
 
+    /// Arm the observability layer (idempotent; the first call's config
+    /// wins). Like telemetry, purely observational: it draws from no
+    /// RNG stream and mutates no protocol state, so every behavioural
+    /// fingerprint reproduces bit-for-bit whether obs is off, on, or
+    /// was never compiled in. Wall-clock readings live only in the
+    /// profiler, which no fingerprint hashes.
+    pub fn enable_obs(&mut self, cfg: ObsConfig) {
+        if self.obs.is_none() {
+            let mut o = Box::new(ObsState::new(&cfg, self.config.rounds));
+            if o.dist_enabled() {
+                o.node_cont.ensure(self.nodes.slot_count());
+            }
+            self.obs = Some(o);
+        }
+    }
+
+    /// The observability state, if armed.
+    pub fn obs(&self) -> Option<&ObsState> {
+        self.obs.as_deref()
+    }
+
+    /// Mutable observability state (e.g. to reset profiler timings
+    /// after a warm-up window).
+    pub fn obs_mut(&mut self) -> Option<&mut ObsState> {
+        self.obs.as_deref_mut()
+    }
+
+    /// Export the observability run report (trace JSONL, distribution
+    /// summary, phase breakdown). The distribution summary is finalised
+    /// and cached on first call, so a later [`Self::finish`] attaches
+    /// the identical `dist` block to the run summary.
+    pub fn take_obs_report(&mut self) -> Option<ObsRunReport> {
+        self.obs.as_deref_mut().map(|o| o.run_report())
+    }
+
     /// The per-round fault/recovery trace. Empty while the fault plane
     /// is inert; once armed it gains exactly one record per stepped
     /// round, and its digest is the run's fault fingerprint (two runs
     /// with the same seed and workload produce byte-identical traces).
     pub fn fault_trace(&self) -> &FaultTrace {
         &self.faults.trace
+    }
+
+    /// `(scheduling, pre-fetch)` active-set sizes of the last stepped
+    /// round (live-monitoring read; both equal the membership when the
+    /// active-set optimisation is off).
+    pub fn active_set_sizes(&self) -> (usize, usize) {
+        (self.hot.active_sched.len(), self.hot.active_prefetch.len())
     }
 
     /// Stack a scenario phase's steady-state fault rates on top of the
@@ -2025,6 +2082,13 @@ impl SystemSim {
         self.faults.burst_until = self.next_round.saturating_add(rounds);
         if loss > 0.0 && rounds > 0 {
             self.faults.active = true;
+            self.obs_emit(
+                self.next_round,
+                EventKind::FaultInjected,
+                0,
+                rounds as u64,
+                "loss_burst",
+            );
         }
     }
 
@@ -2039,6 +2103,13 @@ impl SystemSim {
         self.faults.partition_until = self.next_round.saturating_add(rounds);
         if arms {
             self.faults.active = true;
+            self.obs_emit(
+                self.next_round,
+                EventKind::FaultInjected,
+                0,
+                rounds as u64,
+                "partition",
+            );
         }
     }
 
@@ -2047,6 +2118,15 @@ impl SystemSim {
     /// it does not arm the fault plane's per-round machinery.
     pub fn set_rp_outage(&mut self, rounds: u32) {
         self.faults.rp_outage_until = self.next_round.saturating_add(rounds);
+        if rounds > 0 {
+            self.obs_emit(
+                self.next_round,
+                EventKind::FaultInjected,
+                0,
+                rounds as u64,
+                "rp_outage",
+            );
+        }
     }
 
     /// Debug invariant (fault suite): every connected neighbour of every
@@ -2120,6 +2200,7 @@ impl SystemSim {
                 }
                 self.faults.active = true;
                 self.crash(id);
+                self.obs_emit(self.next_round, EventKind::Crash, id, 0, "scenario");
                 self.rebuild_order();
                 EventOutcome::Applied
             }
@@ -2256,6 +2337,11 @@ impl SystemSim {
         let mut traffic = TrafficCounter::new();
         let mut joins = 0usize;
         let mut leaves = 0usize;
+        // Profiler lap: one `Instant::now()` per phase boundary when
+        // armed, one `Option` check per boundary otherwise. Wall-clock
+        // never feeds back into simulation state.
+        let profiling = self.obs.as_deref().is_some_and(|o| o.profiling());
+        let mut olap = Lap::start(profiling);
 
         // --- 1. churn -----------------------------------------------------
         if !self.config.churn.is_static() && round > 0 {
@@ -2285,6 +2371,7 @@ impl SystemSim {
         if self.faults.active {
             self.inject_crashes();
         }
+        self.obs_phase(ObsPhase::Churn, &mut olap);
 
         // --- 2. source emission -------------------------------------------
         let p = self.config.demand_per_round();
@@ -2298,13 +2385,22 @@ impl SystemSim {
                 src.backup.maybe_store(seg, successor);
             }
         }
+        self.obs_phase(ObsPhase::SourceEmit, &mut olap);
 
         // --- 3. neighbour maintenance --------------------------------------
         self.maintain_neighbors(round, &mut scratch);
+        self.obs_phase(ObsPhase::Maintain, &mut olap);
 
         // --- 4. buffer-map exchange -----------------------------------------
         scratch.begin_round(round, self.nodes.slot_count());
         self.hot.ensure(self.nodes.slot_count());
+        if let Some(o) = self.obs.as_deref_mut() {
+            if o.dist_enabled() {
+                // Same amortised-growth contract as `hot.ensure`: a no-op
+                // once the arena is at steady size.
+                o.node_cont.ensure(self.nodes.slot_count());
+            }
+        }
         let bufmap_bits = self.sizes.bufmap_bits();
         for k in 0..self.order_idx.len() {
             let idx = self.order_idx[k];
@@ -2333,15 +2429,18 @@ impl SystemSim {
         // scheduling, so the source ledger reflects the seeds when
         // pulls are served.
         let seeded = self.seed_joiners(round, &mut scratch, &mut traffic);
+        self.obs_phase(ObsPhase::Exchange, &mut olap);
 
         // --- 4d. active-set classification (scheduling) ----------------------
         // After the last buffer mutation before planning (the 4b/4c
         // seeding), so the skip proofs read exactly the state step 5
         // will read.
         self.classify_sched(round);
+        self.obs_phase(ObsPhase::ClassifySched, &mut olap);
 
         // --- 5. scheduling ---------------------------------------------------
         self.run_schedule_phase(round, &mut scratch);
+        self.obs_phase(ObsPhase::Schedule, &mut olap);
 
         // --- 6. supplier service ----------------------------------------------
         // Split into a read-only decision half (parallelisable per
@@ -2351,7 +2450,9 @@ impl SystemSim {
         let mut svc = ServiceCounters::default();
         let salt = cs_sim::splitmix64(round as u64 ^ self.config.seed);
         self.plan_service_phase(salt, &mut scratch);
+        self.obs_phase(ObsPhase::ServicePlan, &mut olap);
         self.apply_service_phase(round, &mut scratch, &mut traffic, &mut svc);
+        self.obs_phase(ObsPhase::ServiceApply, &mut olap);
         let gossip_deliveries = svc.deliveries + pushed + seeded;
         let requests_issued = svc.issued;
         let requests_dropped = svc.dropped;
@@ -2382,7 +2483,9 @@ impl SystemSim {
             // rounds (toggle off or hysteresis) every plan is fresh and
             // the peak comes from the planned caps, as before.
             rescue_cap_peak = self.classify_prefetch(round, telemetry_on);
+            self.obs_phase(ObsPhase::ClassifyPrefetch, &mut olap);
             self.plan_prefetch_phase(round, &mut scratch);
+            self.obs_phase(ObsPhase::PrefetchPlan, &mut olap);
             let targets = std::mem::take(&mut self.hot.active_prefetch);
             for &k in &targets {
                 let k = k as usize;
@@ -2401,6 +2504,7 @@ impl SystemSim {
             }
             self.hot.active_prefetch = targets;
         }
+        self.obs_phase(ObsPhase::PrefetchExec, &mut olap);
 
         // --- 7b. failure recovery (fault plane) ---------------------------------
         // Timeout detection, backed-off retries and supplier failover
@@ -2409,6 +2513,7 @@ impl SystemSim {
         if self.faults.active {
             self.run_recovery_phase(round, &mut scratch, &mut traffic);
         }
+        self.obs_phase(ObsPhase::Recovery, &mut olap);
 
         // --- 8. playback and continuity -----------------------------------------
         let mut playing = 0usize;
@@ -2425,8 +2530,14 @@ impl SystemSim {
         let mut backup_total = 0u64;
         let mut slack_used = 0u64;
         let lookahead = (2 * self.config.startup_segments).max(4 * p);
+        // Distribution taps: `obs_dist` gates the windowed per-node
+        // continuity/runway samples, `obs_startup` the (unwindowed)
+        // startup delays. Both are pure reads — no RNG, no state.
+        let obs_dist = self.obs.as_deref().is_some_and(|o| o.dist_active(round));
+        let obs_startup = self.obs.as_deref().is_some_and(|o| o.dist_enabled());
         for k in 0..self.order_idx.len() {
-            let node = self.nodes.node_mut(self.order_idx[k]);
+            let idx = self.order_idx[k];
+            let node = self.nodes.node_mut(idx);
             if node.is_source {
                 continue;
             }
@@ -2448,15 +2559,23 @@ impl SystemSim {
                     if let Some(fdr) = node.first_data_round {
                         if round >= fdr + startup_rounds {
                             node.next_play = node.buffer.iter().next();
-                            if telemetry_on && node.next_play.is_some() {
-                                let sample = StartupSample {
-                                    id: node.id,
-                                    spawn_round: node.spawn_round,
-                                    first_data_round: fdr,
-                                    start_round: round,
-                                };
-                                if let Some(t) = self.telemetry.as_deref_mut() {
-                                    t.startups.push(sample);
+                            if node.next_play.is_some() {
+                                if telemetry_on {
+                                    let sample = StartupSample {
+                                        id: node.id,
+                                        spawn_round: node.spawn_round,
+                                        first_data_round: fdr,
+                                        start_round: round,
+                                    };
+                                    if let Some(t) = self.telemetry.as_deref_mut() {
+                                        t.startups.push(sample);
+                                    }
+                                }
+                                if obs_startup {
+                                    let delay = (round - node.spawn_round) as u64;
+                                    if let Some(o) = self.obs.as_deref_mut() {
+                                        o.startup_delay.record(delay);
+                                    }
                                 }
                             }
                         }
@@ -2472,8 +2591,20 @@ impl SystemSim {
                 }
                 Some(np) => {
                     playing += 1;
-                    if node.buffer.has_range(np, p) {
+                    let on_time = node.buffer.has_range(np, p);
+                    if on_time {
                         continuous += 1;
+                    }
+                    if obs_dist {
+                        // Per-node samples inside the measurement window:
+                        // runway now, continuity accumulated per slot
+                        // (birth-guarded against arena slot reuse).
+                        let runway = node.buffer.contiguous_from(np);
+                        let birth = node.birth;
+                        if let Some(o) = self.obs.as_deref_mut() {
+                            o.runway.record(runway);
+                            o.node_cont.observe(idx.0 as usize, birth, on_time);
+                        }
                     }
                     if telemetry_on {
                         // Inflow beyond per-round demand: how much slack
@@ -2507,6 +2638,7 @@ impl SystemSim {
             node.last_inflow = node.round_inflow;
             node.round_inflow = 0;
         }
+        self.obs_phase(ObsPhase::Playback, &mut olap);
 
         // --- 9. backup GC and DHT table aging -------------------------------------
         let mut gc_evictions = 0u64;
@@ -2615,7 +2747,37 @@ impl SystemSim {
                 touched_active: self.hot.forced,
             });
         }
+        self.obs_phase(ObsPhase::Finalize, &mut olap);
         self.scratch = scratch;
+    }
+
+    /// Close the current profiler lap into `phase` (no-op when the
+    /// profiler is unarmed — `lap_ns` is `None` and nothing is read).
+    #[inline]
+    fn obs_phase(&mut self, phase: ObsPhase, lap: &mut Lap) {
+        if let Some(ns) = lap.lap_ns() {
+            if let Some(o) = self.obs.as_deref_mut() {
+                o.profiler.record(phase, ns);
+            }
+        }
+    }
+
+    /// Push a typed protocol event into the trace ring (no-op when
+    /// tracing is unarmed). Every call site is serial, deterministic
+    /// round code — which is what makes traces byte-identical across
+    /// re-runs and thread counts.
+    #[inline]
+    fn obs_emit(
+        &mut self,
+        round: u32,
+        kind: EventKind,
+        node: DhtId,
+        aux: u64,
+        cause: &'static str,
+    ) {
+        if let Some(o) = self.obs.as_deref_mut() {
+            o.emit(round, kind, node, aux, cause);
+        }
     }
 
     /// Dark-neighbourhood test: every connected neighbour is either dead
@@ -2849,9 +3011,15 @@ impl SystemSim {
             let newest = self.newest_emitted;
             let order_idx = &self.order_idx;
             let hot = &self.hot;
+            let prof = self
+                .obs
+                .as_deref()
+                .filter(|o| o.profiling())
+                .map(|o| &o.profiler);
             std::thread::scope(|s| {
                 for (plan_chunk, k_chunk) in plans.chunks_mut(chunk).zip(targets.chunks(chunk)) {
                     s.spawn(move || {
+                        let t0 = prof.map(|_| std::time::Instant::now());
                         let mut sched = SchedScratch::default();
                         for (slot, &k) in plan_chunk.iter_mut().zip(k_chunk) {
                             let idx = order_idx[k as usize];
@@ -2867,6 +3035,9 @@ impl SystemSim {
                                 Some(hot),
                             );
                             *slot = Some((std::mem::take(&mut sched.assignments), carry));
+                        }
+                        if let (Some(p), Some(t0)) = (prof, t0) {
+                            p.record_worker(WorkerPhase::Schedule, t0.elapsed().as_nanos() as u64);
                         }
                     });
                 }
@@ -2960,6 +3131,11 @@ impl SystemSim {
             if workers > 1 && !touched_suppliers.is_empty() {
                 let nodes = &self.nodes;
                 let config = &self.config;
+                let prof = self
+                    .obs
+                    .as_deref()
+                    .filter(|o| o.profiling())
+                    .map(|o| &o.profiler);
                 // Shared views for the worker closures (the exclusive
                 // borrows stay with the sliced-up request/plan arrays).
                 let queue_start: &[u32] = queue_start;
@@ -2986,6 +3162,7 @@ impl SystemSim {
                         rest_plans = tail;
                         plans_consumed = last + 1;
                         s.spawn(move || {
+                            let t0 = prof.map(|_| std::time::Instant::now());
                             for &slot in slots {
                                 let b0 = queue_start[slot as usize] as usize - run_start;
                                 let blen = queue_count[slot as usize] as usize;
@@ -2996,6 +3173,12 @@ impl SystemSim {
                                     slot,
                                     &mut run_reqs[b0..b0 + blen],
                                     &mut run_plans[slot as usize - first],
+                                );
+                            }
+                            if let (Some(p), Some(t0)) = (prof, t0) {
+                                p.record_worker(
+                                    WorkerPhase::ServicePlan,
+                                    t0.elapsed().as_nanos() as u64,
                                 );
                             }
                         });
@@ -3084,6 +3267,11 @@ impl SystemSim {
             if delivered_here > 0 {
                 svc.supplier_active += 1;
                 svc.supplier_peak = svc.supplier_peak.max(delivered_here);
+                if let Some(o) = self.obs.as_deref_mut() {
+                    if o.dist_active(round) {
+                        o.supplier_load.record(delivered_here);
+                    }
+                }
             }
         }
     }
@@ -3157,6 +3345,11 @@ impl SystemSim {
                 let maps = &scratch.maps;
                 let newest = self.newest_emitted;
                 let order_idx = &self.order_idx;
+                let prof = self
+                    .obs
+                    .as_deref()
+                    .filter(|o| o.profiling())
+                    .map(|o| &o.profiler);
                 // Shard the (ascending) active list into contiguous
                 // runs; each run owns a disjoint subslice of the
                 // k-indexed plan table — same discipline as
@@ -3173,6 +3366,7 @@ impl SystemSim {
                         rest_plans = tail;
                         consumed = last + 1;
                         s.spawn(move || {
+                            let t0 = prof.map(|_| std::time::Instant::now());
                             for &k in ks {
                                 plan_prefetch(
                                     nodes,
@@ -3182,6 +3376,12 @@ impl SystemSim {
                                     round,
                                     order_idx[k as usize],
                                     &mut run_plans[k as usize - first],
+                                );
+                            }
+                            if let (Some(p), Some(t0)) = (prof, t0) {
+                                p.record_worker(
+                                    WorkerPhase::PrefetchPlan,
+                                    t0.elapsed().as_nanos() as u64,
                                 );
                             }
                         });
@@ -3589,6 +3789,15 @@ impl SystemSim {
                         );
                         node.rate.forget(w);
                         partners_changed = true;
+                        if starving {
+                            self.obs_emit(
+                                round,
+                                EventKind::StarvationRewire,
+                                self_id,
+                                w.id,
+                                "starving",
+                            );
+                        }
                     }
                 }
             }
@@ -3615,6 +3824,7 @@ impl SystemSim {
         }
         self.rp.report_failure(id);
         self.dht.leave(id);
+        self.obs_emit(self.next_round, EventKind::Leave, id, 0, "graceful");
     }
 
     /// Abrupt failure: the node just vanishes (no handover).
@@ -3622,6 +3832,7 @@ impl SystemSim {
         self.nodes.remove_id(id);
         self.rp.report_failure(id);
         self.dht.leave(id);
+        self.obs_emit(self.next_round, EventKind::Leave, id, 0, "abrupt");
     }
 
     /// Crash failure (fault plane): the node goes silently dark. Unlike
@@ -3657,6 +3868,7 @@ impl SystemSim {
         for vi in 0..self.faults.victims.len() {
             let id = self.faults.victims[vi];
             self.crash(id);
+            self.obs_emit(self.next_round, EventKind::Crash, id, 0, "crash_rate");
         }
         self.rebuild_order();
     }
@@ -3811,6 +4023,13 @@ impl SystemSim {
                                     .push((sup, round + policy.evict_rounds));
                             }
                             self.faults.counters.failovers += 1;
+                            self.obs_emit(
+                                round,
+                                EventKind::SupplierFailover,
+                                e.requester,
+                                sup,
+                                "dark_supplier",
+                            );
                         }
                     }
                 }
@@ -3821,9 +4040,23 @@ impl SystemSim {
                 }
                 e.attempts += 1;
                 self.faults.counters.retries += 1;
+                self.obs_emit(
+                    round,
+                    EventKind::RetryBackoff,
+                    e.requester,
+                    e.segment,
+                    "supplier_timeout",
+                );
                 if self.retry_fetch(round, ridx, e.requester, e.segment, scratch, traffic) {
                     self.faults.counters.recoveries += 1;
                     self.faults.counters.recovery_rounds += (round - e.lost_round) as u64;
+                    self.obs_emit(
+                        round,
+                        EventKind::Rescue,
+                        e.requester,
+                        e.segment,
+                        "recovery_retry",
+                    );
                     break 'decide true;
                 }
                 let jitter = if policy.backoff_jitter_rounds > 0 {
@@ -4170,6 +4403,13 @@ impl SystemSim {
         }
         let successor = self.believed_successor(requester_id);
         self.nodes.node_mut(idx).backup.maybe_store(seg, successor);
+        self.obs_emit(
+            round,
+            EventKind::OriginFallback,
+            requester_id,
+            seg,
+            "replicas_exhausted",
+        );
         Some(rtt + transfer_ms + extra_delay_ms)
     }
 
@@ -4419,6 +4659,13 @@ impl SystemSim {
                 .join(id, &latency, rng)
                 .expect("RP-assigned ids are unique once the stale entry is gone");
         }
+        self.obs_emit(
+            round,
+            EventKind::JoinAdmitted,
+            id,
+            0,
+            if scenario { "scenario" } else { "churn" },
+        );
         true
     }
 

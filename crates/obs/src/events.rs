@@ -1,0 +1,192 @@
+//! Structured protocol event trace.
+//!
+//! A bounded ring of typed events emitted from the *deterministic*
+//! core only — every emission site runs in serial round code keyed
+//! off the simulation's own RNG streams, so a trace is byte-identical
+//! across re-runs and thread counts. Wall-clock never appears here
+//! (timings live in the profiler); the ring stores round + node +
+//! cause and exports as JSON-lines.
+//!
+//! The ring is pre-allocated at `enable_obs` time and overwrites the
+//! oldest event once full (counting drops), so pushing is
+//! allocation-free and a runaway scenario cannot balloon memory.
+
+/// Typed protocol events. Names are stable — they are the `event`
+/// field of the exported JSONL schema.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EventKind {
+    /// A joiner was admitted into the overlay (cause: "churn" for the
+    /// churn plan, "scenario" for scripted joins).
+    JoinAdmitted,
+    /// A node left (cause: "graceful" or "abrupt").
+    Leave,
+    /// A node was crashed (cause: "crash_rate" for the fault plane's
+    /// per-round rate, "scenario" for scripted crashes).
+    Crash,
+    /// Recovery declared a supplier dead and failed over (aux =
+    /// supplier id).
+    SupplierFailover,
+    /// A pending fetch was re-issued after timeout backoff (aux =
+    /// segment id).
+    RetryBackoff,
+    /// A recovery retry actually delivered the segment (aux = segment
+    /// id).
+    Rescue,
+    /// The origin (source) served a segment after replicas were
+    /// exhausted (aux = segment id).
+    OriginFallback,
+    /// Overlay maintenance replaced a weak partner on a starving node
+    /// (aux = replaced partner id).
+    StarvationRewire,
+    /// A scripted fault-plane stimulus was activated (cause:
+    /// "loss_burst", "partition", "rp_outage"; aux = duration in
+    /// rounds).
+    FaultInjected,
+}
+
+impl EventKind {
+    pub fn name(self) -> &'static str {
+        match self {
+            EventKind::JoinAdmitted => "join_admitted",
+            EventKind::Leave => "leave",
+            EventKind::Crash => "crash",
+            EventKind::SupplierFailover => "supplier_failover",
+            EventKind::RetryBackoff => "retry_backoff",
+            EventKind::Rescue => "rescue",
+            EventKind::OriginFallback => "origin_fallback",
+            EventKind::StarvationRewire => "starvation_rewire",
+            EventKind::FaultInjected => "fault_injected",
+        }
+    }
+}
+
+/// One traced event. `cause` is a static string so pushing never
+/// allocates.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TraceEvent {
+    pub round: u32,
+    pub kind: EventKind,
+    pub node: u64,
+    pub aux: u64,
+    pub cause: &'static str,
+}
+
+/// Fixed-capacity overwrite-oldest ring of [`TraceEvent`]s.
+pub struct EventRing {
+    buf: Vec<TraceEvent>,
+    start: usize,
+    cap: usize,
+    dropped: u64,
+}
+
+impl EventRing {
+    pub fn new(cap: usize) -> Self {
+        let cap = cap.max(1);
+        Self {
+            buf: Vec::with_capacity(cap),
+            start: 0,
+            cap,
+            dropped: 0,
+        }
+    }
+
+    #[inline]
+    pub fn push(&mut self, e: TraceEvent) {
+        if self.buf.len() < self.cap {
+            self.buf.push(e);
+        } else {
+            self.buf[self.start] = e;
+            self.start = (self.start + 1) % self.cap;
+            self.dropped += 1;
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Events evicted to make room (0 until the ring wraps).
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Iterate in chronological order (oldest retained first).
+    pub fn iter(&self) -> impl Iterator<Item = &TraceEvent> {
+        self.buf[self.start..]
+            .iter()
+            .chain(self.buf[..self.start].iter())
+    }
+
+    /// Export as JSON-lines. One object per line:
+    /// `{"round":R,"event":"K","node":N,"aux":A,"cause":"C"}`.
+    /// Deterministic: fixed key order, integers only, static causes.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::with_capacity(self.len() * 72);
+        for e in self.iter() {
+            out.push_str(&format!(
+                "{{\"round\":{},\"event\":\"{}\",\"node\":{},\"aux\":{},\"cause\":\"{}\"}}\n",
+                e.round,
+                e.kind.name(),
+                e.node,
+                e.aux,
+                e.cause
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(round: u32, node: u64) -> TraceEvent {
+        TraceEvent {
+            round,
+            kind: EventKind::Rescue,
+            node,
+            aux: 7,
+            cause: "recovery_retry",
+        }
+    }
+
+    #[test]
+    fn ring_overwrites_oldest_and_counts_drops() {
+        let mut r = EventRing::new(3);
+        for i in 0..5u32 {
+            r.push(ev(i, i as u64));
+        }
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.dropped(), 2);
+        let rounds: Vec<u32> = r.iter().map(|e| e.round).collect();
+        assert_eq!(rounds, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn jsonl_schema_is_stable() {
+        let mut r = EventRing::new(8);
+        r.push(ev(12, 99));
+        assert_eq!(
+            r.to_jsonl(),
+            "{\"round\":12,\"event\":\"rescue\",\"node\":99,\"aux\":7,\"cause\":\"recovery_retry\"}\n"
+        );
+    }
+
+    #[test]
+    fn push_within_capacity_does_not_reallocate() {
+        let mut r = EventRing::new(1024);
+        let ptr = r.buf.as_ptr();
+        for i in 0..4096u32 {
+            r.push(ev(i, 0));
+        }
+        assert_eq!(
+            r.buf.as_ptr(),
+            ptr,
+            "ring must never grow past its capacity"
+        );
+    }
+}

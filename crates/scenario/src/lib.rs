@@ -44,11 +44,13 @@
 //! ```
 
 pub mod engine;
+pub mod gate;
 pub mod metrics;
 pub mod parse;
 pub mod spec;
 
 pub use engine::{EngineStats, ScenarioEngine};
+pub use gate::{mean_continuity_gate, p99_continuity_gate};
 pub use metrics::{MetricsLog, MetricsRow};
 pub use parse::{parse_scenario, ParseError};
 pub use spec::{
@@ -56,7 +58,7 @@ pub use spec::{
     SpecError, TimedEvent, VcrModel,
 };
 
-use cs_core::{FaultTrace, RunReport, SystemSim, Telemetry};
+use cs_core::{FaultTrace, ObsConfig, ObsRunReport, RunReport, SystemSim, Telemetry};
 
 /// Everything one scenario run produces.
 #[derive(Debug, Clone, PartialEq)]
@@ -70,6 +72,9 @@ pub struct ScenarioOutcome {
     /// The per-round fault/recovery trace (empty unless the spec armed
     /// the fault plane); its digest is the run's fault fingerprint.
     pub fault_trace: FaultTrace,
+    /// The observability report (`None` unless the run was driven by
+    /// [`run_scenario_observed`]).
+    pub obs: Option<ObsRunReport>,
 }
 
 /// Run a scenario end to end: build the simulator from the spec's
@@ -80,8 +85,36 @@ pub struct ScenarioOutcome {
 /// # Panics
 /// If the spec does not [`validate`](ScenarioSpec::validate).
 pub fn run_scenario(spec: &ScenarioSpec) -> ScenarioOutcome {
+    drive(spec, None, |_| {})
+}
+
+/// [`run_scenario`] with the observability layer armed: the simulator
+/// collects per-phase timings, per-node distributions and the event
+/// trace per `obs_cfg`, and `on_round` fires after every stepped round
+/// (the live-monitor publish hook — it sees the simulator read-only).
+///
+/// Observation never perturbs behaviour: the `report` is bit-identical
+/// to the unobserved run's (obs consumes no RNG and mutates no
+/// protocol state), which the determinism suite pins.
+pub fn run_scenario_observed(
+    spec: &ScenarioSpec,
+    obs_cfg: ObsConfig,
+    on_round: impl FnMut(&SystemSim),
+) -> ScenarioOutcome {
+    drive(spec, Some(obs_cfg), on_round)
+}
+
+fn drive(
+    spec: &ScenarioSpec,
+    obs_cfg: Option<ObsConfig>,
+    mut on_round: impl FnMut(&SystemSim),
+) -> ScenarioOutcome {
     let mut sim = SystemSim::new(spec.config.clone());
     sim.enable_telemetry();
+    let observed = obs_cfg.is_some();
+    if let Some(cfg) = obs_cfg {
+        sim.enable_obs(cfg);
+    }
     let mut engine = ScenarioEngine::new(spec.clone());
     // Bound-check *before* driving: events scheduled at `rounds` or
     // later must not be applied (and counted in the stats) when no
@@ -91,9 +124,13 @@ pub fn run_scenario(spec: &ScenarioSpec) -> ScenarioOutcome {
         if !sim.step() {
             break;
         }
+        on_round(&sim);
     }
     let telemetry = sim.take_telemetry().unwrap_or_default();
     let fault_trace = sim.fault_trace().clone();
+    let obs = observed.then(|| sim.take_obs_report()).flatten();
+    // `finish` attaches the same cached distribution summary to
+    // `report.summary.dist`, so the exporters and the obs report agree.
     let report = sim.finish();
     let log = MetricsLog::new(spec, &report, &telemetry, engine.stats());
     ScenarioOutcome {
@@ -101,6 +138,7 @@ pub fn run_scenario(spec: &ScenarioSpec) -> ScenarioOutcome {
         telemetry,
         log,
         fault_trace,
+        obs,
     }
 }
 

@@ -14,6 +14,16 @@ use cs_core::{RoundRecord, RunReport, RunSummary, StartupSample, Telemetry, Tele
 use crate::engine::EngineStats;
 use crate::spec::{fnv1a, ScenarioSpec};
 
+/// JSON-safe float: non-finite values (an empty run's min, a vacuous
+/// mean) become `null` instead of bare `NaN`/`inf` tokens.
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:?}")
+    } else {
+        "null".to_string()
+    }
+}
+
 /// One merged metrics row: the paper metrics plus diagnostics.
 #[derive(Debug, Clone, PartialEq)]
 pub struct MetricsRow {
@@ -158,6 +168,27 @@ impl MetricsLog {
                 None => out.push_str(",,,,,,,,,,,,,,,,,,,\n"),
             }
         }
+        // Distribution trailer: comment lines (a `#` prefix, like the
+        // header-less gnuplot idiom) so obs-off exports stay
+        // byte-identical and obs-on exports stay one-file.
+        if let Some(d) = &self.summary.dist {
+            out.push_str(&format!(
+                "#dist,window_start_round,{},min_rounds,{},nodes_measured,{},nodes_excluded_short,{}\n",
+                d.window_start_round, d.min_rounds, d.nodes_measured, d.nodes_excluded_short
+            ));
+            out.push_str("#dist,name,count,min,p50,p95,p99,max,mean\n");
+            for (name, q) in [
+                ("continuity", &d.continuity),
+                ("runway", &d.runway),
+                ("startup_delay", &d.startup_delay),
+                ("supplier_load", &d.supplier_load),
+            ] {
+                out.push_str(&format!(
+                    "#dist,{},{},{:?},{:?},{:?},{:?},{:?},{:?}\n",
+                    name, q.count, q.min, q.p50, q.p95, q.p99, q.max, q.mean
+                ));
+            }
+        }
         out
     }
 
@@ -175,7 +206,8 @@ impl MetricsLog {
             "  \"summary\": {{\"stable_continuity\": {:?}, \"mean_continuity\": {:?}, \
              \"stabilization_secs\": {}, \"control_overhead\": {:?}, \
              \"prefetch_overhead\": {:?}, \"prefetch_attempts\": {}, \
-             \"prefetch_successes\": {}}},\n",
+             \"prefetch_successes\": {}, \"min_round_continuity\": {}, \
+             \"min_continuity_round\": {}}},\n",
             s.stable_continuity,
             s.mean_continuity,
             s.stabilization_secs
@@ -184,7 +216,36 @@ impl MetricsLog {
             s.prefetch_overhead,
             s.prefetch_attempts,
             s.prefetch_successes,
+            json_f64(s.min_round_continuity),
+            s.min_continuity_round,
         ));
+        if let Some(d) = &s.dist {
+            out.push_str(&format!(
+                "  \"distributions\": {{\"window_start_round\": {}, \"min_rounds\": {}, \
+                 \"nodes_measured\": {}, \"nodes_excluded_short\": {},\n",
+                d.window_start_round, d.min_rounds, d.nodes_measured, d.nodes_excluded_short,
+            ));
+            let q = |name: &str, q: &cs_core::Quantiles, last: bool| {
+                format!(
+                    "    \"{}\": {{\"count\": {}, \"min\": {}, \"p50\": {}, \"p95\": {}, \
+                     \"p99\": {}, \"max\": {}, \"mean\": {}}}{}\n",
+                    name,
+                    q.count,
+                    json_f64(q.min),
+                    json_f64(q.p50),
+                    json_f64(q.p95),
+                    json_f64(q.p99),
+                    json_f64(q.max),
+                    json_f64(q.mean),
+                    if last { "" } else { "," },
+                )
+            };
+            out.push_str(&q("continuity", &d.continuity, false));
+            out.push_str(&q("runway", &d.runway, false));
+            out.push_str(&q("startup_delay", &d.startup_delay, false));
+            out.push_str(&q("supplier_load", &d.supplier_load, true));
+            out.push_str("  },\n");
+        }
         let e = &self.engine;
         out.push_str(&format!(
             "  \"engine\": {{\"joins\": {}, \"joins_rejected\": {}, \"leaves\": {}, \
@@ -283,6 +344,25 @@ impl MetricsLog {
                 None => ", never stabilised".to_string(),
             }
         ));
+        if self.summary.min_round_continuity.is_finite() {
+            out.push_str(&format!(
+                "  worst round: continuity {:.4} at round {}\n",
+                self.summary.min_round_continuity, self.summary.min_continuity_round,
+            ));
+        }
+        if let Some(d) = &self.summary.dist {
+            out.push_str(&format!(
+                "  per-node continuity (window from round {}): p50 {:.4}, p95 {:.4}, \
+                 p99 {:.4}, min {:.4} over {} nodes ({} too short)\n",
+                d.window_start_round,
+                d.continuity.p50,
+                d.continuity.p95,
+                d.continuity.p99,
+                d.continuity.min,
+                d.nodes_measured,
+                d.nodes_excluded_short,
+            ));
+        }
         out.push_str(&format!(
             "  engine: {} joins (+{} rejected), {} leaves, {} seeks, {} pauses, {} resumes, {} capacity changes\n",
             self.engine.joins,

@@ -63,6 +63,7 @@ pub use cs_analysis as analysis;
 pub use cs_core as core;
 pub use cs_dht as dht;
 pub use cs_net as net;
+pub use cs_obs as obs;
 pub use cs_overlay as overlay;
 pub use cs_scenario as scenario;
 pub use cs_sim as sim;
@@ -78,10 +79,12 @@ pub mod prelude {
     };
     pub use cs_dht::{DhtId, DhtNetwork, IdSpace};
     pub use cs_net::{BandwidthProfile, NodeBandwidth, TrafficClass, TrafficCounter};
+    pub use cs_obs::{DistSummary, ObsConfig, ObsRunReport, Quantiles};
     pub use cs_overlay::ChurnConfig;
     pub use cs_scenario::{
-        parse_scenario, run_scenario, ArrivalModel, MetricsLog, NodeClass, Phase,
-        ScenarioEventKind, ScenarioSpec, SessionModel, TimedEvent, VcrModel,
+        mean_continuity_gate, p99_continuity_gate, parse_scenario, run_scenario,
+        run_scenario_observed, ArrivalModel, MetricsLog, NodeClass, Phase, ScenarioEventKind,
+        ScenarioSpec, SessionModel, TimedEvent, VcrModel,
     };
     pub use cs_sim::{RngTree, SimDuration, SimTime};
     pub use cs_trace::{Topology, TraceGenConfig, TraceGenerator};

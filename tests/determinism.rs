@@ -211,6 +211,51 @@ fn default_fault_plan_is_invisible() {
     }
 }
 
+/// Layer 2f: **obs-armed invisibility** — arming the observability
+/// layer in full (profiler + distribution histograms + event trace)
+/// must not perturb the simulated system at all: the stepped run
+/// reproduces the plain `run()` fingerprint for every scenario, and on
+/// the reference platform that is the pre-refactor pinned hash. The
+/// obs data itself lives outside the report's `Debug` surface (the
+/// summary's manual impl hides `dist`), so this also guards against
+/// anyone accidentally widening the fingerprint.
+#[test]
+fn armed_obs_layer_causes_no_behavioural_drift() {
+    for (name, config) in scenarios() {
+        let plain = fingerprint(&SystemSim::new(config.clone()).run());
+        let mut sim = SystemSim::new(config);
+        sim.enable_obs(ObsConfig::default());
+        while sim.step() {}
+        let obs = sim.take_obs_report().expect("obs was armed");
+        assert!(
+            obs.phases.iter().any(|p| p.count > 0),
+            "`{name}`: the armed profiler recorded no spans"
+        );
+        let report = sim.finish();
+        assert!(
+            report.summary.dist.is_some(),
+            "`{name}`: finish() must attach the distribution block"
+        );
+        let hash = fingerprint(&report);
+        assert_eq!(
+            hash, plain,
+            "`{name}`: armed obs drifted from plain run(): 0x{hash:016x}"
+        );
+        #[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+        {
+            let pin = PINNED_RUN_HASHES
+                .iter()
+                .find(|(n, _)| *n == name)
+                .expect("every scenario is pinned")
+                .1;
+            assert_eq!(
+                hash, pin,
+                "obs-armed drift in `{name}`: 0x{hash:016x} != pinned 0x{pin:016x}"
+            );
+        }
+    }
+}
+
 /// Layer 2e: a **large-overlay pin** — 8,000 nodes, five rounds — far
 /// above the legacy scenario sizes and the `parallel` feature's
 /// 128-node fan-out gate. Recorded from the visit-every-node round loop

@@ -292,6 +292,178 @@ fn apply_event_hooks_behave() {
     );
 }
 
+/// A committed fault-heavy scenario at reduced size: the workload the
+/// obs tests below need (crashes, loss, retries, churn) without the
+/// full CI-scale runtime.
+fn lossy_obs_spec() -> ScenarioSpec {
+    let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/scenarios");
+    let text = std::fs::read_to_string(format!("{dir}/lossy_churn.scn")).unwrap();
+    let mut spec = parse_scenario(&text).unwrap();
+    spec.config.nodes = 120;
+    spec.config.rounds = 60;
+    spec
+}
+
+/// Obs layer 1: the structured event trace and the distribution
+/// percentiles are **deterministic artifacts** — two runs of the same
+/// spec produce byte-identical trace JSONL, CSV and JSON exports, and
+/// the per-node continuity quantiles land in both the summary and the
+/// JSON export (lower-tail convention: p99 ≤ p95 ≤ p50).
+#[test]
+fn obs_trace_and_percentiles_reproduce_across_runs() {
+    let spec = lossy_obs_spec();
+    let a = run_scenario_observed(&spec, ObsConfig::default(), |_| {});
+    let b = run_scenario_observed(&spec, ObsConfig::default(), |_| {});
+    let oa = a.obs.as_ref().expect("obs armed");
+    let ob = b.obs.as_ref().expect("obs armed");
+    assert!(
+        oa.trace_events > 0,
+        "a fault-heavy run must emit trace events"
+    );
+    assert_eq!(oa.trace_dropped, 0, "default ring must hold this run");
+    assert_eq!(
+        oa.trace_jsonl, ob.trace_jsonl,
+        "event trace must be byte-identical across re-runs"
+    );
+    assert_eq!(a.log.to_csv(), b.log.to_csv());
+    assert_eq!(a.log.to_json(), b.log.to_json());
+
+    // Every trace line is one well-formed JSON object with the schema
+    // the docs promise.
+    for line in oa.trace_jsonl.lines() {
+        for key in [
+            "\"round\":",
+            "\"event\":",
+            "\"node\":",
+            "\"aux\":",
+            "\"cause\":",
+        ] {
+            assert!(line.contains(key), "trace line missing {key}: {line}");
+        }
+        assert!(line.starts_with('{') && line.ends_with('}'));
+    }
+
+    let dist = a.report.summary.dist.as_ref().expect("dist attached");
+    assert!(dist.continuity.count > 0, "nodes were measured");
+    assert!(
+        dist.continuity.p99 <= dist.continuity.p95 && dist.continuity.p95 <= dist.continuity.p50,
+        "lower-tail ordering: {:?}",
+        dist.continuity
+    );
+    let json = a.log.to_json();
+    assert!(
+        json.contains("\"distributions\"") && json.contains("\"p99\""),
+        "JSON export must carry the distribution block"
+    );
+    assert!(
+        a.log.to_csv().contains("#dist,"),
+        "CSV export must carry the #dist trailer"
+    );
+}
+
+/// Obs layer 2 (requires `--features parallel`): the trace is also
+/// **thread-count invariant** — every emission site lives in the
+/// serial deterministic section of the round, so forced 1/2/4/8-way
+/// fan-outs produce byte-identical traces and percentile exports.
+#[cfg(feature = "parallel")]
+#[test]
+fn obs_trace_is_thread_count_invariant() {
+    let mut spec = lossy_obs_spec();
+    spec.config.rounds = 40;
+    spec.config.parallel_threads = Some(1);
+    let base = run_scenario_observed(&spec, ObsConfig::default(), |_| {});
+    let base_obs = base.obs.as_ref().expect("obs armed");
+    assert!(base_obs.trace_events > 0);
+    for threads in [2usize, 4, 8] {
+        let mut s = spec.clone();
+        s.config.parallel_threads = Some(threads);
+        let run = run_scenario_observed(&s, ObsConfig::default(), |_| {});
+        let obs = run.obs.as_ref().expect("obs armed");
+        assert_eq!(
+            base_obs.trace_jsonl, obs.trace_jsonl,
+            "trace drift at {threads} threads"
+        );
+        // `spec_fingerprint` hashes the spec — which includes the
+        // forced `parallel_threads` itself — so it legitimately
+        // differs; everything else must not.
+        let strip = |json: String| {
+            json.lines()
+                .filter(|l| !l.contains("spec_fingerprint"))
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
+        assert_eq!(
+            strip(base.log.to_json()),
+            strip(run.log.to_json()),
+            "percentile export drift at {threads} threads"
+        );
+    }
+}
+
+/// Obs layer 3: the live monitoring endpoint serves a parseable
+/// Prometheus-style text exposition **during** a run — a client
+/// connecting mid-run gets the sample published for the round in
+/// flight, every line of it well-formed.
+#[test]
+fn monitor_endpoint_serves_parseable_exposition_during_run() {
+    use continustreaming::obs::{render_prometheus, serve, MonitorSample};
+    use std::io::{Read as _, Write as _};
+
+    let handle = serve("127.0.0.1:0").expect("bind monitor");
+    let addr = handle.addr();
+    let mut spec = lossy_obs_spec();
+    spec.config.rounds = 30;
+    let mut mid_run_body = String::new();
+    let outcome = run_scenario_observed(&spec, ObsConfig::default(), |sim| {
+        let mut s = MonitorSample::default();
+        if let Some(rec) = sim.records().last() {
+            s.round = rec.round as u64;
+            s.alive = rec.alive as u64;
+            s.playing = rec.playing as u64;
+            s.continuity = rec.continuity;
+        }
+        let (sched, prefetch) = sim.active_set_sizes();
+        s.active_sched = sched as u64;
+        s.active_prefetch = prefetch as u64;
+        if let Some(o) = sim.obs() {
+            s.dist = Some(o.partial_dist());
+            s.phases = o.profiler.rows();
+            s.trace_events = o.events.len() as u64;
+        }
+        handle.publish(render_prometheus(&s));
+        // Fetch from inside the run, once, mid-stream.
+        if s.round == 15 {
+            let mut stream = std::net::TcpStream::connect(addr).expect("connect mid-run");
+            stream.write_all(b"GET /metrics HTTP/1.0\r\n\r\n").unwrap();
+            let mut resp = String::new();
+            stream.read_to_string(&mut resp).unwrap();
+            assert!(resp.starts_with("HTTP/1.0 200"), "bad status: {resp}");
+            mid_run_body = resp
+                .split_once("\r\n\r\n")
+                .map(|(_, b)| b.to_string())
+                .unwrap_or_default();
+        }
+    });
+    assert_eq!(outcome.report.rounds.len(), 30);
+    assert!(!mid_run_body.is_empty(), "mid-run scrape returned no body");
+    assert!(mid_run_body.contains("cs_round 15"), "{mid_run_body}");
+    assert!(mid_run_body.contains("cs_continuity"));
+    assert!(mid_run_body.contains("cs_phase_mean_ns{"));
+    // Parseable exposition: every non-comment line is `name[{labels}] value`
+    // with a finite numeric value.
+    for line in mid_run_body.lines() {
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (name, value) = line.rsplit_once(' ').expect("metric line has a value");
+        assert!(!name.is_empty());
+        let v: f64 = value
+            .parse()
+            .unwrap_or_else(|_| panic!("bad value: {line}"));
+        assert!(v.is_finite(), "non-finite exposition value: {line}");
+    }
+}
+
 /// Golden-file stability of the CSV export: the header (incl. the
 /// policy-layer diagnostics `rescue_cap`, `suppressed_nodes`,
 /// `slack_used`) is pinned byte for byte, every row has exactly the

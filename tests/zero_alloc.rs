@@ -179,6 +179,41 @@ fn adaptive_policy_steady_state_allocates_nothing() {
     }
 }
 
+/// The fully armed observability layer preserves the guarantee:
+/// profiler spans (fixed per-phase histograms, one `Instant` per
+/// boundary), the distribution histograms (fixed-bucket, SoA per-node
+/// state grown amortised during warm-up) and the event ring
+/// (pre-allocated, overwrite-oldest) all work out of fixed storage
+/// once warm. Measurement starts after the distribution window opens,
+/// so every measured round records continuity / runway / supplier-load
+/// samples through the armed path.
+#[test]
+fn obs_armed_steady_state_allocates_nothing() {
+    let _guard = MEASURE_LOCK.lock().unwrap();
+    let mut sim = SystemSim::new(steady_state_config(
+        SchedulerKind::ContinuStreaming,
+        true,
+        100,
+    ));
+    sim.enable_obs(ObsConfig::default());
+    for round in 0..70 {
+        sim.debug_step(round);
+    }
+    // With 100 rounds the window opens at 100 - ceil(100/3) = 66: the
+    // measured rounds below all run with distribution recording live.
+    assert!(
+        sim.obs().expect("obs armed").dist_active(70),
+        "distribution window must be open before measurement starts"
+    );
+    for round in 70..95 {
+        let n = count_allocs(|| sim.debug_step(round));
+        assert_eq!(
+            n, 0,
+            "round {round}: armed obs layer must not allocate ({n} allocations)"
+        );
+    }
+}
+
 /// Control experiment: the counter itself works — building a simulator
 /// obviously allocates.
 #[test]
