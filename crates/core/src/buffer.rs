@@ -298,6 +298,15 @@ impl StreamBuffer {
         true
     }
 
+    /// The advertised window as raw wire parts: `(head, capacity,
+    /// bitmap words)`. This is the byte-level payload the live-network
+    /// twin's `Announce` messages carry — installing these parts into a
+    /// [`BufferMap`] via [`BufferMap::install_wire`] reproduces
+    /// [`Self::snapshot_into`] exactly.
+    pub fn wire_parts(&self) -> (SegmentId, u64, &[u64]) {
+        (self.head, self.capacity, &self.words)
+    }
+
     /// Snapshot the availability bitmap for the wire.
     pub fn to_map(&self) -> BufferMap {
         BufferMap {
@@ -376,6 +385,18 @@ impl BufferMap {
     /// One past the newest representable ID.
     pub fn end(&self) -> SegmentId {
         self.head + self.capacity
+    }
+
+    /// Overwrite this map from raw wire parts (a received `Announce`
+    /// payload), reusing the word allocation. The resulting map is
+    /// byte-identical to [`StreamBuffer::snapshot_into`] run against the
+    /// buffer the parts were read from — the equivalence the sim-vs-live
+    /// harness rests on.
+    pub fn install_wire(&mut self, head: SegmentId, capacity: u64, words: &[u64]) {
+        self.head = head;
+        self.capacity = capacity;
+        self.words.clear();
+        self.words.extend_from_slice(words);
     }
 
     /// Whether the peer advertises segment `id`.

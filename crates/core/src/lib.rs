@@ -67,7 +67,10 @@ pub use priority::{PriorityInput, PriorityPolicy, PriorityTerms};
 pub use rate::RateController;
 pub use retrieval::{RetrievalOutcome, RetrievalScratch, RetrievalSummary};
 pub use scheduler::{Assignment, ScheduleContext, SchedulerScratch, SegmentCandidate};
-pub use system::{EventOutcome, SeekTarget, SystemEvent, SystemSim};
+pub use system::{
+    EventOutcome, SeekTarget, SystemEvent, SystemSim, TwinAnnounce, TwinPendingRound, TwinViews,
+    TwinWireState,
+};
 pub use telemetry::{StartupSample, Telemetry, TelemetryRound};
 pub use urgent::{PrefetchCheck, PrefetchDecision, UrgentLine};
 

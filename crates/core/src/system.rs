@@ -359,6 +359,154 @@ impl MapStore {
             .filter(|s| s.stamp == self.stamp)
             .map(|s| &s.map)
     }
+
+    /// Install a *received* announcement into `idx`'s snapshot slot —
+    /// the live-network twin's replacement for [`Self::snapshot`]: the
+    /// bitmap comes off the wire instead of being read from the node's
+    /// live state. Mirrors the `(birth, epoch)` re-copy suppression, so
+    /// the install path has the same delta-encoding shape a real
+    /// network would use.
+    fn install_wire(&mut self, idx: NodeIdx, a: &TwinAnnounce) {
+        let snap = &mut self.snaps[idx.0 as usize];
+        if snap.birth != a.birth || snap.epoch != a.epoch {
+            snap.map.install_wire(a.head, a.capacity, &a.words);
+            snap.birth = a.birth;
+            snap.epoch = a.epoch;
+        }
+        snap.stamp = self.stamp;
+    }
+}
+
+/// One node's per-round buffer-map announcement as carried by the
+/// live-network twin's transport (`cs-twin`). This is the protocol's
+/// only continuous all-to-neighbours state flow: in the simulator the
+/// exchange phase reads every node's buffer directly; in the twin the
+/// same bytes travel as `Announce` messages and are installed back via
+/// [`SystemSim::twin_finish_round`]. `(birth, epoch)` carry the
+/// snapshot-reuse key so the install path can suppress redundant word
+/// copies exactly like the local exchange does.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TwinAnnounce {
+    /// Arena lifetime stamp of the announcing node (slot reuse guard).
+    pub birth: u64,
+    /// The announcing buffer's mutation epoch at emission time.
+    pub epoch: u64,
+    /// Window start of the advertised bitmap.
+    pub head: SegmentId,
+    /// Window size of the advertised bitmap.
+    pub capacity: u64,
+    /// The availability bitmap words.
+    pub words: Vec<u64>,
+    /// Whether the buffer was empty at emission (feeds the
+    /// dark-neighbourhood skip proof, which otherwise would read live
+    /// remote state).
+    pub is_empty: bool,
+}
+
+/// The round's delivered exchange views, indexed by arena slot — what
+/// the twin hands back to [`SystemSim::twin_finish_round`] after the
+/// transport delivered every announcement. Views are assembled from
+/// *received messages*; if the transport drops, delays past the round
+/// deadline, or corrupts an announcement, the installed view differs
+/// from the live state and the decision log diverges from the
+/// simulator's — which is exactly what the sim-vs-live equivalence
+/// harness detects.
+#[derive(Debug, Default, Clone)]
+pub struct TwinViews {
+    by_slot: Vec<Option<std::sync::Arc<TwinAnnounce>>>,
+}
+
+impl TwinViews {
+    /// Drop every view (start of a new round).
+    pub fn clear(&mut self) {
+        self.by_slot.clear();
+    }
+
+    /// Install the delivered announcement for `slot`.
+    pub fn install(&mut self, slot: u32, announce: std::sync::Arc<TwinAnnounce>) {
+        let slot = slot as usize;
+        if self.by_slot.len() <= slot {
+            self.by_slot.resize(slot + 1, None);
+        }
+        self.by_slot[slot] = Some(announce);
+    }
+
+    /// The delivered announcement for `slot`, if any.
+    pub fn get(&self, slot: u32) -> Option<&TwinAnnounce> {
+        self.by_slot.get(slot as usize).and_then(|s| s.as_deref())
+    }
+
+    /// Number of installed views.
+    pub fn len(&self) -> usize {
+        self.by_slot.iter().filter(|s| s.is_some()).count()
+    }
+
+    /// Whether no view is installed.
+    pub fn is_empty(&self) -> bool {
+        self.by_slot.iter().all(|s| s.is_none())
+    }
+}
+
+/// An in-flight round between [`SystemSim::twin_begin_round`] (phases
+/// 1–3: churn, emission, maintenance) and
+/// [`SystemSim::twin_finish_round`] (phase 4 onward: exchange through
+/// playback). Opaque: it carries the round's scratch state and
+/// profiler lap, and must be handed back to the same simulator.
+pub struct TwinPendingRound {
+    round: u32,
+    round_end: SimTime,
+    first_new: SegmentId,
+    scratch: RoundScratch,
+    traffic: TrafficCounter,
+    joins: usize,
+    leaves: usize,
+    olap: Lap,
+}
+
+impl TwinPendingRound {
+    /// The round index being executed.
+    pub fn round(&self) -> u32 {
+        self.round
+    }
+
+    /// The simulated time at which this round ends — the twin's
+    /// delivery deadline: announcements due after this instant miss
+    /// the round.
+    pub fn round_end(&self) -> SimTime {
+        self.round_end
+    }
+}
+
+/// One alive node's announcement-relevant state, lent to the visitor
+/// of [`SystemSim::twin_wire_states`]. Everything the twin needs to
+/// build this node's `Announce` payload ([`TwinAnnounce`]) and its
+/// outgoing link set, without cs-twin reaching into simulator
+/// internals.
+pub struct TwinWireState<'a> {
+    /// The node's DHT identifier (the wire-level address).
+    pub id: DhtId,
+    /// The node's arena slot — the key [`TwinViews`] is indexed by.
+    pub slot: u32,
+    /// Arena lifetime stamp (guards against same-round slot reuse).
+    pub birth: u64,
+    /// The buffer's mutation epoch (snapshot-reuse key).
+    pub epoch: u64,
+    /// Advertised window start.
+    pub head: SegmentId,
+    /// Advertised window size.
+    pub capacity: u64,
+    /// Availability bitmap words.
+    pub words: &'a [u64],
+    /// Whether the buffer is empty at emission time.
+    pub is_empty: bool,
+    /// Whether this node is the streaming source.
+    pub is_source: bool,
+    /// The node's ping latency in milliseconds (feeds per-link
+    /// latency in the twin's link catalogue).
+    pub ping_ms: f64,
+    /// Connected-neighbour ids in the overlay's deterministic order —
+    /// the announcement's recipient set.
+    pub neighbors: &'a [DhtId],
 }
 
 /// Reusable scratch for one node's scheduling pass.
@@ -1930,6 +2078,70 @@ impl SystemSim {
         self.next_round
     }
 
+    /// Live-network twin entry point: run phases 1–3 of the next round
+    /// (churn, source emission, neighbour maintenance) and hand back
+    /// the in-flight round token, or `None` once the configured number
+    /// of rounds has run. Between this call and
+    /// [`Self::twin_finish_round`] the twin reads every node's
+    /// announcement state via [`Self::twin_wire_states`], moves it
+    /// between nodes over its transport, and assembles the delivered
+    /// [`TwinViews`]. [`Self::step`] is exactly
+    /// `twin_begin_round` + `twin_finish_round` with the exchange
+    /// short-circuited to local reads — the decision code is shared,
+    /// which is what makes sim-vs-live equivalence a meaningful test.
+    pub fn twin_begin_round(&mut self) -> Option<TwinPendingRound> {
+        if self.next_round >= self.config.rounds {
+            return None;
+        }
+        let tau = SimDuration::from_secs_f64(self.config.period_secs);
+        let round = self.next_round;
+        let end = SimTime::ZERO + tau * (round as u64 + 1);
+        Some(self.round_prelude(round, end))
+    }
+
+    /// Finish a round begun with [`Self::twin_begin_round`]: run phase
+    /// 4 onward with the exchange reading the transport-delivered
+    /// `views` instead of live node state.
+    ///
+    /// # Panics
+    /// If `views` lacks an announcement for any alive node — a
+    /// faithful transport always self-delivers (the loopback copy),
+    /// so a hole is a runtime bug, not a protocol condition.
+    pub fn twin_finish_round(&mut self, pending: TwinPendingRound, views: &TwinViews) {
+        self.round_decide(pending, Some(views));
+        self.next_round += 1;
+    }
+
+    /// Visit every alive node's wire-level announcement state in the
+    /// deterministic ascending-id round order. Valid between
+    /// [`Self::twin_begin_round`] and [`Self::twin_finish_round`]:
+    /// phases 1–3 have run, so the states carry this round's emission
+    /// and the post-maintenance neighbour sets — exactly what the
+    /// simulator's own exchange phase would read.
+    pub fn twin_wire_states(&self, visit: &mut dyn FnMut(TwinWireState<'_>)) {
+        let mut neighbors: Vec<DhtId> = Vec::new();
+        for k in 0..self.order_idx.len() {
+            let idx = self.order_idx[k];
+            let node = self.nodes.node(idx);
+            neighbors.clear();
+            neighbors.extend(node.connected.ids().map(|p| p.id));
+            let (head, capacity, words) = node.buffer.wire_parts();
+            visit(TwinWireState {
+                id: node.id,
+                slot: idx.0,
+                birth: node.birth,
+                epoch: node.buffer.epoch(),
+                head,
+                capacity,
+                words,
+                is_empty: node.buffer.is_empty(),
+                is_source: node.is_source,
+                ping_ms: node.ping_ms,
+                neighbors: &neighbors,
+            });
+        }
+    }
+
     /// Consume the simulator and produce the report over every round
     /// stepped so far.
     ///
@@ -2333,8 +2545,20 @@ impl SystemSim {
 
     /// One scheduling period.
     fn step_round(&mut self, round: u32, round_end: SimTime) {
+        let pending = self.round_prelude(round, round_end);
+        self.round_decide(pending, None);
+    }
+
+    /// Phases 1–3 of a round — churn, source emission, neighbour
+    /// maintenance: everything that happens *before* the buffer-map
+    /// exchange, i.e. before any cross-node state flows. The returned
+    /// token carries the in-flight round; [`Self::step_round`] resumes
+    /// it immediately with [`Self::round_decide`], while the
+    /// live-network twin first moves the exchange over its transport
+    /// and resumes via [`Self::twin_finish_round`].
+    fn round_prelude(&mut self, round: u32, round_end: SimTime) -> TwinPendingRound {
         let mut scratch = std::mem::take(&mut self.scratch);
-        let mut traffic = TrafficCounter::new();
+        let traffic = TrafficCounter::new();
         let mut joins = 0usize;
         let mut leaves = 0usize;
         // Profiler lap: one `Instant::now()` per phase boundary when
@@ -2391,6 +2615,40 @@ impl SystemSim {
         self.maintain_neighbors(round, &mut scratch);
         self.obs_phase(ObsPhase::Maintain, &mut olap);
 
+        TwinPendingRound {
+            round,
+            round_end,
+            first_new,
+            scratch,
+            traffic,
+            joins,
+            leaves,
+            olap,
+        }
+    }
+
+    /// Phase 4 onward — from the buffer-map exchange through playback,
+    /// GC and record finalisation. With `views: None` the exchange
+    /// reads each node's live buffer directly (the simulator path, the
+    /// pinned historical behaviour). With `Some(views)` the exchange
+    /// installs the transport-delivered announcements instead: the
+    /// decisions are then made over *received* state, so any loss,
+    /// late delivery or corruption on the wire shows up as decision-log
+    /// divergence from the simulator.
+    fn round_decide(&mut self, pending: TwinPendingRound, views: Option<&TwinViews>) {
+        let TwinPendingRound {
+            round,
+            round_end,
+            first_new,
+            mut scratch,
+            mut traffic,
+            joins,
+            leaves,
+            mut olap,
+        } = pending;
+        // Pure config read — same value the prelude's emission phase used.
+        let p = self.config.demand_per_round();
+
         // --- 4. buffer-map exchange -----------------------------------------
         scratch.begin_round(round, self.nodes.slot_count());
         self.hot.ensure(self.nodes.slot_count());
@@ -2405,11 +2663,31 @@ impl SystemSim {
         for k in 0..self.order_idx.len() {
             let idx = self.order_idx[k];
             let node = self.nodes.node(idx);
-            scratch.maps.snapshot(idx, node);
-            // Recorded alongside the snapshot so the dark-neighbourhood
-            // skip proof reads what this round *advertises*, not a later
-            // buffer state.
-            self.hot.map_empty[idx.0 as usize] = node.buffer.is_empty();
+            match views {
+                None => {
+                    scratch.maps.snapshot(idx, node);
+                    // Recorded alongside the snapshot so the
+                    // dark-neighbourhood skip proof reads what this round
+                    // *advertises*, not a later buffer state.
+                    self.hot.map_empty[idx.0 as usize] = node.buffer.is_empty();
+                }
+                Some(v) => {
+                    // Twin path: the advertised map comes off the wire.
+                    // A missing or slot-reused view means the transport
+                    // failed to self-deliver — a runtime bug, not a
+                    // protocol condition, hence the hard assertions.
+                    let a = v.get(idx.0).unwrap_or_else(|| {
+                        panic!("twin round {round}: no delivered view for slot {}", idx.0)
+                    });
+                    assert_eq!(
+                        a.birth, node.birth,
+                        "twin round {round}: stale view for slot {} (arena slot reuse)",
+                        idx.0
+                    );
+                    scratch.maps.install_wire(idx, a);
+                    self.hot.map_empty[idx.0 as usize] = a.is_empty;
+                }
+            }
             if !node.is_source {
                 traffic.add(
                     TrafficClass::Control,

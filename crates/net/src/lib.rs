@@ -19,10 +19,12 @@
 
 pub mod accounting;
 pub mod bandwidth;
+pub mod link;
 pub mod message;
 
 pub use accounting::{OverheadReport, TrafficClass, TrafficCounter};
 pub use bandwidth::{
     BandwidthAssigner, BandwidthProfile, NodeBandwidth, PAPER_MEAN_KBPS, SOURCE_OUTBOUND_SEGMENTS,
 };
+pub use link::{LinkCatalog, LinkSpec};
 pub use message::{MessageSizes, SEGMENT_BITS_DEFAULT};

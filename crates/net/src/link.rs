@@ -1,0 +1,216 @@
+//! Per-link wire characteristics for the live-network twin.
+//!
+//! The twin's transport (`cs-twin`) needs a latency, loss probability
+//! and delay profile for every directed node pair — including pairs
+//! involving nodes that join mid-run. Storing an N×N matrix is out of
+//! the question at production node counts, so the catalogue computes
+//! every [`LinkSpec`] as a *pure function* of the endpoint ids and a
+//! seed: the same pair always gets the same spec, in any order of
+//! first use, on any thread, in any run with the same seed. That
+//! stability is what lets the sim-vs-live equivalence harness script
+//! latencies ("same seed + scripted latencies ⇒ same decisions")
+//! without shipping a latency table alongside the scenario.
+
+use cs_sim::{splitmix64, SimDuration};
+
+/// Wire characteristics of one (unordered) node pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LinkSpec {
+    /// One-way propagation delay for a message on this link.
+    pub latency: SimDuration,
+    /// Probability in [0, 1] that the transport drops a message
+    /// outright. Scaled to parts-per-million internally so the spec
+    /// stays `Eq` + hashable.
+    pub loss_ppm: u32,
+    /// Probability in [0, 1] that a (non-lost) message is held back by
+    /// [`LinkSpec::delay`] on top of its latency. Parts-per-million.
+    pub delay_ppm: u32,
+    /// Extra hold-back applied when the delay draw fires.
+    pub delay: SimDuration,
+}
+
+impl LinkSpec {
+    /// Loss probability as a float in [0, 1].
+    pub fn loss(&self) -> f64 {
+        self.loss_ppm as f64 / 1_000_000.0
+    }
+
+    /// Delay probability as a float in [0, 1].
+    pub fn delay_prob(&self) -> f64 {
+        self.delay_ppm as f64 / 1_000_000.0
+    }
+}
+
+/// Converts a probability in [0, 1] to parts-per-million, the integer
+/// resolution the catalogue stores.
+fn to_ppm(p: f64) -> u32 {
+    assert!(
+        (0.0..=1.0).contains(&p),
+        "link probability must be in [0, 1], got {p}"
+    );
+    (p * 1_000_000.0).round() as u32
+}
+
+/// A stateless per-link spec generator: `spec(a, b)` is a pure
+/// function of `(seed, {a, b})`, symmetric in the endpoints.
+///
+/// The latency model is `base + jitter·u` where `u ∈ [0, 1]` comes
+/// from one `splitmix64` draw keyed by the unordered pair — the same
+/// hash-not-RNG discipline the simulator uses for per-round salts, so
+/// no RNG stream is consumed and link lookups can happen in any order
+/// (or concurrently) without perturbing determinism.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LinkCatalog {
+    /// Latency floor every link pays.
+    pub base: SimDuration,
+    /// Upper bound of the deterministic per-pair latency spread.
+    pub jitter: SimDuration,
+    /// Loss probability applied to every link (parts-per-million).
+    pub loss_ppm: u32,
+    /// Delay probability applied to every link (parts-per-million).
+    pub delay_ppm: u32,
+    /// Hold-back applied when a delay draw fires.
+    pub delay: SimDuration,
+    /// Seed for the per-pair jitter hash.
+    pub seed: u64,
+}
+
+impl LinkCatalog {
+    /// Every link has exactly `latency`, no loss, no delay — the
+    /// scripted-latency profile the equivalence harness runs under.
+    pub fn uniform(latency: SimDuration) -> Self {
+        LinkCatalog {
+            base: latency,
+            jitter: SimDuration::ZERO,
+            loss_ppm: 0,
+            delay_ppm: 0,
+            delay: SimDuration::ZERO,
+            seed: 0,
+        }
+    }
+
+    /// Per-pair latencies spread deterministically over
+    /// `[base, base + jitter]`, keyed by `seed`.
+    pub fn jittered(base: SimDuration, jitter: SimDuration, seed: u64) -> Self {
+        LinkCatalog {
+            base,
+            jitter,
+            loss_ppm: 0,
+            delay_ppm: 0,
+            delay: SimDuration::ZERO,
+            seed,
+        }
+    }
+
+    /// Add a uniform loss probability to every link.
+    pub fn with_loss(mut self, p: f64) -> Self {
+        self.loss_ppm = to_ppm(p);
+        self
+    }
+
+    /// Add a uniform (probability, hold-back) delay profile to every
+    /// link.
+    pub fn with_delay(mut self, p: f64, delay: SimDuration) -> Self {
+        self.delay_ppm = to_ppm(p);
+        self.delay = delay;
+        self
+    }
+
+    /// The spec of the link between `a` and `b`, in either direction.
+    pub fn spec(&self, a: u64, b: u64) -> LinkSpec {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        let jitter = if self.jitter.is_zero() {
+            SimDuration::ZERO
+        } else {
+            let h = splitmix64(splitmix64(self.seed ^ lo).wrapping_add(hi.rotate_left(17)));
+            // Inclusive range [0, jitter]: modulo bias is bounded by
+            // span/2^64, irrelevant at microsecond spans.
+            SimDuration::from_micros(h % (self.jitter.as_micros() + 1))
+        };
+        LinkSpec {
+            latency: self.base + jitter,
+            loss_ppm: self.loss_ppm,
+            delay_ppm: self.delay_ppm,
+            delay: self.delay,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_links_are_flat() {
+        let cat = LinkCatalog::uniform(SimDuration::from_millis(50));
+        for (a, b) in [(1u64, 2u64), (7, 9), (1000, 3)] {
+            let s = cat.spec(a, b);
+            assert_eq!(s.latency, SimDuration::from_millis(50));
+            assert_eq!(s.loss_ppm, 0);
+            assert_eq!(s.delay_ppm, 0);
+        }
+    }
+
+    #[test]
+    fn specs_are_symmetric_and_stable() {
+        let cat = LinkCatalog::jittered(
+            SimDuration::from_millis(10),
+            SimDuration::from_millis(40),
+            0xC0FFEE,
+        );
+        for (a, b) in [(1u64, 2u64), (42, 9000), (5, 5)] {
+            assert_eq!(cat.spec(a, b), cat.spec(b, a), "({a}, {b})");
+            assert_eq!(cat.spec(a, b), cat.spec(a, b), "({a}, {b}) repeat");
+        }
+    }
+
+    #[test]
+    fn jitter_stays_in_band_and_actually_spreads() {
+        let base = SimDuration::from_millis(10);
+        let jitter = SimDuration::from_millis(40);
+        let cat = LinkCatalog::jittered(base, jitter, 7);
+        let mut distinct = std::collections::HashSet::new();
+        for a in 0u64..40 {
+            let s = cat.spec(a, a + 1);
+            assert!(s.latency >= base && s.latency <= base + jitter);
+            distinct.insert(s.latency.as_micros());
+        }
+        assert!(
+            distinct.len() > 20,
+            "40 pairs produced only {} distinct latencies",
+            distinct.len()
+        );
+    }
+
+    #[test]
+    fn seed_changes_the_draw() {
+        let base = SimDuration::from_millis(10);
+        let jitter = SimDuration::from_millis(40);
+        let a = LinkCatalog::jittered(base, jitter, 1);
+        let b = LinkCatalog::jittered(base, jitter, 2);
+        let differing = (0u64..32)
+            .filter(|&i| a.spec(i, i + 1) != b.spec(i, i + 1))
+            .count();
+        assert!(
+            differing > 16,
+            "only {differing}/32 pairs differ across seeds"
+        );
+    }
+
+    #[test]
+    fn loss_and_delay_knobs_round_trip() {
+        let cat = LinkCatalog::uniform(SimDuration::from_millis(5))
+            .with_loss(0.01)
+            .with_delay(0.02, SimDuration::from_millis(200));
+        let s = cat.spec(3, 4);
+        assert!((s.loss() - 0.01).abs() < 1e-9);
+        assert!((s.delay_prob() - 0.02).abs() < 1e-9);
+        assert_eq!(s.delay, SimDuration::from_millis(200));
+    }
+
+    #[test]
+    #[should_panic(expected = "must be in [0, 1]")]
+    fn out_of_range_probability_panics() {
+        let _ = LinkCatalog::uniform(SimDuration::ZERO).with_loss(1.5);
+    }
+}

@@ -30,7 +30,9 @@ pub mod profiler;
 pub use dist::{DistSummary, NodeContinuity, Quantiles};
 pub use events::{EventKind, EventRing, TraceEvent};
 pub use hist::{Log2Hist, UnitHist};
-pub use monitor::{render_prometheus, serve, MonitorHandle, MonitorSample};
+pub use monitor::{
+    render_prometheus, render_twin_nodes, serve, MonitorHandle, MonitorSample, TwinNodeRow,
+};
 pub use profiler::{Lap, Phase, PhaseRow, Profiler, WorkerPhase};
 
 /// Configuration for [`ObsState`]. `Default` arms all three in-core

@@ -244,9 +244,96 @@ pub fn render_prometheus(s: &MonitorSample) -> String {
     out
 }
 
+/// Per-node transport counters of one live-network twin node, as
+/// rendered by [`render_twin_nodes`]. The twin runtime fills these;
+/// cs-obs only defines the row shape and the exposition so the twin's
+/// per-node metrics ride the same endpoint as the simulator's.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TwinNodeRow {
+    /// Node id (the `node` label).
+    pub node: u64,
+    /// Announcements handed to the transport.
+    pub sent: u64,
+    /// Envelopes delivered inside their round.
+    pub received: u64,
+    /// Envelopes that missed their round deadline.
+    pub late: u64,
+    /// Received copies differing from the sender's canonical payload.
+    pub divergences: u64,
+}
+
+/// Render per-twin-node transport counters as Prometheus-style text,
+/// one labelled series per node and counter. Append to a
+/// [`render_prometheus`] body to publish both through one endpoint.
+pub fn render_twin_nodes(rows: &[TwinNodeRow]) -> String {
+    if rows.is_empty() {
+        return String::new();
+    }
+    let mut out = String::with_capacity(64 * rows.len());
+    for (name, help, get) in [
+        (
+            "cs_twin_node_sent",
+            "Announcements handed to the transport",
+            (|r: &TwinNodeRow| r.sent) as fn(&TwinNodeRow) -> u64,
+        ),
+        (
+            "cs_twin_node_received",
+            "Envelopes delivered inside their round",
+            |r| r.received,
+        ),
+        (
+            "cs_twin_node_late",
+            "Envelopes that missed their round deadline",
+            |r| r.late,
+        ),
+        (
+            "cs_twin_node_divergences",
+            "Received copies differing from the canonical payload",
+            |r| r.divergences,
+        ),
+    ] {
+        out.push_str(&format!("# HELP {name} {help}\n# TYPE {name} counter\n"));
+        for row in rows {
+            out.push_str(&format!("{name}{{node=\"{}\"}} {}\n", row.node, get(row)));
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn twin_rows_render_as_labelled_counters() {
+        let rows = [
+            TwinNodeRow {
+                node: 17,
+                sent: 160,
+                received: 155,
+                late: 3,
+                divergences: 0,
+            },
+            TwinNodeRow {
+                node: 42,
+                sent: 80,
+                received: 80,
+                late: 0,
+                divergences: 1,
+            },
+        ];
+        let body = render_twin_nodes(&rows);
+        assert!(body.contains("cs_twin_node_sent{node=\"17\"} 160\n"));
+        assert!(body.contains("cs_twin_node_late{node=\"17\"} 3\n"));
+        assert!(body.contains("cs_twin_node_divergences{node=\"42\"} 1\n"));
+        // Same line grammar as the main exposition.
+        for line in body.lines().filter(|l| !l.starts_with('#')) {
+            let mut parts = line.rsplitn(2, ' ');
+            assert!(parts.next().unwrap().parse::<f64>().is_ok(), "{line:?}");
+            assert!(parts.next().is_some(), "{line:?}");
+        }
+        assert!(render_twin_nodes(&[]).is_empty());
+    }
 
     #[test]
     fn serves_latest_published_snapshot() {

@@ -342,6 +342,19 @@ fn parse_phase(lineno: usize, tokens: &[&str], spec: &mut ScenarioSpec) -> Resul
         parse_num(lineno, "phase start", start)?,
         parse_num(lineno, "phase end", end)?,
     );
+    // Reject empty ranges here with the line number, not later in
+    // `validate` (which can only say "phase i"): a zero-round phase
+    // (`5..5`) is always a spec typo, and `end` is exclusive so it
+    // can never fire.
+    if phase.start >= phase.end {
+        return err(
+            lineno,
+            format!(
+                "phase range `{}`: empty (start must be < end; end is exclusive)",
+                tokens[1]
+            ),
+        );
+    }
     reject_duplicate_keys(lineno, &tokens[2..])?;
     for token in &tokens[2..] {
         let (k, v) = kv(token);
@@ -857,5 +870,46 @@ at 30 capacity_shift fraction=0.3 class=dsl
         assert!(parse_scenario("at 5 partition_arc fraction=2.0 rounds=3\n").is_err());
         assert!(parse_scenario("at 5 rp_outage rounds=0\n").is_err());
         assert!(parse_scenario("phase 0..5 loss=1.5\n").is_err());
+    }
+
+    #[test]
+    fn zero_round_phase_is_rejected_with_line_number() {
+        // `5..5` spans zero rounds (end is exclusive): always a typo,
+        // and it must fail at the offending line — not later in
+        // `validate`, which cannot name the line.
+        let e = parse_scenario("nodes = 50\nrounds = 40\nphase 5..5 pause=0.1\n").unwrap_err();
+        assert_eq!(e.line, 3);
+        assert!(
+            e.message.contains("empty") && e.message.contains("5..5"),
+            "{}",
+            e.message
+        );
+        // Inverted ranges take the same path.
+        let e = parse_scenario("phase 9..3\n").unwrap_err();
+        assert_eq!(e.line, 1);
+        assert!(e.message.contains("empty"), "{}", e.message);
+        // One round is the smallest legal phase.
+        assert!(parse_scenario("rounds = 40\nphase 5..6 pause=0.1\n").is_ok());
+    }
+
+    #[test]
+    fn trailing_garbage_numeric_suffixes_are_rejected_with_line_numbers() {
+        // `str::parse` is strict, so `40x` must die at the token with
+        // the line number — pinned here so a future lenient parser
+        // cannot silently truncate.
+        let e = parse_scenario("nodes = 50\nphase 0..40x\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(
+            e.message.contains("phase end") && e.message.contains("40x"),
+            "{}",
+            e.message
+        );
+        let e = parse_scenario("phase 0x..40\n").unwrap_err();
+        assert!(e.message.contains("phase start"), "{}", e.message);
+        let e = parse_scenario("nodes = 50abc\n").unwrap_err();
+        assert_eq!(e.line, 1);
+        assert!(e.message.contains("nodes"), "{}", e.message);
+        let e = parse_scenario("at 5x flash_crowd count=3\n").unwrap_err();
+        assert!(e.message.contains("event round"), "{}", e.message);
     }
 }

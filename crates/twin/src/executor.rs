@@ -1,0 +1,85 @@
+//! The twin's hand-rolled deterministic executor.
+//!
+//! No tokio in this offline environment, and nothing here needs it: a
+//! round's per-node work (building announcements, folding inboxes) is
+//! data-parallel with no cross-node dependencies, so a scoped
+//! fork-join over *contiguous index shards* is the whole executor.
+//! Results are merged back in shard order, so the output `Vec` is
+//! positionally identical at every worker count — the property
+//! `tests/determinism.rs` pins for full runs.
+
+/// Apply `f` to every item, fanning the index range out over
+/// `workers` contiguous shards, and return the results in item order.
+/// `f` receives the item's global index. `workers <= 1` (or a tiny
+/// input) runs serially on the caller's thread.
+pub fn fan_out<T, R, F>(workers: usize, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let n = items.len();
+    let workers = workers.max(1).min(n.max(1));
+    if workers <= 1 || n <= 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    // Contiguous shards: the first `rem` shards take one extra item,
+    // exactly covering the range. Shard boundaries depend only on
+    // (n, workers) — never on timing.
+    let base = n / workers;
+    let rem = n % workers;
+    let mut out = Vec::with_capacity(n);
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(workers);
+        let mut start = 0usize;
+        for w in 0..workers {
+            let len = base + usize::from(w < rem);
+            let shard = &items[start..start + len];
+            let offset = start;
+            let f = &f;
+            handles.push(scope.spawn(move || {
+                shard
+                    .iter()
+                    .enumerate()
+                    .map(|(i, t)| f(offset + i, t))
+                    .collect::<Vec<R>>()
+            }));
+            start += len;
+        }
+        // Join in spawn (= shard) order: the merge is the serial,
+        // order-defining step.
+        for h in handles {
+            out.extend(h.join().expect("twin executor worker panicked"));
+        }
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_worker_counts_agree_positionally() {
+        let items: Vec<u64> = (0..1013).collect();
+        let serial = fan_out(1, &items, |i, &x| (i as u64) * 31 + x * x);
+        for workers in [2, 3, 4, 8, 16, 2000] {
+            let par = fan_out(workers, &items, |i, &x| (i as u64) * 31 + x * x);
+            assert_eq!(serial, par, "{workers} workers diverged");
+        }
+    }
+
+    #[test]
+    fn empty_and_single_inputs() {
+        let empty: Vec<u32> = Vec::new();
+        assert!(fan_out(4, &empty, |_, &x| x).is_empty());
+        assert_eq!(fan_out(4, &[9u32], |i, &x| (i, x)), vec![(0, 9)]);
+    }
+
+    #[test]
+    fn indices_are_global() {
+        let items = vec![(); 37];
+        let idxs = fan_out(5, &items, |i, _| i);
+        assert_eq!(idxs, (0..37).collect::<Vec<_>>());
+    }
+}

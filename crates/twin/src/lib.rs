@@ -1,0 +1,68 @@
+//! # cs-twin — the live-network twin, v0
+//!
+//! The ROADMAP's path off the simulator clock: run the ContinuStreaming
+//! protocol as message-exchanging node tasks over a transport, while
+//! the deterministic `cs-core` round logic stays the single source of
+//! protocol truth. Three pieces:
+//!
+//! * [`transport`] — typed protocol messages ([`WireMsg`] /
+//!   [`Envelope`]) behind a [`Transport`] trait with per-link latency,
+//!   loss and delay hooks; [`InProcTransport`] is the deterministic
+//!   in-process implementation (real sockets are a follow-up with the
+//!   same trait).
+//! * [`clock`] / [`executor`] — a [`VirtualClock`] (time moves only at
+//!   delivery instants and round barriers) and a hand-rolled scoped
+//!   fork-join executor whose shard-order merge makes every fan-out
+//!   positionally deterministic at any worker count. Std-only; no
+//!   tokio.
+//! * [`runtime`] — the round-lockstep driver: each node announces its
+//!   buffer map to itself (loopback) and its neighbours, the transport
+//!   delivers in a unique total `(due, round, src, seq)` order, and
+//!   the simulator core decides the round over the *delivered* views
+//!   via `SystemSim::twin_begin_round` / `twin_finish_round`.
+//!
+//! ## The equivalence contract
+//!
+//! With a faithful transport (every announcement delivered unmodified
+//! inside its round — e.g. [`LinkCatalog::uniform`] latency below the
+//! round period, no loss), a twin run's decision log (the structured
+//! event trace), fault trace, report and metrics exports are
+//! **byte-identical** to `cs_scenario::run_scenario`'s under the same
+//! spec — at every worker count. `tests/twin_equivalence.rs` locks
+//! this down, including runs with the PR-6 fault plane armed (crashes
+//! and per-path loss/delay replay identically because the fault
+//! stream stays core-side), and proves non-vacuity with a corrupting
+//! transport that must diverge.
+//!
+//! ```
+//! use cs_core::SystemConfig;
+//! use cs_scenario::{run_scenario, ScenarioSpec};
+//! use cs_twin::{run_twin, TwinConfig};
+//!
+//! let spec = ScenarioSpec::null(
+//!     "twin-demo",
+//!     SystemConfig { nodes: 40, rounds: 10, startup_segments: 20, seed: 3,
+//!                    ..SystemConfig::default() },
+//! );
+//! let sim = run_scenario(&spec);
+//! let twin = run_twin(&spec, &TwinConfig::default());
+//! assert_eq!(sim.report, twin.outcome.report);
+//! assert_eq!(twin.divergences, 0);
+//! ```
+
+pub mod clock;
+pub mod executor;
+pub mod runtime;
+pub mod transport;
+
+pub use clock::VirtualClock;
+pub use executor::fan_out;
+pub use runtime::{
+    drive_twin_over, run_twin, run_twin_observed, TwinConfig, TwinNodeStats, TwinOutcome,
+    TwinRoundStats,
+};
+pub use transport::{Envelope, InProcTransport, MsgBody, Transport, TransportStats, WireMsg};
+
+// Re-exported so twin users name the link profile without a direct
+// cs-net dependency.
+pub use cs_net::{LinkCatalog, LinkSpec};

@@ -1,0 +1,337 @@
+//! Typed protocol messages and the transport abstraction.
+//!
+//! A [`Transport`] accepts [`WireMsg`]s and later yields them back as
+//! [`Envelope`]s in a *unique total order*: `(due, round, src, seq)`,
+//! where `seq` is a per-transport send counter. Because the order is
+//! total and depends only on what was sent (never on thread timing),
+//! any runtime draining the transport serially observes the same
+//! delivery sequence — the foundation of the twin's bit-identical
+//! runs at every worker count.
+//!
+//! [`InProcTransport`] is the v0 implementation: an in-process
+//! delay-queue with per-link latency from a [`LinkCatalog`] and
+//! optional loss/delay hooks drawn from the same RNG derivation the
+//! simulator's fault plane uses (`RngTree::new(seed).child("faults")`
+//! — pinned by a property test). Real-socket transports are a
+//! follow-up; they implement the same trait.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use std::sync::Arc;
+
+use cs_core::TwinAnnounce;
+use cs_dht::DhtId;
+use cs_net::LinkCatalog;
+use cs_sim::{RngTree, SimRng, SimTime};
+use rand::Rng;
+
+/// Payload of a protocol message.
+#[derive(Debug, Clone)]
+pub enum MsgBody {
+    /// A per-round buffer-map announcement (the exchange phase's
+    /// traffic — the protocol's only continuous cross-node state
+    /// flow).
+    Announce(Arc<TwinAnnounce>),
+}
+
+/// One protocol message as handed to a [`Transport`].
+#[derive(Debug, Clone)]
+pub struct WireMsg {
+    /// Sender id. `src == dst` marks the loopback self-delivery every
+    /// node performs (its own announcement enters its round view
+    /// through the same path as everyone else's).
+    pub src: DhtId,
+    /// Receiver id.
+    pub dst: DhtId,
+    /// The protocol round the message belongs to.
+    pub round: u32,
+    /// The payload.
+    pub body: MsgBody,
+}
+
+/// A message queued for (or popped at) delivery. Ordered by
+/// `(due, round, src, seq)`; `seq` is unique per transport, so the
+/// order is total and ties cannot exist.
+#[derive(Debug, Clone)]
+pub struct Envelope {
+    /// Delivery instant.
+    pub due: SimTime,
+    /// Round the message belongs to (copied out of the message for
+    /// ordering without chasing the payload).
+    pub round: u32,
+    /// Sender id (ordering tie-break).
+    pub src: DhtId,
+    /// Per-transport send counter (final, unique tie-break).
+    pub seq: u64,
+    /// The message itself.
+    pub msg: WireMsg,
+}
+
+impl Envelope {
+    fn key(&self) -> (SimTime, u32, DhtId, u64) {
+        (self.due, self.round, self.src, self.seq)
+    }
+}
+
+impl PartialEq for Envelope {
+    fn eq(&self, other: &Self) -> bool {
+        self.key() == other.key()
+    }
+}
+
+impl Eq for Envelope {}
+
+impl PartialOrd for Envelope {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Envelope {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.key().cmp(&other.key())
+    }
+}
+
+/// Cumulative transport counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TransportStats {
+    /// Messages handed to `send` (including loopback and lost ones).
+    pub sent: u64,
+    /// Loopback self-deliveries among `sent`.
+    pub loopback: u64,
+    /// Envelopes popped by `poll`.
+    pub delivered: u64,
+    /// Messages dropped by the loss hook.
+    pub lost: u64,
+    /// Messages held back by the delay hook (still delivered, later).
+    pub delayed: u64,
+}
+
+/// Moves typed protocol messages between nodes with per-link latency,
+/// loss and delay. Implementations must deliver in the total
+/// `(due, round, src, seq)` envelope order.
+pub trait Transport {
+    /// Accept `msg` at instant `now`. The transport decides the fate
+    /// of the message (delivery time, loss, extra delay) — except for
+    /// loopback (`src == dst`), which is delivered at `now` unharmed:
+    /// a node's own state never crosses a wire.
+    fn send(&mut self, now: SimTime, msg: WireMsg);
+
+    /// The due instant of the earliest queued envelope, if any.
+    fn next_due(&self) -> Option<SimTime>;
+
+    /// Pop the earliest queued envelope if it is due at or before
+    /// `deadline`.
+    fn poll(&mut self, deadline: SimTime) -> Option<Envelope>;
+
+    /// Counters so far.
+    fn stats(&self) -> TransportStats;
+}
+
+/// The deterministic in-process transport: a delay-queue over a
+/// [`LinkCatalog`].
+pub struct InProcTransport {
+    links: LinkCatalog,
+    queue: BinaryHeap<std::cmp::Reverse<Envelope>>,
+    rng: SimRng,
+    seq: u64,
+    stats: TransportStats,
+}
+
+impl InProcTransport {
+    /// A transport over `links`, with its loss/delay draws rooted at
+    /// `seed` — specifically at `RngTree::new(seed).child("faults")`,
+    /// the *same* derivation the simulator's fault plane uses, so a
+    /// twin run with wire-level faults consumes a stream bit-identical
+    /// to the one a sim run with an armed `FaultPlan` would. (With the
+    /// catalogue's loss/delay knobs at zero — the equivalence
+    /// profile — no draw is ever taken.)
+    pub fn new(links: LinkCatalog, seed: u64) -> Self {
+        InProcTransport {
+            links,
+            queue: BinaryHeap::new(),
+            rng: RngTree::new(seed).child("faults"),
+            seq: 0,
+            stats: TransportStats::default(),
+        }
+    }
+
+    fn push(&mut self, due: SimTime, msg: WireMsg) {
+        let env = Envelope {
+            due,
+            round: msg.round,
+            src: msg.src,
+            seq: self.seq,
+            msg,
+        };
+        self.seq += 1;
+        self.queue.push(std::cmp::Reverse(env));
+    }
+}
+
+impl Transport for InProcTransport {
+    fn send(&mut self, now: SimTime, msg: WireMsg) {
+        self.stats.sent += 1;
+        if msg.src == msg.dst {
+            self.stats.loopback += 1;
+            self.push(now, msg);
+            return;
+        }
+        let spec = self.links.spec(msg.src, msg.dst);
+        // Draw order (loss, then delay) is part of the wire contract:
+        // reordering it would shift the stream. Knobs at zero take no
+        // draw, so arming one hook never perturbs the other's stream
+        // position across runs with the same knob set.
+        if spec.loss_ppm > 0 && self.rng.gen::<f64>() < spec.loss() {
+            self.stats.lost += 1;
+            return;
+        }
+        let mut due = now + spec.latency;
+        if spec.delay_ppm > 0 && self.rng.gen::<f64>() < spec.delay_prob() {
+            self.stats.delayed += 1;
+            due += spec.delay;
+        }
+        self.push(due, msg);
+    }
+
+    fn next_due(&self) -> Option<SimTime> {
+        self.queue.peek().map(|std::cmp::Reverse(e)| e.due)
+    }
+
+    fn poll(&mut self, deadline: SimTime) -> Option<Envelope> {
+        if self
+            .queue
+            .peek()
+            .is_some_and(|std::cmp::Reverse(e)| e.due <= deadline)
+        {
+            let env = self.queue.pop().expect("peeked").0;
+            self.stats.delivered += 1;
+            Some(env)
+        } else {
+            None
+        }
+    }
+
+    fn stats(&self) -> TransportStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cs_sim::SimDuration;
+
+    fn announce() -> MsgBody {
+        MsgBody::Announce(Arc::new(TwinAnnounce {
+            birth: 0,
+            epoch: 0,
+            head: 1,
+            capacity: 8,
+            words: vec![0b1],
+            is_empty: false,
+        }))
+    }
+
+    fn msg(src: DhtId, dst: DhtId, round: u32) -> WireMsg {
+        WireMsg {
+            src,
+            dst,
+            round,
+            body: announce(),
+        }
+    }
+
+    #[test]
+    fn delivers_in_due_then_sender_then_seq_order() {
+        let mut t = InProcTransport::new(
+            LinkCatalog::jittered(
+                SimDuration::from_millis(10),
+                SimDuration::from_millis(40),
+                99,
+            ),
+            7,
+        );
+        let now = SimTime::ZERO;
+        for src in [5u64, 3, 9, 1] {
+            t.send(now, msg(src, 100, 0));
+            t.send(now, msg(src, 101, 0));
+        }
+        let mut prev: Option<(SimTime, u32, DhtId, u64)> = None;
+        let mut count = 0;
+        while let Some(e) = t.poll(SimTime::MAX) {
+            let key = (e.due, e.round, e.src, e.seq);
+            if let Some(p) = prev {
+                assert!(key > p, "delivery order regressed: {key:?} after {p:?}");
+            }
+            prev = Some(key);
+            count += 1;
+        }
+        assert_eq!(count, 8);
+    }
+
+    #[test]
+    fn nothing_delivered_before_due() {
+        let lat = SimDuration::from_millis(50);
+        let mut t = InProcTransport::new(LinkCatalog::uniform(lat), 1);
+        t.send(SimTime::ZERO, msg(1, 2, 0));
+        assert_eq!(t.next_due(), Some(SimTime::ZERO + lat));
+        assert!(t.poll(SimTime::from_millis(49)).is_none());
+        let e = t.poll(SimTime::from_millis(50)).expect("due now");
+        assert_eq!(e.due, SimTime::from_millis(50));
+    }
+
+    #[test]
+    fn loopback_bypasses_wire_and_faults() {
+        // 100% loss: every non-loopback message dies, loopback never.
+        let cat = LinkCatalog::uniform(SimDuration::from_millis(50)).with_loss(1.0);
+        let mut t = InProcTransport::new(cat, 3);
+        t.send(SimTime::from_secs(1), msg(7, 7, 0));
+        t.send(SimTime::from_secs(1), msg(7, 8, 0));
+        let e = t.poll(SimTime::MAX).expect("loopback survives");
+        assert_eq!((e.src, e.msg.dst), (7, 7));
+        assert_eq!(e.due, SimTime::from_secs(1), "loopback has zero latency");
+        assert!(t.poll(SimTime::MAX).is_none(), "the wire message was lost");
+        assert_eq!(t.stats().lost, 1);
+        assert_eq!(t.stats().loopback, 1);
+    }
+
+    #[test]
+    fn delay_hook_holds_messages_back() {
+        let cat = LinkCatalog::uniform(SimDuration::from_millis(10))
+            .with_delay(1.0, SimDuration::from_millis(500));
+        let mut t = InProcTransport::new(cat, 3);
+        t.send(SimTime::ZERO, msg(1, 2, 0));
+        assert!(t.poll(SimTime::from_millis(10)).is_none());
+        let e = t
+            .poll(SimTime::from_millis(510))
+            .expect("delayed, not lost");
+        assert_eq!(e.due, SimTime::from_millis(510));
+        assert_eq!(t.stats().delayed, 1);
+    }
+
+    #[test]
+    fn fault_rng_stream_matches_the_sims_faults_child() {
+        // The wire-fault stream is *defined* as the `"faults"` child of
+        // the run seed — the derivation `SystemSim`'s fault plane uses.
+        // Pin it: a transport that drew from anywhere else would break
+        // the twin's fault-replay contract silently.
+        for seed in [0u64, 1, 20080414] {
+            let mut reference = RngTree::new(seed).child("faults");
+            let mut t = InProcTransport::new(
+                LinkCatalog::uniform(SimDuration::from_millis(1)).with_loss(0.5),
+                seed,
+            );
+            // Expose the transport's stream by consuming draws through
+            // sends and checking the decisions against the reference.
+            for i in 0..256u64 {
+                let before = t.stats().lost;
+                t.send(SimTime::ZERO, msg(1, 2, i as u32));
+                let lost = t.stats().lost > before;
+                let expected = reference.gen::<f64>() < 0.5;
+                assert_eq!(lost, expected, "seed {seed}, draw {i}");
+            }
+        }
+    }
+}

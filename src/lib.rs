@@ -15,6 +15,9 @@
 //! | [`dht`] | `cs-dht` | the loose DHT: peers, routing, placement |
 //! | [`overlay`] | `cs-overlay` | peer tables, RP server, join, churn |
 //! | [`core`] | `cs-core` | buffers, schedulers, urgent line, Algorithm 2, full-system simulator |
+//! | [`scenario`] | `cs-scenario` | declarative workloads, telemetry export, CI gates |
+//! | [`obs`] | `cs-obs` | phase profiler, distributions, event trace, monitor endpoint |
+//! | [`twin`] | `cs-twin` | live-network twin: transport trait, virtual clock, sim-vs-live equivalence runtime |
 //! | [`analysis`] | `cs-analysis` | the paper's closed-form models |
 //!
 //! ## Quick start
@@ -68,6 +71,7 @@ pub use cs_overlay as overlay;
 pub use cs_scenario as scenario;
 pub use cs_sim as sim;
 pub use cs_trace as trace;
+pub use cs_twin as twin;
 
 /// The most commonly used types, importable in one line.
 pub mod prelude {
@@ -88,4 +92,5 @@ pub mod prelude {
     };
     pub use cs_sim::{RngTree, SimDuration, SimTime};
     pub use cs_trace::{Topology, TraceGenConfig, TraceGenerator};
+    pub use cs_twin::{run_twin, run_twin_observed, LinkCatalog, TwinConfig, TwinOutcome};
 }
